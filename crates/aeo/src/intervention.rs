@@ -1,0 +1,181 @@
+//! Content interventions: the moves available to a brand.
+
+use shift_corpus::inject::{
+    brand_refresh_spec, fresh_review_spec, social_thread_spec, InjectedPageSpec,
+};
+use shift_corpus::{EntityId, SourceType, World};
+
+/// One content move in an AEO plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Intervention {
+    /// Place `count` fresh reviews on earned-media outlets covering the
+    /// entity's topic (highest-authority outlets first). `sentiment` is
+    /// the review score in `[0, 1]`.
+    FreshEarnedReviews {
+        /// Number of reviews to place.
+        count: usize,
+        /// Review sentiment (observed quality).
+        sentiment: f64,
+    },
+    /// Seed `count` discussion threads on social platforms.
+    SocialBuzz {
+        /// Number of threads.
+        count: usize,
+        /// Thread sentiment.
+        sentiment: f64,
+    },
+    /// Republish the brand's own product page with today's date.
+    BrandRefresh,
+}
+
+impl Intervention {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Intervention::FreshEarnedReviews { count, .. } => {
+                format!("{count} fresh earned reviews")
+            }
+            Intervention::SocialBuzz { count, .. } => format!("{count} social threads"),
+            Intervention::BrandRefresh => "brand page refresh".to_string(),
+        }
+    }
+
+    /// Expands the intervention into concrete page specs for `entity`.
+    ///
+    /// Outlets are chosen deterministically: earned reviews go to the
+    /// highest-authority earned domains covering the entity's topic (one
+    /// per domain), social threads alternate over the social platforms
+    /// covering it.
+    pub fn page_specs(&self, world: &World, entity: EntityId, seed: u64) -> Vec<InjectedPageSpec> {
+        let e = world.entity(entity);
+        let spec = &shift_corpus::topic_specs()[e.topic.index()];
+        let hosts_of = |st: SourceType| -> Vec<&str> {
+            let mut ds: Vec<_> = world
+                .domains()
+                .iter()
+                .filter(|d| d.source_type == st && d.covers(e.topic, spec.vertical))
+                .collect();
+            ds.sort_by(|a, b| b.authority.total_cmp(&a.authority));
+            ds.into_iter().map(|d| d.host.as_str()).collect()
+        };
+
+        match self {
+            Intervention::FreshEarnedReviews { count, sentiment } => {
+                let hosts = hosts_of(SourceType::Earned);
+                (0..*count)
+                    .filter_map(|i| hosts.get(i % hosts.len().max(1)).copied())
+                    .enumerate()
+                    .map(|(i, host)| {
+                        fresh_review_spec(
+                            world,
+                            entity,
+                            host,
+                            *sentiment,
+                            (i % 7) as i64, // staggered over the last week
+                            seed.wrapping_add(i as u64),
+                        )
+                    })
+                    .collect()
+            }
+            Intervention::SocialBuzz { count, sentiment } => {
+                let hosts = hosts_of(SourceType::Social);
+                (0..*count)
+                    .filter_map(|i| hosts.get(i % hosts.len().max(1)).copied())
+                    .enumerate()
+                    .map(|(i, host)| {
+                        social_thread_spec(
+                            world,
+                            entity,
+                            host,
+                            *sentiment,
+                            (i % 5) as i64,
+                            seed.wrapping_add(0x50C1A1 + i as u64),
+                        )
+                    })
+                    .collect()
+            }
+            Intervention::BrandRefresh => vec![brand_refresh_spec(world, entity, seed)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::{PageKind, WorldConfig};
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(), 404)
+    }
+
+    #[test]
+    fn earned_reviews_target_earned_outlets() {
+        let w = world();
+        let e = w.entity_by_name("Toyota RAV4").unwrap();
+        let specs = Intervention::FreshEarnedReviews {
+            count: 4,
+            sentiment: 0.9,
+        }
+        .page_specs(&w, e, 1);
+        assert_eq!(specs.len(), 4);
+        for s in &specs {
+            let d = w.domain(w.domain_by_host(&s.host).unwrap());
+            assert_eq!(d.source_type, SourceType::Earned, "host {}", s.host);
+            assert_eq!(s.kind, PageKind::Review);
+            assert!(s.age_days < 8, "reviews must be fresh");
+        }
+        // Highest-authority outlet first.
+        let first = w.domain(w.domain_by_host(&specs[0].host).unwrap());
+        assert!(first.authority > 0.9, "{} not a top outlet", specs[0].host);
+    }
+
+    #[test]
+    fn social_buzz_targets_social_platforms() {
+        let w = world();
+        let e = w.entity_by_name("Toyota RAV4").unwrap();
+        let specs = Intervention::SocialBuzz {
+            count: 3,
+            sentiment: 0.8,
+        }
+        .page_specs(&w, e, 1);
+        assert_eq!(specs.len(), 3);
+        for s in &specs {
+            let d = w.domain(w.domain_by_host(&s.host).unwrap());
+            assert_eq!(d.source_type, SourceType::Social);
+        }
+    }
+
+    #[test]
+    fn brand_refresh_is_one_fresh_page_on_own_domain() {
+        let w = world();
+        let e = w.entity_by_name("Toyota RAV4").unwrap();
+        let specs = Intervention::BrandRefresh.page_specs(&w, e, 1);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].host, "toyota.com");
+        assert_eq!(specs[0].age_days, 1);
+    }
+
+    #[test]
+    fn specs_inject_cleanly() {
+        let w = world();
+        let e = w.entity_by_name("Toyota RAV4").unwrap();
+        for intervention in [
+            Intervention::FreshEarnedReviews { count: 3, sentiment: 0.9 },
+            Intervention::SocialBuzz { count: 2, sentiment: 0.7 },
+            Intervention::BrandRefresh,
+        ] {
+            let specs = intervention.page_specs(&w, e, 9);
+            let w2 = w.with_injected_pages(&specs).expect("valid specs");
+            assert_eq!(w2.pages().len(), w.pages().len() + specs.len());
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(
+            Intervention::FreshEarnedReviews { count: 5, sentiment: 0.9 }.label(),
+            "5 fresh earned reviews"
+        );
+        assert_eq!(Intervention::BrandRefresh.label(), "brand page refresh");
+    }
+}

@@ -1,0 +1,40 @@
+//! # shift-aeo
+//!
+//! An Answer Engine Optimization (AEO) toolkit — the operationalization of
+//! the paper's §3.4 "Road Ahead":
+//!
+//! > *"Consequently, developing analytical strategies that dissect query
+//! > patterns to generate actionable content plans becomes vital for
+//! > optimization success."*
+//!
+//! The toolkit answers the practitioner's questions on the simulated
+//! substrate, where counterfactuals are actually runnable:
+//!
+//! * [`visibility`] — measure an entity's **visibility** per engine:
+//!   citation share (is the brand's own domain cited?), mention share
+//!   (does the entity appear in synthesized answers?), mean position when
+//!   mentioned, and support rate (was the mention evidence-backed or
+//!   prior-carried?).
+//! * [`intervention`] — the content moves available to a brand: fresh
+//!   earned reviews, social buzz, brand-page refreshes.
+//! * [`plan`] — run a [`plan::ContentPlan`] as a controlled
+//!   experiment: inject the plan's pages into a copy of the world, rebuild
+//!   the engines, and diff visibility before/after.
+//!
+//! The headline findings of the paper become decision rules here: content
+//! freshness moves AI engines more than Google; earned placements move
+//! Claude/GPT most; for popular entities the pre-training prior dominates
+//! and *no* short-term content plan moves the ranking much — exactly the
+//! "positional ranking appears less critical for popular entities"
+//! observation of §3.4.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod intervention;
+pub mod plan;
+pub mod visibility;
+
+pub use intervention::Intervention;
+pub use plan::{evaluate_plan, ContentPlan, PlanOutcome};
+pub use visibility::{measure_visibility, EngineVisibility, VisibilityReport};

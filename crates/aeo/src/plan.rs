@@ -1,0 +1,213 @@
+//! Content-plan evaluation: before/after visibility under injection.
+
+use std::sync::Arc;
+
+use shift_corpus::World;
+use shift_engines::{AnswerEngines, EngineKind};
+use shift_corpus::EntityId;
+
+use crate::intervention::Intervention;
+use crate::visibility::{measure_visibility, topic_query_sweep, VisibilityReport};
+
+/// A content plan: an ordered set of interventions for one entity.
+#[derive(Debug, Clone)]
+pub struct ContentPlan {
+    /// Target entity.
+    pub entity: EntityId,
+    /// Moves to execute.
+    pub interventions: Vec<Intervention>,
+}
+
+impl ContentPlan {
+    /// A plan aligned with the paper's §3.4 guidance: fresh earned
+    /// coverage first (the source type AI engines privilege), plus a brand
+    /// refresh for the transactional surface.
+    pub fn recommended(entity: EntityId) -> ContentPlan {
+        ContentPlan {
+            entity,
+            interventions: vec![
+                Intervention::FreshEarnedReviews {
+                    count: 6,
+                    sentiment: 0.9,
+                },
+                Intervention::BrandRefresh,
+            ],
+        }
+    }
+
+    /// Total pages the plan will inject.
+    pub fn page_count(&self, world: &World, seed: u64) -> usize {
+        self.interventions
+            .iter()
+            .map(|i| i.page_specs(world, self.entity, seed).len())
+            .sum()
+    }
+}
+
+/// Outcome of a plan evaluation.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// Visibility before the plan.
+    pub before: VisibilityReport,
+    /// Visibility after injecting the plan's pages and rebuilding every
+    /// engine.
+    pub after: VisibilityReport,
+    /// Pages injected.
+    pub injected_pages: usize,
+}
+
+impl PlanOutcome {
+    /// Mention-share delta per engine, `after - before`.
+    pub fn mention_delta(&self, kind: EngineKind) -> f64 {
+        let b = self.before.engine(kind).map(|v| v.mention_share).unwrap_or(0.0);
+        let a = self.after.engine(kind).map(|v| v.mention_share).unwrap_or(0.0);
+        a - b
+    }
+
+    /// Support-rate delta per engine (did the plan convert prior-carried
+    /// mentions into evidence-backed ones?).
+    pub fn support_delta(&self, kind: EngineKind) -> f64 {
+        let b = self.before.engine(kind).map(|v| v.support_rate).unwrap_or(0.0);
+        let a = self.after.engine(kind).map(|v| v.support_rate).unwrap_or(0.0);
+        a - b
+    }
+
+    /// Renders a before/after table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<14} {:>10} {:>10} {:>10} {:>10}\n",
+            "engine", "mention Δ", "cite Δ", "support Δ", "pos Δ"
+        );
+        for kind in EngineKind::ALL {
+            let b = self.before.engine(kind).unwrap();
+            let a = self.after.engine(kind).unwrap();
+            let pos_delta = if a.mean_position.is_nan() || b.mean_position.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:+.1}", a.mean_position - b.mean_position)
+            };
+            out.push_str(&format!(
+                "{:<14} {:>+9.0}% {:>+9.0}% {:>+9.0}% {:>10}\n",
+                kind.name(),
+                100.0 * self.mention_delta(kind),
+                100.0 * (a.citation_share - b.citation_share),
+                100.0 * self.support_delta(kind),
+                pos_delta,
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates `plan` as a controlled experiment: measure visibility on the
+/// base world, inject the plan's pages, rebuild all five engines on the
+/// augmented world, and re-measure with the same query sweep and seeds.
+pub fn evaluate_plan(world: &Arc<World>, plan: &ContentPlan, seed: u64) -> PlanOutcome {
+    let queries = topic_query_sweep(world, plan.entity);
+    let k = 10;
+
+    let base_stack = AnswerEngines::build(Arc::clone(world));
+    let before = measure_visibility(&base_stack, plan.entity, &queries, k, seed);
+
+    let mut specs = Vec::new();
+    for (i, intervention) in plan.interventions.iter().enumerate() {
+        specs.extend(intervention.page_specs(world, plan.entity, seed.wrapping_add(i as u64)));
+    }
+    let injected_pages = specs.len();
+    let augmented = Arc::new(
+        world
+            .with_injected_pages(&specs)
+            .expect("intervention specs are validated against the world"),
+    );
+    let after_stack = AnswerEngines::build(augmented);
+    let after = measure_visibility(&after_stack, plan.entity, &queries, k, seed);
+
+    PlanOutcome {
+        before,
+        after,
+        injected_pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn world() -> Arc<World> {
+        Arc::new(World::generate(&WorldConfig::small(), 808))
+    }
+
+    /// The toolkit's headline mechanism: fresh earned coverage lifts a
+    /// weakly-covered entity's AI visibility.
+    #[test]
+    fn earned_coverage_lifts_niche_ai_visibility() {
+        let w = world();
+        // Pick the least-mentioned popular-roster SUV (tail of Table 3).
+        let infiniti = w.entity_by_name("Infiniti QX60").unwrap();
+        let plan = ContentPlan {
+            entity: infiniti,
+            interventions: vec![Intervention::FreshEarnedReviews {
+                count: 8,
+                sentiment: 0.95,
+            }],
+        };
+        let outcome = evaluate_plan(&w, &plan, 5);
+        assert!(outcome.injected_pages == 8);
+        let ai_delta = outcome.after.ai_mention_share() - outcome.before.ai_mention_share();
+        assert!(
+            ai_delta >= 0.0,
+            "fresh earned coverage must not hurt AI visibility ({ai_delta:+.2})"
+        );
+        // Support rate (evidence backing) must not regress for the AI
+        // engines in aggregate.
+        let support_delta: f64 = EngineKind::GENERATIVE
+            .iter()
+            .map(|&k| outcome.support_delta(k))
+            .sum();
+        assert!(
+            support_delta >= -0.2,
+            "support should broadly improve, Σdelta {support_delta:+.2}"
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let w = world();
+        let e = w.entity_by_name("Toyota RAV4").unwrap();
+        let plan = ContentPlan::recommended(e);
+        let a = evaluate_plan(&w, &plan, 3);
+        let b = evaluate_plan(&w, &plan, 3);
+        for kind in EngineKind::ALL {
+            assert_eq!(a.mention_delta(kind), b.mention_delta(kind));
+        }
+    }
+
+    #[test]
+    fn base_world_is_untouched() {
+        let w = world();
+        let pages_before = w.pages().len();
+        let e = w.entity_by_name("Toyota RAV4").unwrap();
+        let _ = evaluate_plan(&w, &ContentPlan::recommended(e), 3);
+        assert_eq!(w.pages().len(), pages_before);
+    }
+
+    #[test]
+    fn recommended_plan_counts_pages() {
+        let w = world();
+        let e = w.entity_by_name("Toyota RAV4").unwrap();
+        let plan = ContentPlan::recommended(e);
+        assert_eq!(plan.page_count(&w, 1), 7); // 6 reviews + 1 refresh
+    }
+
+    #[test]
+    fn render_covers_every_engine() {
+        let w = world();
+        let e = w.entities()[0].id;
+        let outcome = evaluate_plan(&w, &ContentPlan::recommended(e), 1);
+        let s = outcome.render();
+        for kind in EngineKind::ALL {
+            assert!(s.contains(kind.name()));
+        }
+    }
+}

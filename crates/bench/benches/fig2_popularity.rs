@@ -1,0 +1,28 @@
+//! Regenerates Figure 2 (popular vs niche overlap) and times the experiment.
+//!
+//! Run with `cargo bench -p shift-bench --bench fig2_popularity`. The rendered
+//! rows for the committed seed are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_bench::shared_study;
+use shift_core::fig2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = shared_study();
+
+    // Print the regenerated artifact once so the bench run doubles as the
+    // reproduction script.
+    let result = fig2::run(study);
+    println!("\n{}", result.render());
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("run", |b| {
+        b.iter(|| black_box(fig2::run(black_box(study))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

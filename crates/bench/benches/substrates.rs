@@ -1,0 +1,129 @@
+//! Substrate microbenchmarks: world generation, index construction,
+//! query latency, LLM ranking, freshness extraction.
+//!
+//! These are the performance-facing benches (the figure/table benches are
+//! reproduction-facing): they track the cost of the building blocks so
+//! regressions in the hot paths are visible.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_corpus::{World, WorldConfig};
+use shift_engines::{AnswerEngines, EngineKind};
+use shift_freshness::extract_page_date;
+use shift_llm::GroundingMode;
+use shift_search::{RankingParams, SearchEngine};
+use std::hint::black_box;
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_generate");
+    group.sample_size(10);
+    for (label, config) in [
+        ("small", WorldConfig::small()),
+        ("default", WorldConfig::default_scale()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| black_box(World::generate(cfg, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::default_scale(), 7);
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.bench_function("index_build_default_world", |b| {
+        b.iter(|| black_box(SearchEngine::build(&world, RankingParams::google())))
+    });
+
+    let engine = SearchEngine::build(&world, RankingParams::google());
+    group.bench_function("query_top10", |b| {
+        b.iter(|| black_box(engine.search(black_box("best laptops for students"), 10)))
+    });
+    group.bench_function("query_top10_entity", |b| {
+        b.iter(|| black_box(engine.search(black_box("Toyota RAV4 review reliability"), 10)))
+    });
+    group.finish();
+}
+
+fn bench_engine_answers(c: &mut Criterion) {
+    let world = Arc::new(World::generate(&WorldConfig::default_scale(), 7));
+    let stack = AnswerEngines::build(Arc::clone(&world));
+    let mut group = c.benchmark_group("answer");
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.slug()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    black_box(stack.answer(kind, black_box("top 10 best smartphones"), 10, 1))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_llm_ranking(c: &mut Criterion) {
+    let world = Arc::new(World::generate(&WorldConfig::default_scale(), 7));
+    let stack = AnswerEngines::build(Arc::clone(&world));
+    let llm = stack.llm();
+    let answer = stack.answer(EngineKind::Gpt4o, "best SUVs to buy in 2025", 10, 1);
+    let (suv_topic, _) = shift_corpus::topic_by_key("suvs").unwrap();
+    let candidates: Vec<_> = world.entities_of_topic(suv_topic).to_vec();
+
+    let mut group = c.benchmark_group("llm");
+    group.bench_function("rank_entities_normal", |b| {
+        b.iter(|| {
+            black_box(llm.rank_entities(
+                black_box(&candidates),
+                black_box(&answer.snippets),
+                GroundingMode::Normal,
+                3,
+            ))
+        })
+    });
+    group.bench_function("pairwise_ranking", |b| {
+        b.iter(|| {
+            black_box(llm.pairwise_ranking_for(
+                black_box(&candidates),
+                black_box(&answer.snippets),
+                GroundingMode::Normal,
+                3,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_freshness_extraction(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::default_scale(), 7);
+    // One page per markup style for a representative mix.
+    let htmls: Vec<String> = world
+        .pages()
+        .iter()
+        .take(64)
+        .map(|p| world.page_html(p.id))
+        .collect();
+    let mut group = c.benchmark_group("freshness");
+    group.bench_function("extract_64_pages", |b| {
+        b.iter(|| {
+            for html in &htmls {
+                black_box(extract_page_date(black_box(html)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world_generation,
+    bench_index_build,
+    bench_engine_answers,
+    bench_llm_ranking,
+    bench_freshness_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! # shift-bench
+//!
+//! The benchmark harness: one Criterion bench per paper artifact
+//! (Figures 1–4, Tables 1–3), plus substrate microbenchmarks and the
+//! ablation sweeps called out in DESIGN.md.
+//!
+//! Each figure/table bench both *times* the experiment and *prints* the
+//! regenerated rows (via the experiment's `render()`), so
+//! `cargo bench -p shift-bench` reproduces the paper's numbers as a side
+//! effect of benchmarking. The printed output for the committed seed is
+//! recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use shift_core::study::{Study, StudyConfig};
+
+/// The seed behind the committed EXPERIMENTS.md numbers.
+pub const STUDY_SEED: u64 = 20251101;
+
+/// A shared quick-scale study so every bench reuses one world + engine
+/// build (world generation dominates otherwise).
+pub fn shared_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(&StudyConfig::quick(), STUDY_SEED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_study_is_memoized() {
+        let a = shared_study() as *const Study;
+        let b = shared_study() as *const Study;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! Classifier evaluation against corpus ground truth.
+
+use shift_corpus::{SourceType, World};
+
+use crate::typology::classify_url;
+
+/// A 3×3 confusion matrix over the source-type taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// `counts[truth][predicted]`, indexed by [`SourceType::index`].
+    pub counts: [[u64; 3]; 3],
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (truth, predicted) observation.
+    pub fn record(&mut self, truth: SourceType, predicted: SourceType) {
+        self.counts[truth.index()][predicted.index()] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy; 0.0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..3).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision for one class (predicted column): TP / (TP + FP).
+    pub fn precision(&self, class: SourceType) -> f64 {
+        let c = class.index();
+        let tp = self.counts[c][c];
+        let predicted: u64 = (0..3).map(|t| self.counts[t][c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for one class (truth row): TP / (TP + FN).
+    pub fn recall(&self, class: SourceType) -> f64 {
+        let c = class.index();
+        let tp = self.counts[c][c];
+        let truth: u64 = self.counts[c].iter().sum();
+        if truth == 0 {
+            0.0
+        } else {
+            tp as f64 / truth as f64
+        }
+    }
+
+    /// Macro-averaged F1 across the three classes.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        for st in SourceType::ALL {
+            let p = self.precision(st);
+            let r = self.recall(st);
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        sum / 3.0
+    }
+
+    /// Renders a compact text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("truth\\pred   brand  earned  social\n");
+        for truth in SourceType::ALL {
+            out.push_str(&format!("{:<11}", truth.label()));
+            for pred in SourceType::ALL {
+                out.push_str(&format!(
+                    "{:>8}",
+                    self.counts[truth.index()][pred.index()]
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Evaluates the URL typology classifier over every page of a world.
+pub fn evaluate_typology(world: &World) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::new();
+    for page in world.pages() {
+        let truth = world.page_source_type(page.id);
+        if let Some(c) = classify_url(&page.url) {
+            cm.record(truth, c.source_type);
+        }
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    #[test]
+    fn matrix_arithmetic() {
+        let mut cm = ConfusionMatrix::new();
+        for _ in 0..8 {
+            cm.record(SourceType::Earned, SourceType::Earned);
+        }
+        cm.record(SourceType::Earned, SourceType::Brand);
+        cm.record(SourceType::Brand, SourceType::Brand);
+        assert_eq!(cm.total(), 10);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-12);
+        assert!((cm.recall(SourceType::Earned) - 8.0 / 9.0).abs() < 1e-12);
+        assert!((cm.precision(SourceType::Brand) - 0.5).abs() < 1e-12);
+        assert_eq!(cm.precision(SourceType::Social), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero() {
+        let cm = ConfusionMatrix::new();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let cm = ConfusionMatrix::new();
+        let s = cm.render();
+        for l in ["brand", "earned", "social"] {
+            assert!(s.contains(l));
+        }
+    }
+
+    #[test]
+    fn classifier_beats_ninety_percent_on_corpus() {
+        let world = World::generate(&WorldConfig::small(), 17);
+        let cm = evaluate_typology(&world);
+        assert!(cm.total() > 500);
+        assert!(
+            cm.accuracy() > 0.9,
+            "accuracy {:.3}\n{}",
+            cm.accuracy(),
+            cm.render()
+        );
+        assert!(cm.macro_f1() > 0.8, "macro-F1 {:.3}", cm.macro_f1());
+    }
+}

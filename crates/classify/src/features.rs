@@ -1,0 +1,140 @@
+//! Shared feature extraction for the classifiers.
+
+/// Social / UGC platform registrable domains (exact match).
+pub const SOCIAL_PLATFORMS: &[&str] = &[
+    "facebook.com",
+    "flyertalk.com",
+    "instagram.com",
+    "medium.com",
+    "pinterest.com",
+    "quora.com",
+    "reddit.com",
+    "stackexchange.com",
+    "stackoverflow.com",
+    "tiktok.com",
+    "tripadvisor.com",
+    "trustpilot.com",
+    "twitter.com",
+    "x.com",
+    "yelp.com",
+    "youtube.com",
+    "avvo.com",
+];
+
+/// Host substrings that indicate user-generated content.
+pub const SOCIAL_HOST_HINTS: &[&str] = &["forum", "board", "community", "talk", "owners"];
+
+/// Path segments that indicate user-generated content.
+pub const SOCIAL_PATH_HINTS: &[&str] = &["thread", "watch", "forums", "r", "user", "comments"];
+
+/// Well-known earned-media registrable domains (exact match).
+pub const EARNED_MEDIA: &[&str] = &[
+    "allure.com",
+    "androidauthority.com",
+    "autoblog.com",
+    "bankrate.com",
+    "believeintherun.com",
+    "bicycling.com",
+    "businessinsider.com",
+    "byrdie.com",
+    "canadianlawyermag.com",
+    "caranddriver.com",
+    "cnet.com",
+    "cntraveler.com",
+    "consumerreports.org",
+    "creditcards.com",
+    "cyclingweekly.com",
+    "dcrainmaker.com",
+    "digitaltrends.com",
+    "edmunds.com",
+    "engadget.com",
+    "forbes.com",
+    "greencarreports.com",
+    "insideevs.com",
+    "kbb.com",
+    "lawtimesnews.com",
+    "motortrend.com",
+    "nerdwallet.com",
+    "notebookcheck.net",
+    "nytimes.com",
+    "onemileatatime.com",
+    "outsideonline.com",
+    "pcmag.com",
+    "rtings.com",
+    "runnersworld.com",
+    "techradar.com",
+    "thepointsguy.com",
+    "theverge.com",
+    "tomsguide.com",
+    "usatoday.com",
+    "variety.com",
+    "viewfromthewing.com",
+    "whattowatch.com",
+    "wikipedia.org",
+    "wired.com",
+    "zdnet.com",
+];
+
+/// Host substrings that indicate editorial/review content.
+pub const EARNED_HOST_HINTS: &[&str] = &[
+    "review", "guide", "insider", "daily", "mag", "news", "lab", "times", "report",
+];
+
+/// Retailer / marketplace registrable domains (owned commercial → brand).
+pub const RETAILERS: &[&str] = &[
+    "amazon.com",
+    "bestbuy.com",
+    "booking.com",
+    "cars.com",
+    "carvana.com",
+    "competitivecyclist.com",
+    "expedia.com",
+    "rei.com",
+    "sephora.com",
+    "ulta.com",
+    "walmart.com",
+];
+
+/// Path segments that indicate owned/commerce pages.
+pub const BRAND_PATH_HINTS: &[&str] = &["product", "shop", "store", "buy", "deals", "official"];
+
+/// Splits a host into lowercase label tokens, dropping the public suffix.
+pub fn host_tokens(host: &str) -> Vec<String> {
+    host.to_ascii_lowercase()
+        .split('.')
+        .map(str::to_string)
+        .collect()
+}
+
+/// True when any hint is a substring of the host's first label.
+pub fn host_contains(host: &str, hints: &[&str]) -> bool {
+    let first = host.split('.').next().unwrap_or("");
+    hints.iter().any(|h| first.contains(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_tables_are_sorted_unique() {
+        for table in [SOCIAL_PLATFORMS, EARNED_MEDIA, RETAILERS] {
+            let mut v = table.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), table.len(), "duplicates in table");
+        }
+    }
+
+    #[test]
+    fn host_tokens_split() {
+        assert_eq!(host_tokens("www.rtings.com"), vec!["www", "rtings", "com"]);
+    }
+
+    #[test]
+    fn host_contains_checks_first_label() {
+        assert!(host_contains("laptopsforum.com", SOCIAL_HOST_HINTS));
+        assert!(host_contains("dailysmartphones.net", EARNED_HOST_HINTS));
+        assert!(!host_contains("toyota.com", SOCIAL_HOST_HINTS));
+    }
+}

@@ -1,0 +1,147 @@
+//! Query-intent classification (informational / consideration /
+//! transactional).
+
+use shift_textkit::tokenize;
+
+/// The three-way intent taxonomy of §2.2.
+pub use shift_queries_intent::QueryIntentLabel;
+
+/// Internal module so the label type can live here without a dependency on
+/// `shift-queries` (which depends on corpus choices, not classification).
+mod shift_queries_intent {
+    /// Predicted query intent.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum QueryIntentLabel {
+        /// Knowledge-seeking ("how does X work").
+        Informational,
+        /// Shopping research ("best X for Y").
+        Consideration,
+        /// Purchase-ready ("buy X", "X price").
+        Transactional,
+    }
+
+    impl QueryIntentLabel {
+        /// Stable lowercase label.
+        pub fn label(self) -> &'static str {
+            match self {
+                QueryIntentLabel::Informational => "informational",
+                QueryIntentLabel::Consideration => "consideration",
+                QueryIntentLabel::Transactional => "transactional",
+            }
+        }
+    }
+}
+
+const TRANSACTIONAL_MARKERS: &[&str] = &[
+    "buy", "price", "prices", "deal", "deals", "discount", "coupon", "order",
+    "purchase", "stock", "shipping", "cheapest", "sale",
+];
+
+const INFORMATIONAL_STARTERS: &[&str] = &["how", "what", "why", "when", "where", "who", "is", "are", "does", "do", "can"];
+
+const CONSIDERATION_MARKERS: &[&str] = &[
+    "best", "top", "vs", "versus", "compare", "comparison", "recommended",
+    "alternatives", "better", "reliable", "rated", "review", "reviews",
+];
+
+/// Classifies a query string into an intent label.
+///
+/// Priority: transactional markers beat everything (a user typing "buy"
+/// wants to transact even in question form), then shopping-research
+/// vocabulary ("which laptop has the best thermals?" is consideration,
+/// despite the question form), then interrogative starters; the default is
+/// consideration, the paper's dominant commercial class.
+///
+/// ```
+/// use shift_classify::classify_intent;
+/// use shift_classify::intent::QueryIntentLabel;
+/// assert_eq!(classify_intent("Buy iPhone 15"), QueryIntentLabel::Transactional);
+/// assert_eq!(classify_intent("How does Wi-Fi 7 work?"), QueryIntentLabel::Informational);
+/// assert_eq!(classify_intent("Best laptops for students"), QueryIntentLabel::Consideration);
+/// ```
+pub fn classify_intent(query: &str) -> QueryIntentLabel {
+    let tokens: Vec<String> = tokenize(query).into_iter().map(|t| t.text).collect();
+    if tokens.is_empty() {
+        return QueryIntentLabel::Consideration;
+    }
+    if tokens
+        .iter()
+        .any(|t| TRANSACTIONAL_MARKERS.contains(&t.as_str()))
+    {
+        return QueryIntentLabel::Transactional;
+    }
+    // Shopping-research vocabulary beats interrogative form: "which laptop
+    // has the best thermals?" is consideration, not informational.
+    if tokens
+        .iter()
+        .any(|t| CONSIDERATION_MARKERS.contains(&t.as_str()))
+    {
+        return QueryIntentLabel::Consideration;
+    }
+    if INFORMATIONAL_STARTERS.contains(&tokens[0].as_str()) || query.trim_end().ends_with('?') {
+        return QueryIntentLabel::Informational;
+    }
+    QueryIntentLabel::Consideration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactional_examples() {
+        for q in [
+            "Buy iPhone 15",
+            "Tesla Model Y price and deals",
+            "cheapest flights to tokyo",
+            "MacBook Air in stock near me",
+        ] {
+            assert_eq!(classify_intent(q), QueryIntentLabel::Transactional, "{q}");
+        }
+    }
+
+    #[test]
+    fn informational_examples() {
+        for q in [
+            "How does Wi-Fi 7 work?",
+            "What is OLED burn-in",
+            "why do SUVs depreciate",
+            "Is leasing worth it?",
+        ] {
+            assert_eq!(classify_intent(q), QueryIntentLabel::Informational, "{q}");
+        }
+    }
+
+    #[test]
+    fn consideration_examples() {
+        for q in [
+            "Best laptops for students",
+            "top rated airlines 2025",
+            "Garmin vs Coros",
+            "most reliable SUVs",
+        ] {
+            assert_eq!(classify_intent(q), QueryIntentLabel::Consideration, "{q}");
+        }
+    }
+
+    #[test]
+    fn transactional_beats_question_form() {
+        assert_eq!(
+            classify_intent("where to buy a Pixel 9?"),
+            QueryIntentLabel::Transactional
+        );
+    }
+
+    #[test]
+    fn empty_defaults_to_consideration() {
+        assert_eq!(classify_intent(""), QueryIntentLabel::Consideration);
+        assert_eq!(classify_intent("???"), QueryIntentLabel::Consideration);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(QueryIntentLabel::Informational.label(), "informational");
+        assert_eq!(QueryIntentLabel::Consideration.label(), "consideration");
+        assert_eq!(QueryIntentLabel::Transactional.label(), "transactional");
+    }
+}

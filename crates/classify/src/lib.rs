@@ -1,0 +1,25 @@
+//! # shift-classify
+//!
+//! Classifiers standing in for the paper's GPT-4o-based labeling:
+//!
+//! * [`typology`] — maps a cited URL to the brand / earned / social
+//!   taxonomy of §2.2, from host and path features. The corpus carries
+//!   ground-truth labels, so classifier quality is *measurable*:
+//!   [`eval`] computes accuracy and a full confusion matrix.
+//! * [`intent`] — maps query text to informational / consideration /
+//!   transactional intent (used to slice Figure 3).
+//!
+//! Both classifiers are deliberately rule-based and imperfect-but-good, the
+//! same trust level the paper places in its LLM classifier.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eval;
+pub mod features;
+pub mod intent;
+pub mod typology;
+
+pub use eval::ConfusionMatrix;
+pub use intent::classify_intent;
+pub use typology::{classify_url, Classification};

@@ -1,0 +1,210 @@
+//! The brand / earned / social URL classifier.
+//!
+//! Decision order mirrors how a human (or the paper's GPT-4o prompt) would
+//! reason about a citation:
+//!
+//! 1. Known UGC platform or forum-looking host → **social**.
+//! 2. Known editorial outlet → **earned** (high confidence).
+//! 3. Known retailer / commerce-looking path → **brand**.
+//! 4. Host names a brand-like single token with a product-ish path →
+//!    **brand**.
+//! 5. Editorial-looking host words ("review", "daily", "mag") → **earned**.
+//! 6. Fallback: **brand** for bare two-label hosts with shallow paths
+//!    (official sites are shallow), otherwise **earned**.
+
+use shift_corpus::SourceType;
+use shift_urlkit::{registrable_domain, Url};
+
+use crate::features::{
+    host_contains, BRAND_PATH_HINTS, EARNED_HOST_HINTS, EARNED_MEDIA, RETAILERS,
+    SOCIAL_HOST_HINTS, SOCIAL_PATH_HINTS, SOCIAL_PLATFORMS,
+};
+
+/// A classification with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Predicted source type.
+    pub source_type: SourceType,
+    /// Confidence in `[0, 1]` (rule strength, not a calibrated
+    /// probability).
+    pub confidence: f64,
+    /// Short rule label explaining the decision (for error analysis).
+    pub rule: &'static str,
+}
+
+/// Classifies a cited URL into the brand/earned/social taxonomy.
+///
+/// Unparsable URLs return `None` — the experiments drop such citations,
+/// like the paper drops non-web links.
+///
+/// ```
+/// use shift_classify::classify_url;
+/// use shift_corpus::SourceType;
+/// assert_eq!(classify_url("https://www.reddit.com/r/suvs/comments/1").unwrap().source_type, SourceType::Social);
+/// assert_eq!(classify_url("https://www.rtings.com/tv/reviews/best").unwrap().source_type, SourceType::Earned);
+/// assert_eq!(classify_url("https://www.toyota.com/rav4/").unwrap().source_type, SourceType::Brand);
+/// ```
+pub fn classify_url(url: &str) -> Option<Classification> {
+    let parsed = Url::parse(url).ok()?;
+    let host = parsed.host();
+    let domain = registrable_domain(host)?;
+    let path_segments: Vec<String> = parsed
+        .path_segments()
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
+
+    // 1. Social platforms and forum-looking hosts.
+    if SOCIAL_PLATFORMS.contains(&domain.as_str()) {
+        return Some(Classification {
+            source_type: SourceType::Social,
+            confidence: 0.97,
+            rule: "social-platform",
+        });
+    }
+    if host_contains(&domain, SOCIAL_HOST_HINTS) {
+        return Some(Classification {
+            source_type: SourceType::Social,
+            confidence: 0.85,
+            rule: "social-host-hint",
+        });
+    }
+    if path_segments
+        .iter()
+        .any(|s| SOCIAL_PATH_HINTS.contains(&s.as_str()))
+    {
+        return Some(Classification {
+            source_type: SourceType::Social,
+            confidence: 0.6,
+            rule: "social-path-hint",
+        });
+    }
+
+    // 2. Known editorial outlets.
+    if EARNED_MEDIA.contains(&domain.as_str()) {
+        return Some(Classification {
+            source_type: SourceType::Earned,
+            confidence: 0.96,
+            rule: "earned-outlet",
+        });
+    }
+
+    // 3. Retailers and commerce paths.
+    if RETAILERS.contains(&domain.as_str()) {
+        return Some(Classification {
+            source_type: SourceType::Brand,
+            confidence: 0.95,
+            rule: "retailer",
+        });
+    }
+    if path_segments
+        .iter()
+        .any(|s| BRAND_PATH_HINTS.contains(&s.as_str()))
+    {
+        return Some(Classification {
+            source_type: SourceType::Brand,
+            confidence: 0.7,
+            rule: "brand-path-hint",
+        });
+    }
+
+    // 5. Editorial-looking host words.
+    if host_contains(&domain, EARNED_HOST_HINTS) {
+        return Some(Classification {
+            source_type: SourceType::Earned,
+            confidence: 0.7,
+            rule: "earned-host-hint",
+        });
+    }
+
+    // 6. Fallback: shallow two-label hosts look like official sites.
+    let label_count = domain.split('.').count();
+    if label_count == 2 && path_segments.len() <= 2 {
+        Some(Classification {
+            source_type: SourceType::Brand,
+            confidence: 0.5,
+            rule: "shallow-official-fallback",
+        })
+    } else {
+        Some(Classification {
+            source_type: SourceType::Earned,
+            confidence: 0.4,
+            rule: "earned-fallback",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(url: &str) -> SourceType {
+        classify_url(url).unwrap().source_type
+    }
+
+    #[test]
+    fn social_platforms() {
+        assert_eq!(st("https://reddit.com/r/cars"), SourceType::Social);
+        assert_eq!(st("https://www.youtube.com/watch?v=x"), SourceType::Social);
+        assert_eq!(st("https://quora.com/What-suv"), SourceType::Social);
+    }
+
+    #[test]
+    fn forum_hosts() {
+        assert_eq!(st("https://laptopsforum.com/thread/best-1"), SourceType::Social);
+        assert_eq!(st("https://talksuvs.net/thread/2"), SourceType::Social);
+    }
+
+    #[test]
+    fn earned_outlets() {
+        assert_eq!(st("https://www.rtings.com/tv"), SourceType::Earned);
+        assert_eq!(st("https://consumerreports.org/suvs"), SourceType::Earned);
+        assert_eq!(st("https://en.wikipedia.org/wiki/SUV"), SourceType::Earned);
+    }
+
+    #[test]
+    fn retailers_are_brand() {
+        assert_eq!(st("https://www.bestbuy.com/site/laptops"), SourceType::Brand);
+        assert_eq!(st("https://cars.com/shopping/"), SourceType::Brand);
+    }
+
+    #[test]
+    fn official_sites_are_brand() {
+        assert_eq!(st("https://www.toyota.com/rav4"), SourceType::Brand);
+        assert_eq!(st("https://apple.com/"), SourceType::Brand);
+    }
+
+    #[test]
+    fn product_paths_are_brand() {
+        assert_eq!(
+            st("https://unknownmaker.io/product/widget-pro"),
+            SourceType::Brand
+        );
+    }
+
+    #[test]
+    fn synthetic_blogs_are_earned() {
+        assert_eq!(st("https://dailylaptops.com/best/top-10"), SourceType::Earned);
+        assert_eq!(st("https://thesuvsreview.com/best/x"), SourceType::Earned);
+    }
+
+    #[test]
+    fn unparsable_urls_return_none() {
+        assert!(classify_url("not a url").is_none());
+        assert!(classify_url("https://192.168.0.1/admin").is_none());
+    }
+
+    #[test]
+    fn confidence_and_rule_populated() {
+        let c = classify_url("https://reddit.com/r/x").unwrap();
+        assert!(c.confidence > 0.9);
+        assert_eq!(c.rule, "social-platform");
+    }
+
+    #[test]
+    fn deep_unknown_hosts_fall_back_to_earned() {
+        assert_eq!(
+            st("https://blog.example.com/a/b/c/d/e"),
+            SourceType::Earned
+        );
+    }
+}

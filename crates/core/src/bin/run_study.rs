@@ -1,0 +1,217 @@
+//! `run_study` — regenerates every figure and table of the paper.
+//!
+//! ```text
+//! Usage: run_study [--scale quick|paper] [--seed N] [--only fig1,tab2,…]
+//!                  [--json] [--robustness N]
+//! ```
+//!
+//! `--robustness N` additionally re-runs the headline measurements across
+//! `N` extra world seeds and reports how stable the orderings are.
+//!
+//! The committed EXPERIMENTS.md was produced with
+//! `run_study --scale paper --seed 20251101`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use shift_core::study::{Study, StudyConfig};
+use shift_core::{fig1, fig2, fig3, fig4, tab1, tab2, tab3};
+use shift_freshness::json::{self, Value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "quick".to_string();
+    let mut seed: u64 = 20251101;
+    let mut only: Option<Vec<String>> = None;
+    let mut as_json = false;
+    let mut robustness_seeds = 0usize;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().expect("--scale needs a value").clone(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer")
+            }
+            "--only" => {
+                only = Some(
+                    it.next()
+                        .expect("--only needs a value")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--json" => as_json = true,
+            "--robustness" => {
+                robustness_seeds = it
+                    .next()
+                    .expect("--robustness needs a seed count")
+                    .parse()
+                    .expect("--robustness must be an integer")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: run_study [--scale quick|paper] [--seed N] [--only fig1,…] [--json]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = match scale.as_str() {
+        "quick" => StudyConfig::quick(),
+        "paper" => StudyConfig::paper(),
+        other => {
+            eprintln!("unknown scale {other:?} (quick|paper)");
+            std::process::exit(2);
+        }
+    };
+
+    let wanted = |name: &str| only.as_ref().map(|o| o.iter().any(|x| x == name)).unwrap_or(true);
+
+    eprintln!("generating world + engines (scale={scale}, seed={seed})…");
+    let t0 = Instant::now();
+    let study = Study::generate(&config, seed);
+    eprintln!(
+        "  world: {} entities, {} domains, {} pages  ({:.1?})",
+        study.world().entities().len(),
+        study.world().domains().len(),
+        study.world().pages().len(),
+        t0.elapsed()
+    );
+
+    let mut json_out: BTreeMap<String, Value> = BTreeMap::new();
+    json_out.insert("seed".into(), Value::Number(seed as f64));
+    json_out.insert("scale".into(), Value::String(scale.clone()));
+
+    macro_rules! experiment {
+        ($name:literal, $module:ident, $to_json:expr) => {
+            if wanted($name) {
+                let t = Instant::now();
+                let result = $module::run(&study);
+                eprintln!("{}: {:.1?}", $name, t.elapsed());
+                if as_json {
+                    #[allow(clippy::redundant_closure_call)]
+                    json_out.insert($name.to_string(), ($to_json)(&result));
+                } else {
+                    println!("{}\n", result.render());
+                }
+            }
+        };
+    }
+
+    experiment!("fig1", fig1, |r: &fig1::Fig1Result| {
+        let mut m = BTreeMap::new();
+        for (kind, overlap, _) in &r.per_engine {
+            m.insert(kind.slug().to_string(), Value::Number(*overlap));
+        }
+        Value::Object(m)
+    });
+    experiment!("fig2", fig2, |r: &fig2::Fig2Result| {
+        let mut m = BTreeMap::new();
+        for (kind, pop, niche) in &r.per_engine {
+            let mut e = BTreeMap::new();
+            e.insert("popular_vs_google".into(), Value::Number(pop.vs_google));
+            e.insert("niche_vs_google".into(), Value::Number(niche.vs_google));
+            m.insert(kind.slug().to_string(), Value::Object(e));
+        }
+        m.insert(
+            "unique_ratio_popular".into(),
+            Value::Number(r.unique_ratio.0),
+        );
+        m.insert("unique_ratio_niche".into(), Value::Number(r.unique_ratio.1));
+        Value::Object(m)
+    });
+    experiment!("fig3", fig3, |r: &fig3::Fig3Result| {
+        let mut m = BTreeMap::new();
+        for (kind, mix) in &r.aggregate {
+            let arr = vec![
+                Value::Number(mix[0]),
+                Value::Number(mix[1]),
+                Value::Number(mix[2]),
+            ];
+            m.insert(kind.slug().to_string(), Value::Array(arr));
+        }
+        Value::Object(m)
+    });
+    experiment!("fig4", fig4, |r: &fig4::Fig4Result| {
+        let mut m = BTreeMap::new();
+        for (vertical, kind, stats) in &r.cells {
+            m.insert(
+                format!("{}/{}", vertical.label(), kind.slug()),
+                Value::Number(stats.summary.median),
+            );
+        }
+        Value::Object(m)
+    });
+    experiment!("tab1", tab1, |r: &tab1::Tab1Result| {
+        let row = |x: &tab1::Tab1Row| {
+            Value::Array(vec![
+                Value::Number(x.ss_normal),
+                Value::Number(x.ss_strict),
+                Value::Number(x.esi),
+            ])
+        };
+        let mut m = BTreeMap::new();
+        m.insert("popular".into(), row(&r.popular));
+        m.insert("niche".into(), row(&r.niche));
+        Value::Object(m)
+    });
+    experiment!("tab2", tab2, |r: &tab2::Tab2Result| {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "popular".into(),
+            Value::Array(vec![Value::Number(r.popular.0), Value::Number(r.popular.1)]),
+        );
+        m.insert(
+            "niche".into(),
+            Value::Array(vec![Value::Number(r.niche.0), Value::Number(r.niche.1)]),
+        );
+        m.insert(
+            "unsupported_rate".into(),
+            Value::Number(r.popular_unsupported_rate),
+        );
+        Value::Object(m)
+    });
+    experiment!("tab3", tab3, |r: &tab3::Tab3Result| {
+        let mut m = BTreeMap::new();
+        for (brand, rate) in &r.rates {
+            m.insert(brand.clone(), Value::Number(*rate));
+        }
+        m.insert("_overall".into(), Value::Number(r.overall));
+        Value::Object(m)
+    });
+
+    if robustness_seeds > 0 {
+        let seeds: Vec<u64> = (0..robustness_seeds as u64).map(|i| seed ^ (i + 1)).collect();
+        eprintln!("robustness sweep over {} seeds…", seeds.len());
+        let result = shift_core::robustness::run(&config, &seeds);
+        if as_json {
+            let mut m = BTreeMap::new();
+            m.insert(
+                "gpt_lowest_rate".to_string(),
+                Value::Number(result.gpt_lowest_rate),
+            );
+            m.insert(
+                "niche_more_sensitive_rate".to_string(),
+                Value::Number(result.niche_more_sensitive_rate),
+            );
+            json_out.insert("robustness".to_string(), Value::Object(m));
+        } else {
+            println!("{}", result.render());
+        }
+    }
+
+    if as_json {
+        println!("{}", json::to_string(&Value::Object(json_out)));
+    }
+}

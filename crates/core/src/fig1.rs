@@ -1,0 +1,197 @@
+//! Figure 1 — AI-vs-Google domain overlap over ranking queries.
+//!
+//! Protocol (§2.1): for each ranking query, collect every engine's cited
+//! URLs, normalize to registrable domains, compute Jaccard overlap with
+//! Google's top-10 domains, and average across queries.
+
+use shift_engines::EngineKind;
+use shift_metrics::bootstrap::ConfidenceInterval;
+use shift_metrics::rbo::rbo;
+use shift_metrics::{bootstrap::mean_ci95, mean_jaccard};
+use shift_queries::ranking_queries;
+
+use crate::report::{pct, Table};
+use crate::study::Study;
+
+/// Result of the Figure 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// `(engine, mean overlap, 95 % CI)` per generative engine, in
+    /// [`EngineKind::GENERATIVE`] order.
+    pub per_engine: Vec<(EngineKind, f64, Option<ConfidenceInterval>)>,
+    /// Secondary view: mean rank-biased overlap (p = 0.9) of the ordered
+    /// domain lists, per engine (same order as `per_engine`). RBO weights
+    /// top-of-list agreement, which is what a user scanning citations
+    /// actually experiences.
+    pub rbo_per_engine: Vec<(EngineKind, f64)>,
+    /// Number of queries evaluated.
+    pub queries: usize,
+}
+
+impl Fig1Result {
+    /// Mean overlap for a given engine.
+    pub fn overlap(&self, kind: EngineKind) -> Option<f64> {
+        self.per_engine
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, v, _)| *v)
+    }
+
+    /// Engines sorted by ascending overlap (the paper's headline ordering:
+    /// GPT-4o < Gemini < Claude < Perplexity).
+    pub fn ascending(&self) -> Vec<EngineKind> {
+        let mut v: Vec<(EngineKind, f64)> = self
+            .per_engine
+            .iter()
+            .map(|(k, o, _)| (*k, *o))
+            .collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v.into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Mean RBO for a given engine.
+    pub fn rbo_overlap(&self, kind: EngineKind) -> Option<f64> {
+        self.rbo_per_engine
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["engine", "overlap vs Google", "95% CI", "RBO@0.9"]);
+        for ((kind, overlap, ci), (_, r)) in self.per_engine.iter().zip(&self.rbo_per_engine) {
+            let ci_s = ci
+                .map(|c| format!("[{}, {}]", pct(c.lower), pct(c.upper)))
+                .unwrap_or_else(|| "-".to_string());
+            t.row(vec![kind.name().to_string(), pct(*overlap), ci_s, pct(*r)]);
+        }
+        format!(
+            "Figure 1 — AI-vs-Google domain overlap ({} ranking queries)\n{}",
+            self.queries,
+            t.render()
+        )
+    }
+}
+
+/// Runs the Figure 1 experiment.
+pub fn run(study: &Study) -> Fig1Result {
+    let stack = study.engines();
+    let k = study.config().top_k;
+    let queries = ranking_queries(
+        study.world(),
+        study.config().ranking_queries,
+        study.stage_seed("fig1-queries"),
+    );
+
+    let mut per_query: Vec<Vec<f64>> = vec![Vec::new(); EngineKind::GENERATIVE.len()];
+    let mut per_query_rbo: Vec<Vec<f64>> = vec![Vec::new(); EngineKind::GENERATIVE.len()];
+    for q in &queries {
+        let google = stack.answer(EngineKind::Google, &q.text, k, 0);
+        let g_domains = google.domains();
+        for (i, kind) in EngineKind::GENERATIVE.iter().enumerate() {
+            let answer = stack.answer(*kind, &q.text, k, study.stage_seed("fig1-run"));
+            let domains = answer.domains();
+            per_query[i].push(shift_metrics::jaccard(&g_domains, &domains));
+            per_query_rbo[i].push(rbo(&g_domains, &domains, 0.9));
+        }
+    }
+
+    let per_engine = EngineKind::GENERATIVE
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let mean = mean_jaccard(&per_query[i]);
+            let ci = mean_ci95(&per_query[i], study.stage_seed("fig1-ci"));
+            (*kind, mean, ci)
+        })
+        .collect();
+    let rbo_per_engine = EngineKind::GENERATIVE
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| (*kind, mean_jaccard(&per_query_rbo[i])))
+        .collect();
+
+    Fig1Result {
+        per_engine,
+        rbo_per_engine,
+        queries: queries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    fn study() -> Study {
+        Study::generate(&StudyConfig::quick(), 4242)
+    }
+
+    #[test]
+    fn overlaps_are_low_and_bounded() {
+        let r = run(&study());
+        assert_eq!(r.per_engine.len(), 4);
+        for (kind, overlap, ci) in &r.per_engine {
+            assert!(
+                (0.0..=0.5).contains(overlap),
+                "{kind:?} overlap {overlap} outside the low-overlap regime"
+            );
+            if let Some(ci) = ci {
+                assert!(ci.lower <= *overlap && *overlap <= ci.upper);
+            }
+        }
+    }
+
+    #[test]
+    fn gpt_is_the_most_divergent() {
+        let r = run(&study());
+        assert_eq!(
+            r.ascending()[0],
+            EngineKind::Gpt4o,
+            "GPT-4o must have the lowest Google overlap; got order {:?} with values {:?}",
+            r.ascending(),
+            r.per_engine
+        );
+    }
+
+    #[test]
+    fn perplexity_is_the_most_google_like() {
+        let r = run(&study());
+        let asc = r.ascending();
+        assert_eq!(*asc.last().unwrap(), EngineKind::Perplexity);
+    }
+
+    #[test]
+    fn rbo_tracks_jaccard_ordering_loosely() {
+        let r = run(&study());
+        for (kind, _, _) in &r.per_engine {
+            let v = r.rbo_overlap(*kind).unwrap();
+            assert!((0.0..=1.0).contains(&v), "{kind:?} RBO {v}");
+        }
+        // GPT-4o should also be the most divergent under the top-weighted
+        // view.
+        let gpt = r.rbo_overlap(EngineKind::Gpt4o).unwrap();
+        let pplx = r.rbo_overlap(EngineKind::Perplexity).unwrap();
+        assert!(gpt < pplx, "RBO: GPT {gpt:.3} vs Perplexity {pplx:.3}");
+    }
+
+    #[test]
+    fn render_contains_all_engines() {
+        let r = run(&study());
+        let s = r.render();
+        for kind in EngineKind::GENERATIVE {
+            assert!(s.contains(kind.name()), "missing {kind:?} in:\n{s}");
+        }
+        assert!(s.contains("Figure 1"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(&study());
+        let b = run(&study());
+        for (x, y) in a.per_engine.iter().zip(&b.per_engine) {
+            assert_eq!(x.1, y.1);
+        }
+    }
+}

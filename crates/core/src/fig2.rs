@@ -1,0 +1,218 @@
+//! Figure 2 — domain overlap on popular vs niche entity-comparison
+//! queries, measured against both Google and Gemini, plus the §2.1
+//! secondary measures (unique-domain ratio, cross-model overlap).
+
+use shift_engines::EngineKind;
+use shift_metrics::overlap::{cross_system_jaccard, unique_domain_ratio};
+use shift_metrics::{jaccard, mean, mean_jaccard};
+use shift_queries::comparison_queries;
+
+use crate::report::{pct, Table};
+use crate::study::Study;
+
+/// Overlap numbers for one engine under one entity tier.
+#[derive(Debug, Clone, Copy)]
+pub struct TierOverlap {
+    /// Mean Jaccard vs Google top-10 domains.
+    pub vs_google: f64,
+    /// Mean Jaccard vs Gemini citations (the paper's second reference).
+    pub vs_gemini: f64,
+}
+
+/// Result of the Figure 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Per engine: (popular-tier overlap, niche-tier overlap).
+    pub per_engine: Vec<(EngineKind, TierOverlap, TierOverlap)>,
+    /// Unique-domain ratio across AI engines (popular, niche) — the paper
+    /// reports a decline from 74.2 % to 68.6 %.
+    pub unique_ratio: (f64, f64),
+    /// Mean cross-model overlap among AI engines (popular, niche) — the
+    /// paper reports a slight increase (+1.1 pt).
+    pub cross_model: (f64, f64),
+    /// Query counts (popular, niche).
+    pub queries: (usize, usize),
+}
+
+impl Fig2Result {
+    /// vs-Google overlaps for an engine as (popular, niche).
+    pub fn vs_google(&self, kind: EngineKind) -> Option<(f64, f64)> {
+        self.per_engine
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, p, n)| (p.vs_google, n.vs_google))
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "engine",
+            "popular vs Google",
+            "niche vs Google",
+            "popular vs Gemini",
+            "niche vs Gemini",
+        ]);
+        for (kind, pop, niche) in &self.per_engine {
+            let vs_gemini = |v: f64| {
+                if *kind == EngineKind::Gemini {
+                    "-".to_string() // overlap with itself is trivially 1
+                } else {
+                    pct(v)
+                }
+            };
+            t.row(vec![
+                kind.name().to_string(),
+                pct(pop.vs_google),
+                pct(niche.vs_google),
+                vs_gemini(pop.vs_gemini),
+                vs_gemini(niche.vs_gemini),
+            ]);
+        }
+        format!(
+            "Figure 2 — overlap on popular/niche comparisons ({} + {} queries)\n{}\
+             unique-domain ratio: popular {} → niche {}\n\
+             cross-model overlap: popular {} → niche {}\n",
+            self.queries.0,
+            self.queries.1,
+            t.render(),
+            pct(self.unique_ratio.0),
+            pct(self.unique_ratio.1),
+            pct(self.cross_model.0),
+            pct(self.cross_model.1),
+        )
+    }
+}
+
+/// Runs the Figure 2 experiment.
+pub fn run(study: &Study) -> Fig2Result {
+    let stack = study.engines();
+    let k = study.config().top_k;
+    let queries = comparison_queries(
+        study.world(),
+        study.config().comparison_popular,
+        study.config().comparison_niche,
+        study.stage_seed("fig2-queries"),
+    );
+    let seed = study.stage_seed("fig2-run");
+
+    // Engines measured against the references. Gemini is excluded from the
+    // vs-Gemini column (overlap with itself is trivially 1).
+    let measured = [
+        EngineKind::Gpt4o,
+        EngineKind::Claude,
+        EngineKind::Gemini,
+        EngineKind::Perplexity,
+    ];
+
+    // Accumulators: [engine][tier] → per-query Jaccards.
+    let mut vs_google: Vec<[Vec<f64>; 2]> =
+        measured.iter().map(|_| [Vec::new(), Vec::new()]).collect();
+    let mut vs_gemini: Vec<[Vec<f64>; 2]> =
+        measured.iter().map(|_| [Vec::new(), Vec::new()]).collect();
+    let mut unique: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut cross: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+
+    for q in &queries {
+        let tier = usize::from(!(q.popular.unwrap_or(true))); // 0 popular, 1 niche
+        let google = stack.answer(EngineKind::Google, &q.text, k, 0).domains();
+        let gemini = stack
+            .answer(EngineKind::Gemini, &q.text, k, seed)
+            .domains();
+
+        let mut ai_sets: Vec<Vec<String>> = Vec::new();
+        for (i, kind) in measured.iter().enumerate() {
+            let domains = stack.answer(*kind, &q.text, k, seed).domains();
+            vs_google[i][tier].push(jaccard(&google, &domains));
+            if *kind != EngineKind::Gemini {
+                vs_gemini[i][tier].push(jaccard(&gemini, &domains));
+            }
+            ai_sets.push(domains);
+        }
+        unique[tier].push(unique_domain_ratio(&ai_sets));
+        cross[tier].push(cross_system_jaccard(&ai_sets));
+    }
+
+    let per_engine = measured
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let tier = |t: usize| TierOverlap {
+                vs_google: mean_jaccard(&vs_google[i][t]),
+                vs_gemini: mean_jaccard(&vs_gemini[i][t]),
+            };
+            (*kind, tier(0), tier(1))
+        })
+        .collect();
+
+    Fig2Result {
+        per_engine,
+        unique_ratio: (mean(&unique[0]), mean(&unique[1])),
+        cross_model: (mean(&cross[0]), mean(&cross[1])),
+        queries: (
+            queries.iter().filter(|q| q.popular == Some(true)).count(),
+            queries.iter().filter(|q| q.popular == Some(false)).count(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    fn result() -> Fig2Result {
+        let study = Study::generate(&StudyConfig::quick(), 777);
+        run(&study)
+    }
+
+    #[test]
+    fn overlaps_are_low_for_all_engines_and_tiers() {
+        let r = result();
+        for (kind, pop, niche) in &r.per_engine {
+            // Niche comparisons concentrate sources (few pages exist), so
+            // the quick-scale bound is looser than Figure 1's regime.
+            for v in [pop.vs_google, niche.vs_google] {
+                assert!((0.0..=0.65).contains(&v), "{kind:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn secondary_measures_are_well_formed() {
+        // The paper reports a small *decline* in unique-domain ratio for
+        // niche queries (74.2 % → 68.6 %). On this substrate — whose domain
+        // universe is orders of magnitude smaller than the web — the
+        // direction of this secondary measure is seed-sensitive, so we
+        // assert well-formedness here and report the measured direction in
+        // EXPERIMENTS.md.
+        let r = result();
+        for v in [
+            r.unique_ratio.0,
+            r.unique_ratio.1,
+            r.cross_model.0,
+            r.cross_model.1,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+        }
+        assert!(r.unique_ratio.0 > 0.1, "popular unique ratio degenerate");
+        assert!(r.cross_model.0 > 0.0, "AI engines never overlap?");
+    }
+
+    #[test]
+    fn accessor_and_render() {
+        let r = result();
+        assert!(r.vs_google(EngineKind::Gpt4o).is_some());
+        assert!(r.vs_google(EngineKind::Google).is_none());
+        let s = r.render();
+        assert!(s.contains("Figure 2"));
+        assert!(s.contains("unique-domain ratio"));
+        assert!(s.contains("GPT-4o"));
+    }
+
+    #[test]
+    fn both_tiers_have_queries() {
+        let r = result();
+        assert!(r.queries.0 > 0);
+        assert!(r.queries.1 > 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # shift-core
+//!
+//! The study framework: everything needed to regenerate every figure and
+//! table of *Navigating the Shift* on the synthetic substrate.
+//!
+//! * [`study`] — [`Study`]: world + engine stack + workloads behind a
+//!   single seed; [`StudyConfig::quick`] for tests,
+//!   [`StudyConfig::paper`] for the committed EXPERIMENTS.md numbers.
+//! * [`perturb`] — the §3.1 evidence perturbations: snippet shuffle (SS)
+//!   and entity-swap injection (ESI).
+//! * [`fig1`]–[`fig4`], [`tab1`]–[`tab3`] — one runner per paper
+//!   artifact, each returning a typed result with a text `render()`.
+//! * [`report`] — table rendering and JSON serialization of results.
+//!
+//! ```no_run
+//! use shift_core::study::{Study, StudyConfig};
+//!
+//! let study = Study::generate(&StudyConfig::quick(), 42);
+//! let fig1 = shift_core::fig1::run(&study);
+//! println!("{}", fig1.render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bias;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod perturb;
+pub mod report;
+pub mod robustness;
+pub mod study;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+
+pub use study::{Study, StudyConfig};

@@ -1,0 +1,184 @@
+//! Report rendering: aligned text tables and JSON export.
+
+use shift_freshness::json::Value;
+use std::collections::BTreeMap;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns (first column left-aligned, the rest
+    /// right-aligned — the usual layout for label + numbers).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        if ncols == 0 {
+            return String::new();
+        }
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal ("12.6%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with three decimals (for τ values).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Builds a JSON object from string/value pairs (convenience for result
+/// export).
+pub fn json_object(fields: Vec<(&str, Value)>) -> Value {
+    let mut map = BTreeMap::new();
+    for (k, v) in fields {
+        map.insert(k.to_string(), v);
+    }
+    Value::Object(map)
+}
+
+/// JSON number helper.
+pub fn json_num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+/// JSON string helper.
+pub fn json_str(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+/// JSON array helper.
+pub fn json_arr(items: Vec<Value>) -> Value {
+    Value::Array(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_freshness::json;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["engine", "overlap"]);
+        t.row(vec!["GPT-4o", "4.0%"]);
+        t.row(vec!["Perplexity", "15.2%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("engine"));
+        assert!(lines[2].contains("GPT-4o"));
+        // Right-alignment of the numeric column.
+        assert!(lines[2].ends_with("4.0%"));
+        assert!(lines[3].ends_with("15.2%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.126), "12.6%");
+        assert_eq!(f2(2.304), "2.30");
+        assert_eq!(f3(0.9111), "0.911");
+    }
+
+    #[test]
+    fn json_helpers_compose() {
+        let v = json_object(vec![
+            ("name", json_str("fig1")),
+            ("values", json_arr(vec![json_num(1.0), json_num(2.0)])),
+        ]);
+        let s = json::to_string(&v);
+        assert_eq!(s, r#"{"name":"fig1","values":[1,2]}"#);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        let t = Table::new(Vec::<String>::new());
+        assert_eq!(t.render(), "");
+    }
+}

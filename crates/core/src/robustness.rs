@@ -1,0 +1,157 @@
+//! Seed-robustness analysis: are the headline shapes artifacts of one
+//! world draw, or stable properties of the mechanism?
+//!
+//! The paper reports single-run numbers; a simulator can do better — this
+//! module re-runs the Figure 1 overlap measurement and the Table 1/2 tier
+//! contrasts across independently generated worlds and reports the spread.
+
+use shift_engines::EngineKind;
+use shift_metrics::{mean, stddev};
+
+use crate::report::{f2, f3, pct, Table};
+use crate::study::{Study, StudyConfig};
+use crate::{fig1, tab1, tab2};
+
+/// Robustness of the headline results across world seeds.
+#[derive(Debug, Clone)]
+pub struct RobustnessResult {
+    /// Seeds evaluated.
+    pub seeds: Vec<u64>,
+    /// Per engine: (mean overlap, stddev) across seeds.
+    pub overlap: Vec<(EngineKind, f64, f64)>,
+    /// Fraction of seeds where GPT-4o had the strictly lowest overlap.
+    pub gpt_lowest_rate: f64,
+    /// Fraction of seeds where Perplexity had the strictly highest overlap.
+    pub perplexity_highest_rate: f64,
+    /// Fraction of seeds where niche SS Δ exceeded popular SS Δ (Table 1's
+    /// headline contrast).
+    pub niche_more_sensitive_rate: f64,
+    /// Fraction of seeds where popular τ exceeded niche τ under normal
+    /// grounding (Table 2's headline contrast).
+    pub popular_more_consistent_rate: f64,
+}
+
+impl RobustnessResult {
+    /// Renders the robustness report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["engine", "mean overlap", "stddev"]);
+        for (kind, m, sd) in &self.overlap {
+            t.row(vec![kind.name().to_string(), pct(*m), f2(*sd * 100.0)]);
+        }
+        format!(
+            "Seed robustness over {} worlds (seeds {:?})\n{}\
+             GPT-4o strictly lowest:        {}\n\
+             Perplexity strictly highest:   {}\n\
+             niche SS Δ > popular SS Δ:     {}\n\
+             popular τ > niche τ (normal):  {}\n",
+            self.seeds.len(),
+            self.seeds,
+            t.render(),
+            f3(self.gpt_lowest_rate),
+            f3(self.perplexity_highest_rate),
+            f3(self.niche_more_sensitive_rate),
+            f3(self.popular_more_consistent_rate),
+        )
+    }
+}
+
+/// Runs the robustness sweep: one full study per seed.
+pub fn run(config: &StudyConfig, seeds: &[u64]) -> RobustnessResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut overlaps: Vec<Vec<f64>> = vec![Vec::new(); EngineKind::GENERATIVE.len()];
+    let mut gpt_lowest = 0usize;
+    let mut pplx_highest = 0usize;
+    let mut niche_sensitive = 0usize;
+    let mut popular_consistent = 0usize;
+
+    for &seed in seeds {
+        let study = Study::generate(config, seed);
+        let f1 = fig1::run(&study);
+        for (i, kind) in EngineKind::GENERATIVE.iter().enumerate() {
+            overlaps[i].push(f1.overlap(*kind).unwrap_or(0.0));
+        }
+        let asc = f1.ascending();
+        if asc.first() == Some(&EngineKind::Gpt4o) {
+            gpt_lowest += 1;
+        }
+        if asc.last() == Some(&EngineKind::Perplexity) {
+            pplx_highest += 1;
+        }
+        let t1 = tab1::run(&study);
+        if t1.niche.ss_normal > t1.popular.ss_normal {
+            niche_sensitive += 1;
+        }
+        let t2 = tab2::run(&study);
+        if t2.popular.0 > t2.niche.0 {
+            popular_consistent += 1;
+        }
+    }
+
+    let n = seeds.len() as f64;
+    RobustnessResult {
+        seeds: seeds.to_vec(),
+        overlap: EngineKind::GENERATIVE
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| (*kind, mean(&overlaps[i]), stddev(&overlaps[i])))
+            .collect(),
+        gpt_lowest_rate: gpt_lowest as f64 / n,
+        perplexity_highest_rate: pplx_highest as f64 / n,
+        niche_more_sensitive_rate: niche_sensitive as f64 / n,
+        popular_more_consistent_rate: popular_consistent as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> StudyConfig {
+        let mut cfg = StudyConfig::quick();
+        cfg.ranking_queries = 30;
+        cfg.bias_trials = 4;
+        cfg.perturb_runs = 4;
+        cfg
+    }
+
+    #[test]
+    fn headline_shapes_are_seed_robust() {
+        let r = run(&tiny_config(), &[11, 22, 33]);
+        assert_eq!(r.seeds.len(), 3);
+        // The tier contrasts must hold on a clear majority of seeds even
+        // at tiny scale.
+        assert!(
+            r.niche_more_sensitive_rate >= 2.0 / 3.0,
+            "niche sensitivity unstable: {}",
+            r.niche_more_sensitive_rate
+        );
+        assert!(
+            r.popular_more_consistent_rate >= 2.0 / 3.0,
+            "consistency contrast unstable: {}",
+            r.popular_more_consistent_rate
+        );
+        assert!(
+            r.gpt_lowest_rate >= 2.0 / 3.0,
+            "GPT-lowest unstable: {}",
+            r.gpt_lowest_rate
+        );
+        for (kind, m, sd) in &r.overlap {
+            assert!((0.0..=1.0).contains(m), "{kind:?} mean {m}");
+            assert!(*sd >= 0.0);
+        }
+    }
+
+    #[test]
+    fn render_reports_rates() {
+        let r = run(&tiny_config(), &[5]);
+        let s = r.render();
+        assert!(s.contains("Seed robustness"));
+        assert!(s.contains("GPT-4o strictly lowest"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        let _ = run(&tiny_config(), &[]);
+    }
+}

@@ -1,0 +1,143 @@
+//! The top-level study object: one seed → world, engines, workloads.
+
+use std::sync::Arc;
+
+use shift_corpus::{World, WorldConfig};
+use shift_engines::AnswerEngines;
+
+/// Workload sizes and substrate scale for one study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// World-generation configuration.
+    pub world: WorldConfig,
+    /// Figure 1: number of ranking-style queries.
+    pub ranking_queries: usize,
+    /// Figure 2: popular entity-comparison queries.
+    pub comparison_popular: usize,
+    /// Figure 2: niche entity-comparison queries.
+    pub comparison_niche: usize,
+    /// Figure 3: queries per intent class.
+    pub intent_per_class: usize,
+    /// Figure 4: queries per vertical.
+    pub vertical_queries: usize,
+    /// Tables 1–2: ranking trials per entity tier.
+    pub bias_trials: usize,
+    /// Tables 1–2: perturbation runs per trial (the paper uses 10).
+    pub perturb_runs: usize,
+    /// Table 3: SUV ranking repetitions.
+    pub missrate_runs: usize,
+    /// Citations / SERP depth compared throughout (paper: top-10).
+    pub top_k: usize,
+}
+
+impl StudyConfig {
+    /// Full paper-scale workload (1,000 / 200 / 300 queries …). Used for
+    /// the committed EXPERIMENTS.md numbers.
+    pub fn paper() -> StudyConfig {
+        StudyConfig {
+            world: WorldConfig::default_scale(),
+            ranking_queries: 1000,
+            comparison_popular: 100,
+            comparison_niche: 100,
+            intent_per_class: 100,
+            vertical_queries: 40,
+            bias_trials: 24,
+            perturb_runs: 10,
+            missrate_runs: 200,
+            top_k: 10,
+        }
+    }
+
+    /// Reduced workload for unit and integration tests (seconds).
+    pub fn quick() -> StudyConfig {
+        StudyConfig {
+            world: WorldConfig::small(),
+            ranking_queries: 60,
+            comparison_popular: 20,
+            comparison_niche: 20,
+            intent_per_class: 15,
+            vertical_queries: 10,
+            bias_trials: 6,
+            perturb_runs: 5,
+            missrate_runs: 40,
+            top_k: 10,
+        }
+    }
+}
+
+/// A fully materialized study: the world (shared) and the five engines,
+/// ready for the experiment runners.
+pub struct Study {
+    config: StudyConfig,
+    seed: u64,
+    world: Arc<World>,
+    engines: AnswerEngines,
+}
+
+impl Study {
+    /// Generates the world and builds the engine stack, deterministically
+    /// from `seed`.
+    pub fn generate(config: &StudyConfig, seed: u64) -> Study {
+        let world = Arc::new(World::generate(&config.world, seed));
+        let engines = AnswerEngines::build(Arc::clone(&world));
+        Study {
+            config: config.clone(),
+            seed,
+            world,
+            engines,
+        }
+    }
+
+    /// The study configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The generated world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The engine stack.
+    pub fn engines(&self) -> &AnswerEngines {
+        &self.engines
+    }
+
+    /// Derived seed for an experiment stage (stable labels → independent
+    /// but reproducible streams).
+    pub fn stage_seed(&self, label: &str) -> u64 {
+        let mut h: u64 = self.seed ^ 0x5851_F42D_4C95_7F2D;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_builds_and_is_seeded() {
+        let study = Study::generate(&StudyConfig::quick(), 5);
+        assert_eq!(study.seed(), 5);
+        assert!(!study.world().pages().is_empty());
+        assert_eq!(study.config().top_k, 10);
+    }
+
+    #[test]
+    fn stage_seeds_differ_by_label_and_seed() {
+        let a = Study::generate(&StudyConfig::quick(), 5);
+        assert_ne!(a.stage_seed("fig1"), a.stage_seed("fig2"));
+        let b = Study::generate(&StudyConfig::quick(), 6);
+        assert_ne!(a.stage_seed("fig1"), b.stage_seed("fig1"));
+        assert_eq!(a.stage_seed("fig1"), a.stage_seed("fig1"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Table 1 — snippet-shuffle (SS) and entity-swap-injection (ESI)
+//! sensitivity: mean absolute rank deviation Δ_avg for popular and niche
+//! entities under normal and strict grounding.
+
+use shift_llm::GroundingMode;
+use shift_metrics::mean_abs_rank_deviation;
+
+use crate::bias::{niche_trials, popular_trials, BiasTrial};
+use crate::perturb::Perturbation;
+use crate::report::{f2, Table};
+use crate::study::Study;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Tab1Row {
+    /// Δ_avg for SS under normal grounding.
+    pub ss_normal: f64,
+    /// Δ_avg for SS under strict grounding.
+    pub ss_strict: f64,
+    /// Δ_avg for ESI (normal grounding).
+    pub esi: f64,
+}
+
+/// Result of the Table 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Tab1Result {
+    /// Popular-entity row.
+    pub popular: Tab1Row,
+    /// Niche-entity row.
+    pub niche: Tab1Row,
+    /// Trials per tier.
+    pub trials: usize,
+    /// Perturbation runs per trial per condition.
+    pub runs: usize,
+}
+
+impl Tab1Result {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "setting",
+            "SS Δavg (Normal)",
+            "SS Δavg (Strict)",
+            "ESI Δavg",
+        ]);
+        t.row(vec![
+            "Popular Entities".to_string(),
+            f2(self.popular.ss_normal),
+            f2(self.popular.ss_strict),
+            f2(self.popular.esi),
+        ]);
+        t.row(vec![
+            "Niche Entities".to_string(),
+            f2(self.niche.ss_normal),
+            f2(self.niche.ss_strict),
+            f2(self.niche.esi),
+        ]);
+        format!(
+            "Table 1 — perturbation sensitivity ({} trials × {} runs)\n{}",
+            self.trials,
+            self.runs,
+            t.render()
+        )
+    }
+}
+
+/// Mean Δ over runs for one trial / perturbation / grounding mode.
+fn trial_delta(
+    study: &Study,
+    trial: &BiasTrial,
+    perturbation: Perturbation,
+    mode: GroundingMode,
+) -> f64 {
+    let llm = study.engines().llm();
+    let base_seed = study.stage_seed("tab1-base");
+    let base = llm
+        .rank_entities(&trial.candidates, &trial.evidence, mode, base_seed)
+        .ranking;
+    let runs = study.config().perturb_runs;
+    let mut total = 0.0;
+    for run in 1..=runs as u64 {
+        // Fresh generation per perturbation run: new evidence arrangement
+        // AND new decision noise (the paper regenerates per run).
+        let evidence = perturbation.apply(&trial.evidence, base_seed ^ run);
+        let perturbed = llm
+            .rank_entities(&trial.candidates, &evidence, mode, base_seed ^ (run << 17))
+            .ranking;
+        total += mean_abs_rank_deviation(&base, &perturbed);
+    }
+    total / runs as f64
+}
+
+fn tier_row(study: &Study, trials: &[BiasTrial]) -> Tab1Row {
+    let mean = |p: Perturbation, m: GroundingMode| {
+        let sum: f64 = trials.iter().map(|t| trial_delta(study, t, p, m)).sum();
+        sum / trials.len().max(1) as f64
+    };
+    Tab1Row {
+        ss_normal: mean(Perturbation::SnippetShuffle, GroundingMode::Normal),
+        ss_strict: mean(Perturbation::SnippetShuffle, GroundingMode::Strict),
+        esi: mean(Perturbation::EntitySwapInjection, GroundingMode::Normal),
+    }
+}
+
+/// Runs the Table 1 experiment.
+pub fn run(study: &Study) -> Tab1Result {
+    let n = study.config().bias_trials;
+    let popular = popular_trials(study, n);
+    let niche = niche_trials(study, n);
+    Tab1Result {
+        popular: tier_row(study, &popular),
+        niche: tier_row(study, &niche),
+        trials: n,
+        runs: study.config().perturb_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    fn result() -> Tab1Result {
+        let study = Study::generate(&StudyConfig::quick(), 2025);
+        run(&study)
+    }
+
+    #[test]
+    fn niche_is_more_shuffle_sensitive_than_popular() {
+        let r = result();
+        assert!(
+            r.niche.ss_normal > r.popular.ss_normal,
+            "niche SS Δ {:.2} must exceed popular {:.2}",
+            r.niche.ss_normal,
+            r.popular.ss_normal
+        );
+    }
+
+    #[test]
+    fn strict_grounding_stabilizes_both_tiers() {
+        let r = result();
+        assert!(
+            r.popular.ss_strict < r.popular.ss_normal,
+            "popular: strict {:.2} vs normal {:.2}",
+            r.popular.ss_strict,
+            r.popular.ss_normal
+        );
+        assert!(
+            r.niche.ss_strict < r.niche.ss_normal,
+            "niche: strict {:.2} vs normal {:.2}",
+            r.niche.ss_strict,
+            r.niche.ss_normal
+        );
+    }
+
+    #[test]
+    fn strict_stabilization_is_dramatic_for_niche() {
+        let r = result();
+        // The paper: 4.15 → 0.46. Require at least a 2× reduction.
+        assert!(
+            r.niche.ss_strict * 2.0 < r.niche.ss_normal,
+            "niche strict {:.2} should be far below normal {:.2}",
+            r.niche.ss_strict,
+            r.niche.ss_normal
+        );
+    }
+
+    #[test]
+    fn esi_at_least_as_disruptive_as_ss() {
+        let r = result();
+        assert!(
+            r.popular.esi >= r.popular.ss_normal * 0.8,
+            "popular ESI {:.2} vs SS {:.2}",
+            r.popular.esi,
+            r.popular.ss_normal
+        );
+        assert!(
+            r.niche.esi >= r.niche.ss_normal * 0.8,
+            "niche ESI {:.2} vs SS {:.2}",
+            r.niche.esi,
+            r.niche.ss_normal
+        );
+    }
+
+    #[test]
+    fn deltas_are_finite_and_nonnegative() {
+        let r = result();
+        for v in [
+            r.popular.ss_normal,
+            r.popular.ss_strict,
+            r.popular.esi,
+            r.niche.ss_normal,
+            r.niche.ss_strict,
+            r.niche.esi,
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "bad Δ {v}");
+        }
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        let s = result().render();
+        assert!(s.contains("Popular Entities"));
+        assert!(s.contains("Niche Entities"));
+        assert!(s.contains("SS Δavg (Strict)"));
+        assert!(s.contains("ESI"));
+    }
+}

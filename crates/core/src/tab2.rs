@@ -1,0 +1,179 @@
+//! Table 2 — Kendall τ between the one-shot ranking R and the
+//! pairwise-derived ranking R′ under normal and strict grounding.
+
+use shift_llm::GroundingMode;
+use shift_metrics::kendall_tau;
+
+use crate::bias::{niche_trials, popular_trials, BiasTrial};
+use crate::report::{f3, Table};
+use crate::study::Study;
+
+/// Result of the Table 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Tab2Result {
+    /// Popular-entity τ as (normal, strict).
+    pub popular: (f64, f64),
+    /// Niche-entity τ as (normal, strict).
+    pub niche: (f64, f64),
+    /// Fraction of ranked entities lacking snippet support across popular
+    /// trials (the paper reports 16 %).
+    pub popular_unsupported_rate: f64,
+    /// Trials per tier.
+    pub trials: usize,
+}
+
+impl Tab2Result {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["setting", "tau (Normal)", "tau (Strict)"]);
+        t.row(vec![
+            "Popular Entities".to_string(),
+            f3(self.popular.0),
+            f3(self.popular.1),
+        ]);
+        t.row(vec![
+            "Niche Entities".to_string(),
+            f3(self.niche.0),
+            f3(self.niche.1),
+        ]);
+        format!(
+            "Table 2 — one-shot vs pairwise ranking consistency ({} trials)\n{}\
+             unsupported ranked entities (popular, normal): {:.1}%\n",
+            self.trials,
+            t.render(),
+            100.0 * self.popular_unsupported_rate,
+        )
+    }
+}
+
+/// Mean τ over trials for one grounding mode; also accumulates the
+/// unsupported-entity rate when `audit` is provided.
+fn tier_tau(
+    study: &Study,
+    trials: &[BiasTrial],
+    mode: GroundingMode,
+    mut audit: Option<&mut (u64, u64)>,
+) -> f64 {
+    let llm = study.engines().llm();
+    let seed = study.stage_seed("tab2");
+    let mut taus = Vec::new();
+    for (i, trial) in trials.iter().enumerate() {
+        let trial_seed = seed.wrapping_add((i as u64) << 8);
+        let answer = llm.rank_entities(&trial.candidates, &trial.evidence, mode, trial_seed);
+        let pairwise =
+            llm.pairwise_ranking_for(&trial.candidates, &trial.evidence, mode, trial_seed);
+        if let Some(tau) = kendall_tau(&answer.ranking, &pairwise) {
+            taus.push(tau);
+        }
+        if let Some(acc) = audit.as_deref_mut() {
+            acc.0 += answer.ranking.len() as u64;
+            acc.1 += answer.support.iter().filter(|s| **s == 0.0).count() as u64;
+        }
+    }
+    if taus.is_empty() {
+        0.0
+    } else {
+        taus.iter().sum::<f64>() / taus.len() as f64
+    }
+}
+
+/// Runs the Table 2 experiment.
+pub fn run(study: &Study) -> Tab2Result {
+    let n = study.config().bias_trials;
+    let popular = popular_trials(study, n);
+    let niche = niche_trials(study, n);
+
+    let mut support_acc = (0u64, 0u64); // (ranked, unsupported)
+    let popular_normal = tier_tau(study, &popular, GroundingMode::Normal, Some(&mut support_acc));
+    let popular_strict = tier_tau(study, &popular, GroundingMode::Strict, None);
+    let niche_normal = tier_tau(study, &niche, GroundingMode::Normal, None);
+    let niche_strict = tier_tau(study, &niche, GroundingMode::Strict, None);
+
+    Tab2Result {
+        popular: (popular_normal, popular_strict),
+        niche: (niche_normal, niche_strict),
+        popular_unsupported_rate: if support_acc.0 == 0 {
+            0.0
+        } else {
+            support_acc.1 as f64 / support_acc.0 as f64
+        },
+        trials: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    fn result() -> Tab2Result {
+        let study = Study::generate(&StudyConfig::quick(), 4096);
+        run(&study)
+    }
+
+    #[test]
+    fn popular_consistency_is_high() {
+        let r = result();
+        assert!(
+            r.popular.0 > 0.6,
+            "popular normal τ {:.3} too low",
+            r.popular.0
+        );
+        assert!(
+            r.popular.1 > 0.8,
+            "popular strict τ {:.3} should be near-perfect",
+            r.popular.1
+        );
+    }
+
+    #[test]
+    fn niche_consistency_is_lower_than_popular() {
+        let r = result();
+        assert!(
+            r.niche.0 < r.popular.0,
+            "niche normal τ {:.3} must be below popular {:.3}",
+            r.niche.0,
+            r.popular.0
+        );
+    }
+
+    #[test]
+    fn strict_grounding_raises_consistency() {
+        let r = result();
+        assert!(r.popular.1 >= r.popular.0 - 0.05);
+        assert!(
+            r.niche.1 > r.niche.0,
+            "niche strict τ {:.3} must exceed normal {:.3}",
+            r.niche.1,
+            r.niche.0
+        );
+    }
+
+    #[test]
+    fn some_popular_entities_lack_support() {
+        let r = result();
+        assert!(
+            r.popular_unsupported_rate > 0.02,
+            "expected a nontrivial unsupported rate, got {:.3}",
+            r.popular_unsupported_rate
+        );
+        assert!(r.popular_unsupported_rate < 0.6);
+    }
+
+    #[test]
+    fn taus_are_valid() {
+        let r = result();
+        for v in [r.popular.0, r.popular.1, r.niche.0, r.niche.1] {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        let s = result().render();
+        assert!(s.contains("Popular Entities"));
+        assert!(s.contains("Niche Entities"));
+        assert!(s.contains("tau (Strict)"));
+        assert!(s.contains("unsupported"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Smoke tests for the `run_study` and `serp` binaries: they must run,
+//! exit zero, and (for `--json`) emit parseable, well-formed output.
+
+use std::process::Command;
+
+use shift_freshness::json;
+
+fn run(bin: &str, args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn run_study_json_output_parses() {
+    let bin = env!("CARGO_BIN_EXE_run_study");
+    let (stdout, stderr, ok) = run(
+        bin,
+        &["--scale", "quick", "--seed", "99", "--only", "fig1,tab3", "--json"],
+    );
+    assert!(ok, "run_study failed: {stderr}");
+    let doc = json::parse(stdout.trim()).expect("stdout is valid JSON");
+    assert_eq!(
+        doc.get("seed").and_then(|v| match v {
+            json::Value::Number(n) => Some(*n as u64),
+            _ => None,
+        }),
+        Some(99)
+    );
+    // fig1 must carry all four generative engines.
+    let fig1 = doc.get("fig1").expect("fig1 present");
+    for slug in ["gpt4o", "claude", "gemini", "perplexity"] {
+        let v = fig1.get(slug).unwrap_or_else(|| panic!("missing {slug}"));
+        match v {
+            json::Value::Number(n) => assert!((0.0..=1.0).contains(n), "{slug}: {n}"),
+            other => panic!("{slug} is not a number: {other:?}"),
+        }
+    }
+    // tab3 carries the SUV roster plus the overall rate.
+    let tab3 = doc.get("tab3").expect("tab3 present");
+    for brand in ["Toyota", "Infiniti", "_overall"] {
+        assert!(tab3.get(brand).is_some(), "missing {brand}");
+    }
+    // fig2 was not requested and must be absent.
+    assert!(doc.get("fig2").is_none(), "--only must filter experiments");
+}
+
+#[test]
+fn run_study_text_output_contains_artifacts() {
+    let bin = env!("CARGO_BIN_EXE_run_study");
+    let (stdout, stderr, ok) = run(
+        bin,
+        &["--scale", "quick", "--seed", "7", "--only", "tab1,tab2"],
+    );
+    assert!(ok, "run_study failed: {stderr}");
+    assert!(stdout.contains("Table 1"));
+    assert!(stdout.contains("Table 2"));
+    assert!(!stdout.contains("Figure 1"));
+}
+
+#[test]
+fn run_study_rejects_unknown_arguments() {
+    let bin = env!("CARGO_BIN_EXE_run_study");
+    let (_, _, ok) = run(bin, &["--bogus"]);
+    assert!(!ok, "unknown arguments must fail");
+    let (_, _, ok) = run(bin, &["--scale", "galactic"]);
+    assert!(!ok, "unknown scale must fail");
+}
+
+#[test]
+fn serp_prints_citations_for_one_engine() {
+    let bin = env!("CARGO_BIN_EXE_serp");
+    let (stdout, stderr, ok) = run(
+        bin,
+        &["best laptops", "--engine", "google", "--scale", "small", "--k", "5"],
+    );
+    assert!(ok, "serp failed: {stderr}");
+    assert!(stdout.contains("Google Search"));
+    assert!(stdout.contains("https://"), "no citations printed:\n{stdout}");
+    assert!(!stdout.contains("GPT-4o"), "--engine must filter");
+}
+
+#[test]
+fn serp_requires_a_query() {
+    let bin = env!("CARGO_BIN_EXE_serp");
+    let (_, _, ok) = run(bin, &[]);
+    assert!(!ok);
+}

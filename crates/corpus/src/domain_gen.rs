@@ -1,0 +1,385 @@
+//! The domain universe: brand, earned and social hosts with authority.
+//!
+//! Three populations:
+//!
+//! 1. **Global sites** — the recognizable earned/social/retail hosts the
+//!    paper names (TechRadar, RTINGS, Consumer Reports, Reddit, YouTube,
+//!    BestBuy, cars.com, …), each with an authority score and the verticals
+//!    it covers.
+//! 2. **Synthetic long-tail** — per-topic blogs and forums ("dailylaptops
+//!    review" style) that give every topic additional low-authority
+//!    coverage; these are what makes domain overlap *imperfect* between
+//!    engines.
+//! 3. **Brand domains** — one official site per brand, derived from the
+//!    entity roster, with authority tied to the brand's popularity.
+
+use std::collections::BTreeMap;
+
+use crate::entity::Entity;
+use crate::ids::{DomainId, TopicId};
+use crate::source::SourceType;
+use crate::topics::{topic_specs, Vertical};
+
+/// What part of the corpus a domain publishes about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Coverage {
+    /// Publishes across whole verticals (global media, social platforms).
+    Verticals(Vec<Vertical>),
+    /// Publishes about a single topic (niche blog/forum).
+    Topic(TopicId),
+    /// The official site of one brand (publishes about every topic the
+    /// brand has entities in).
+    Brand(String),
+}
+
+/// One host in the synthetic web.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Dense id.
+    pub id: DomainId,
+    /// Registrable host name ("rtings.com").
+    pub host: String,
+    /// Typology ground truth (brand / earned / social).
+    pub source_type: SourceType,
+    /// Authority in `[0, 1]` — link equity / reputation. Google's ranking
+    /// weighs this heavily; AI retrieval weighs it differently.
+    pub authority: f64,
+    /// Publication scope.
+    pub coverage: Coverage,
+    /// Multiplier on the age distribution of this domain's pages
+    /// (< 1 publishes fresh content, > 1 hosts long-lived evergreen pages).
+    pub age_scale: f64,
+}
+
+impl Domain {
+    /// Does this domain publish about `topic` (given the topic's vertical)?
+    pub fn covers(&self, topic: TopicId, vertical: Vertical) -> bool {
+        match &self.coverage {
+            Coverage::Verticals(vs) => vs.contains(&vertical),
+            Coverage::Topic(t) => *t == topic,
+            Coverage::Brand(_) => false, // brand pages are attached explicitly
+        }
+    }
+}
+
+/// (host, type, authority, verticals, age_scale)
+type GlobalSpec = (
+    &'static str,
+    SourceType,
+    f64,
+    &'static [Vertical],
+    f64,
+);
+
+use Vertical::{
+    Automotive as AU, ConsumerElectronics as CE, Finance as FI, Lifestyle as LS,
+    LocalServices as LO, Services as SV, Travel as TR,
+};
+
+/// The global earned-media roster (paper §2.3 names most of these).
+const EARNED: &[GlobalSpec] = &[
+    ("wikipedia.org", SourceType::Earned, 0.96, &[CE, AU, TR, FI, LS, SV, LO], 1.6),
+    ("consumerreports.org", SourceType::Earned, 0.94, &[AU, CE, LS], 0.9),
+    ("techradar.com", SourceType::Earned, 0.93, &[CE, SV], 0.7),
+    ("nytimes.com", SourceType::Earned, 0.93, &[CE, AU, TR, FI, LS, SV], 0.8),
+    ("caranddriver.com", SourceType::Earned, 0.92, &[AU], 0.9),
+    ("tomsguide.com", SourceType::Earned, 0.92, &[CE, SV], 0.7),
+    ("nerdwallet.com", SourceType::Earned, 0.92, &[FI], 0.8),
+    ("cnet.com", SourceType::Earned, 0.91, &[CE, SV], 0.7),
+    ("edmunds.com", SourceType::Earned, 0.90, &[AU], 1.0),
+    ("rtings.com", SourceType::Earned, 0.90, &[CE], 0.8),
+    ("theverge.com", SourceType::Earned, 0.90, &[CE, SV], 0.6),
+    ("thepointsguy.com", SourceType::Earned, 0.90, &[TR, FI], 0.7),
+    ("bankrate.com", SourceType::Earned, 0.90, &[FI], 0.8),
+    ("kbb.com", SourceType::Earned, 0.89, &[AU], 1.0),
+    ("wired.com", SourceType::Earned, 0.88, &[CE, SV], 0.8),
+    ("motortrend.com", SourceType::Earned, 0.88, &[AU], 0.9),
+    ("runnersworld.com", SourceType::Earned, 0.88, &[LS], 0.8),
+    ("forbes.com", SourceType::Earned, 0.88, &[FI, CE, TR], 0.7),
+    ("pcmag.com", SourceType::Earned, 0.87, &[CE, SV], 0.7),
+    ("engadget.com", SourceType::Earned, 0.85, &[CE], 0.7),
+    ("cntraveler.com", SourceType::Earned, 0.85, &[TR], 0.9),
+    ("usatoday.com", SourceType::Earned, 0.85, &[CE, AU, TR, FI, LS, SV], 0.8),
+    ("digitaltrends.com", SourceType::Earned, 0.82, &[CE, SV], 0.8),
+    ("allure.com", SourceType::Earned, 0.82, &[LS], 0.8),
+    ("bicycling.com", SourceType::Earned, 0.82, &[LS], 0.9),
+    ("variety.com", SourceType::Earned, 0.82, &[SV], 0.7),
+    ("onemileatatime.com", SourceType::Earned, 0.82, &[TR], 0.7),
+    ("businessinsider.com", SourceType::Earned, 0.82, &[CE, FI, TR, SV], 0.7),
+    ("zdnet.com", SourceType::Earned, 0.80, &[CE], 0.8),
+    ("byrdie.com", SourceType::Earned, 0.80, &[LS], 0.8),
+    ("outsideonline.com", SourceType::Earned, 0.80, &[LS], 0.9),
+    ("autoblog.com", SourceType::Earned, 0.80, &[AU], 0.8),
+    ("creditcards.com", SourceType::Earned, 0.80, &[FI], 0.9),
+    ("androidauthority.com", SourceType::Earned, 0.78, &[CE], 0.7),
+    ("insideevs.com", SourceType::Earned, 0.78, &[AU], 0.7),
+    ("cyclingweekly.com", SourceType::Earned, 0.78, &[LS], 0.8),
+    ("notebookcheck.net", SourceType::Earned, 0.75, &[CE], 0.8),
+    ("afar.com", SourceType::Earned, 0.75, &[TR], 1.0),
+    ("canadianlawyermag.com", SourceType::Earned, 0.75, &[LO], 1.1),
+    ("dcrainmaker.com", SourceType::Earned, 0.74, &[CE, LS], 0.8),
+    ("greencarreports.com", SourceType::Earned, 0.72, &[AU], 0.9),
+    ("viewfromthewing.com", SourceType::Earned, 0.72, &[TR], 0.7),
+    ("believeintherun.com", SourceType::Earned, 0.70, &[LS], 0.7),
+    ("whattowatch.com", SourceType::Earned, 0.68, &[SV], 0.7),
+    ("lawtimesnews.com", SourceType::Earned, 0.62, &[LO], 1.2),
+];
+
+/// The global social / UGC roster.
+const SOCIAL: &[GlobalSpec] = &[
+    ("youtube.com", SourceType::Social, 0.95, &[CE, AU, TR, FI, LS, SV, LO], 0.9),
+    ("reddit.com", SourceType::Social, 0.93, &[CE, AU, TR, FI, LS, SV, LO], 0.8),
+    ("tripadvisor.com", SourceType::Social, 0.85, &[TR], 1.1),
+    ("quora.com", SourceType::Social, 0.80, &[CE, AU, TR, FI, LS, SV, LO], 1.3),
+    ("tiktok.com", SourceType::Social, 0.78, &[CE, LS, SV], 0.6),
+    ("x.com", SourceType::Social, 0.75, &[CE, AU, SV, FI], 0.5),
+    ("yelp.com", SourceType::Social, 0.75, &[LO, LS, TR], 1.2),
+    ("flyertalk.com", SourceType::Social, 0.72, &[TR], 1.0),
+    ("facebook.com", SourceType::Social, 0.72, &[LS, LO, TR], 1.1),
+    ("stackexchange.com", SourceType::Social, 0.70, &[CE], 1.4),
+    ("trustpilot.com", SourceType::Social, 0.68, &[FI, SV, LS], 1.0),
+    ("avvo.com", SourceType::Social, 0.65, &[LO], 1.4),
+    ("medium.com", SourceType::Social, 0.65, &[CE, FI, SV], 1.0),
+];
+
+/// Retail storefronts — owned commercial properties, typed Brand.
+const RETAIL: &[GlobalSpec] = &[
+    ("amazon.com", SourceType::Brand, 0.94, &[CE, LS], 1.4),
+    ("bestbuy.com", SourceType::Brand, 0.88, &[CE], 1.3),
+    ("booking.com", SourceType::Brand, 0.88, &[TR], 1.2),
+    ("cars.com", SourceType::Brand, 0.86, &[AU], 1.1),
+    ("walmart.com", SourceType::Brand, 0.85, &[CE, LS], 1.4),
+    ("expedia.com", SourceType::Brand, 0.82, &[TR], 1.2),
+    ("sephora.com", SourceType::Brand, 0.82, &[LS], 1.3),
+    ("rei.com", SourceType::Brand, 0.80, &[LS], 1.3),
+    ("ulta.com", SourceType::Brand, 0.78, &[LS], 1.3),
+    ("carvana.com", SourceType::Brand, 0.70, &[AU], 1.2),
+    ("competitivecyclist.com", SourceType::Brand, 0.68, &[LS], 1.3),
+];
+
+/// Suffix pools for synthetic per-topic hosts.
+const BLOG_PATTERNS: &[(&str, &str)] = &[
+    ("daily", ".com"),
+    ("the", "review.com"),
+    ("", "insider.net"),
+    ("best", "guide.com"),
+    ("", "lab.io"),
+    ("", "weekly.com"),
+    ("top", "picks.net"),
+    ("", "expertreviews.com"),
+    ("the", "digest.co"),
+    ("", "verdict.io"),
+];
+const FORUM_PATTERNS: &[(&str, &str)] = &[
+    ("", "forum.com"),
+    ("talk", ".net"),
+    ("", "owners.org"),
+    ("", "community.net"),
+    ("ask", ".org"),
+];
+
+/// Builds the full domain table from the entity roster.
+///
+/// Ordering is deterministic: global earned, global social, retail,
+/// per-topic synthetic (topic order), then brand domains (entity order,
+/// deduplicated by host).
+pub fn generate_domains(entities: &[Entity]) -> Vec<Domain> {
+    let mut out: Vec<Domain> = Vec::new();
+    let mut next = 0u32;
+    let mut push = |out: &mut Vec<Domain>, host: String, st: SourceType, auth: f64, cov: Coverage, age: f64| {
+        out.push(Domain {
+            id: DomainId(next),
+            host,
+            source_type: st,
+            authority: auth,
+            coverage: cov,
+            age_scale: age,
+        });
+        next += 1;
+    };
+
+    for (host, st, auth, verts, age) in EARNED.iter().chain(SOCIAL).chain(RETAIL) {
+        push(
+            &mut out,
+            host.to_string(),
+            *st,
+            *auth,
+            Coverage::Verticals(verts.to_vec()),
+            *age,
+        );
+    }
+
+    // Synthetic per-topic long tail. Authority descends with pattern index
+    // so every topic has a small hierarchy of niche sites.
+    for (ti, spec) in topic_specs().iter().enumerate() {
+        let slug: String = spec.key.replace('-', "");
+        let tid = TopicId::from(ti);
+        for (i, (prefix, suffix)) in BLOG_PATTERNS.iter().enumerate() {
+            let host = format!("{prefix}{slug}{suffix}");
+            let authority = 0.58 - 0.04 * i as f64;
+            push(
+                &mut out,
+                host,
+                SourceType::Earned,
+                authority,
+                Coverage::Topic(tid),
+                0.9,
+            );
+        }
+        for (i, (prefix, suffix)) in FORUM_PATTERNS.iter().enumerate() {
+            let host = format!("{prefix}{slug}{suffix}");
+            let authority = 0.42 - 0.06 * i as f64;
+            push(
+                &mut out,
+                host,
+                SourceType::Social,
+                authority,
+                Coverage::Topic(tid),
+                1.1,
+            );
+        }
+    }
+
+    // Brand domains, deduplicated by host (Apple spans several topics) and
+    // skipping hosts that already exist as global properties (amazon.com is
+    // the retail entry; youtube.com is the social platform).
+    let existing: std::collections::BTreeSet<String> =
+        out.iter().map(|d| d.host.clone()).collect();
+    let mut brand_best: BTreeMap<&str, f64> = BTreeMap::new();
+    for e in entities {
+        if existing.contains(&e.brand_domain) {
+            continue;
+        }
+        let best = brand_best.entry(e.brand_domain.as_str()).or_insert(0.0);
+        *best = best.max(e.popularity);
+    }
+    for (host, pop) in brand_best {
+        let authority = 0.40 + 0.50 * pop;
+        push(
+            &mut out,
+            host.to_string(),
+            SourceType::Brand,
+            authority,
+            Coverage::Brand(host.to_string()),
+            2.0,
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::generate_topic_entities;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_entities() -> Vec<Entity> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next = 0;
+        let mut out = Vec::new();
+        for (i, spec) in topic_specs().iter().enumerate() {
+            out.extend(generate_topic_entities(TopicId::from(i), spec, &mut next, &mut rng));
+        }
+        out
+    }
+
+    #[test]
+    fn hosts_are_unique() {
+        let domains = generate_domains(&all_entities());
+        let mut hosts: Vec<&str> = domains.iter().map(|d| d.host.as_str()).collect();
+        let before = hosts.len();
+        hosts.sort_unstable();
+        hosts.dedup();
+        assert_eq!(hosts.len(), before, "duplicate hosts in domain table");
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let domains = generate_domains(&all_entities());
+        for (i, d) in domains.iter().enumerate() {
+            assert_eq!(d.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn paper_named_domains_exist_with_right_type() {
+        let domains = generate_domains(&all_entities());
+        let find = |h: &str| domains.iter().find(|d| d.host == h).unwrap();
+        assert_eq!(find("rtings.com").source_type, SourceType::Earned);
+        assert_eq!(find("consumerreports.org").source_type, SourceType::Earned);
+        assert_eq!(find("youtube.com").source_type, SourceType::Social);
+        assert_eq!(find("reddit.com").source_type, SourceType::Social);
+        assert_eq!(find("bestbuy.com").source_type, SourceType::Brand);
+        assert_eq!(find("cars.com").source_type, SourceType::Brand);
+        assert_eq!(find("wikipedia.org").source_type, SourceType::Earned);
+    }
+
+    #[test]
+    fn brand_domains_generated_for_entities() {
+        let entities = all_entities();
+        let domains = generate_domains(&entities);
+        for host in ["toyota.com", "apple.com", "garmin.com"] {
+            let d = domains.iter().find(|d| d.host == host).unwrap_or_else(|| panic!("{host} missing"));
+            assert_eq!(d.source_type, SourceType::Brand);
+            assert!(matches!(d.coverage, Coverage::Brand(_)));
+        }
+    }
+
+    #[test]
+    fn apple_brand_domain_is_high_authority() {
+        let domains = generate_domains(&all_entities());
+        let apple = domains.iter().find(|d| d.host == "apple.com").unwrap();
+        let canoo = domains.iter().find(|d| d.host == "canoo.com").unwrap();
+        assert!(apple.authority > canoo.authority);
+    }
+
+    #[test]
+    fn every_topic_gets_synthetic_coverage() {
+        let domains = generate_domains(&all_entities());
+        for (ti, _) in topic_specs().iter().enumerate() {
+            let tid = TopicId::from(ti);
+            let blogs = domains
+                .iter()
+                .filter(|d| d.coverage == Coverage::Topic(tid) && d.source_type == SourceType::Earned)
+                .count();
+            let forums = domains
+                .iter()
+                .filter(|d| d.coverage == Coverage::Topic(tid) && d.source_type == SourceType::Social)
+                .count();
+            assert_eq!(blogs, BLOG_PATTERNS.len());
+            assert_eq!(forums, FORUM_PATTERNS.len());
+        }
+    }
+
+    #[test]
+    fn covers_respects_vertical_and_topic() {
+        let domains = generate_domains(&all_entities());
+        let rtings = domains.iter().find(|d| d.host == "rtings.com").unwrap();
+        assert!(rtings.covers(TopicId(0), Vertical::ConsumerElectronics));
+        assert!(!rtings.covers(TopicId(0), Vertical::Automotive));
+        let brand = domains.iter().find(|d| d.host == "toyota.com").unwrap();
+        assert!(!brand.covers(TopicId(0), Vertical::Automotive));
+    }
+
+    #[test]
+    fn hosts_have_valid_registrable_domains() {
+        let domains = generate_domains(&all_entities());
+        for d in &domains {
+            assert!(
+                shift_urlkit::registrable_domain(&d.host).is_some(),
+                "{} lacks a registrable domain",
+                d.host
+            );
+        }
+    }
+
+    #[test]
+    fn authorities_bounded() {
+        for d in generate_domains(&all_entities()) {
+            assert!((0.0..=1.0).contains(&d.authority), "{}", d.host);
+            assert!(d.age_scale > 0.0);
+        }
+    }
+}

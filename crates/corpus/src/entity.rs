@@ -1,0 +1,204 @@
+//! Entities: the brands/products that ranking queries ask about.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::ids::{EntityId, TopicId};
+use crate::topics::TopicSpec;
+
+/// One rankable entity (a product or brand within a topic).
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Dense id.
+    pub id: EntityId,
+    /// Full display name ("Toyota RAV4", "Netflix").
+    pub name: String,
+    /// Brand component ("Toyota").
+    pub brand: String,
+    /// Owning topic.
+    pub topic: TopicId,
+    /// How much material exists about the entity, in `[0, 1]`.
+    ///
+    /// This models pre-training coverage: popular entities (≥ 0.5) appear
+    /// throughout the corpus and in the LLM's pre-training snapshot; niche
+    /// entities appear on few pages, mostly recent ones.
+    pub popularity: f64,
+    /// Latent "true" quality in `[0, 1]`. Reviews observe this value plus
+    /// noise; the perturbation experiments measure how far generated
+    /// rankings drift from evidence derived from it.
+    pub quality: f64,
+    /// The registrable domain of the entity's official site
+    /// ("toyota.com").
+    pub brand_domain: String,
+}
+
+impl Entity {
+    /// True when the entity counts as *popular* in the paper's sense
+    /// (popularity ≥ 0.5: abundant pre-training data).
+    pub fn is_popular(&self) -> bool {
+        self.popularity >= 0.5
+    }
+}
+
+/// Derives the official-site host from a brand name:
+/// "New Balance" → `newbalance.com`, "La Roche-Posay" → `larocheposay.com`.
+pub fn brand_domain(brand: &str) -> String {
+    let cleaned: String = brand
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    format!("{cleaned}.com")
+}
+
+/// Generates all entities of one topic, popular roster first.
+///
+/// Popularity decays with roster position — position 0 of the popular list
+/// is a household name (0.95), the tail of the niche list is barely covered
+/// (≈ 0.05). Quality is correlated with popularity (well-known products are
+/// usually decent) but noisy, so rankings by quality differ from rankings by
+/// popularity — exactly the tension the pre-training-bias experiments probe.
+pub fn generate_topic_entities(
+    topic: TopicId,
+    spec: &TopicSpec,
+    next_id: &mut u32,
+    rng: &mut StdRng,
+) -> Vec<Entity> {
+    let mut out = Vec::with_capacity(spec.popular.len() + spec.niche.len());
+    let pop_n = spec.popular.len().max(1);
+    for (i, (brand, model)) in spec.popular.iter().enumerate() {
+        let popularity = (0.95 - 0.40 * i as f64 / pop_n as f64) * spec.popularity_scale;
+        out.push(make_entity(topic, brand, model, popularity, next_id, rng));
+    }
+    let niche_n = spec.niche.len().max(1);
+    for (i, (brand, model)) in spec.niche.iter().enumerate() {
+        let popularity = (0.35 - 0.30 * i as f64 / niche_n as f64) * spec.popularity_scale;
+        out.push(make_entity(topic, brand, model, popularity, next_id, rng));
+    }
+    out
+}
+
+fn make_entity(
+    topic: TopicId,
+    brand: &str,
+    model: &str,
+    popularity: f64,
+    next_id: &mut u32,
+    rng: &mut StdRng,
+) -> Entity {
+    let name = if model.is_empty() {
+        brand.to_string()
+    } else {
+        format!("{brand} {model}")
+    };
+    let id = EntityId(*next_id);
+    *next_id += 1;
+    let noise: f64 = rng.gen_range(0.0..1.0);
+    // Quality dispersion narrows with popularity: mainstream products
+    // cluster near-tied at the top (every top-10 SUV is competent), while
+    // the long tail ranges from gems to junk. Near-tied popular evidence
+    // is what keeps strict-grounded rankings slightly shuffle-sensitive
+    // (Table 1's popular-strict Δ).
+    let quality = if popularity >= 0.5 {
+        (0.55 + 0.22 * popularity + 0.28 * noise).clamp(0.02, 0.98)
+    } else {
+        (0.15 + 0.45 * popularity + 0.40 * noise).clamp(0.02, 0.98)
+    };
+    Entity {
+        id,
+        name,
+        brand: brand.to_string(),
+        topic,
+        popularity: popularity.clamp(0.02, 0.98),
+        quality,
+        brand_domain: brand_domain(brand),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topics::topic_specs;
+    use rand::SeedableRng;
+
+    fn generate_all() -> Vec<Entity> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next = 0;
+        let mut out = Vec::new();
+        for (i, spec) in topic_specs().iter().enumerate() {
+            out.extend(generate_topic_entities(TopicId::from(i), spec, &mut next, &mut rng));
+        }
+        out
+    }
+
+    #[test]
+    fn brand_domain_normalization() {
+        assert_eq!(brand_domain("Toyota"), "toyota.com");
+        assert_eq!(brand_domain("New Balance"), "newbalance.com");
+        assert_eq!(brand_domain("La Roche-Posay"), "larocheposay.com");
+        assert_eq!(brand_domain("Paula's Choice"), "paulaschoice.com");
+        assert_eq!(brand_domain("De'Longhi"), "delonghi.com");
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let entities = generate_all();
+        for (i, e) in entities.iter().enumerate() {
+            assert_eq!(e.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn popular_roster_is_popular_and_ordered() {
+        let entities = generate_all();
+        let suvs: Vec<&Entity> = entities.iter().filter(|e| e.name.contains("RAV4") || e.name.contains("QX60")).collect();
+        let rav4 = suvs.iter().find(|e| e.name.contains("RAV4")).unwrap();
+        let qx60 = suvs.iter().find(|e| e.name.contains("QX60")).unwrap();
+        assert!(rav4.popularity > qx60.popularity);
+        assert!(rav4.is_popular());
+    }
+
+    #[test]
+    fn niche_entities_are_niche() {
+        let entities = generate_all();
+        let fairphone = entities.iter().find(|e| e.brand == "Fairphone").unwrap();
+        assert!(!fairphone.is_popular());
+        assert!(fairphone.popularity > 0.0);
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        for e in generate_all() {
+            assert!((0.0..=1.0).contains(&e.popularity), "{}", e.name);
+            assert!((0.0..=1.0).contains(&e.quality), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_all();
+        let b = generate_all();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.quality, y.quality);
+        }
+    }
+
+    #[test]
+    fn quality_correlates_with_popularity_in_aggregate() {
+        let entities = generate_all();
+        let popular_mean: f64 = {
+            let v: Vec<f64> = entities.iter().filter(|e| e.is_popular()).map(|e| e.quality).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let niche_mean: f64 = {
+            let v: Vec<f64> = entities.iter().filter(|e| !e.is_popular()).map(|e| e.quality).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            popular_mean > niche_mean,
+            "popular {popular_mean:.3} vs niche {niche_mean:.3}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Rendering pages to HTML with realistic date markup.
+//!
+//! The renderer produces a complete document whose date is announced in
+//! exactly the channel selected by the page's [`DateMarkup`], exercising
+//! every branch of the `shift-freshness` extractor — including the `None`
+//! style, where extraction must fail.
+
+use shift_freshness::civil::CivilDate;
+
+use crate::page::{DateMarkup, Page};
+
+/// Renders a page to a full HTML document.
+pub fn render_html(page: &Page) -> String {
+    let date = CivilDate::from_day_number(page.published_day);
+    let mut head = String::new();
+    let mut body_prefix = String::new();
+
+    match page.date_markup {
+        DateMarkup::MetaTag => {
+            head.push_str(&format!(
+                "<meta property=\"article:published_time\" content=\"{}T08:00:00Z\">\n",
+                date.iso()
+            ));
+            // Half of real meta-dated pages also carry a modified stamp.
+            if page.id.0.is_multiple_of(2) {
+                let modified = date.plus_days((page.id.0 % 20) as i64);
+                head.push_str(&format!(
+                    "<meta property=\"article:modified_time\" content=\"{}\">\n",
+                    modified.iso()
+                ));
+            }
+        }
+        DateMarkup::JsonLd => {
+            head.push_str(&format!(
+                "<script type=\"application/ld+json\">{{\"@context\":\"https://schema.org\",\
+                 \"@type\":\"Article\",\"headline\":{:?},\"datePublished\":\"{}\"}}</script>\n",
+                page.title,
+                date.iso()
+            ));
+        }
+        DateMarkup::TimeTag => {
+            body_prefix.push_str(&format!(
+                "<time datetime=\"{}\">{}</time>\n",
+                date.iso(),
+                date.long()
+            ));
+        }
+        DateMarkup::BodyText => {
+            // Alternate textual formats by page id for parser coverage.
+            let rendered = match page.id.0 % 3 {
+                0 => format!("Published {}.", date.long()),
+                1 => format!("Updated on {}.", date.slash_us()),
+                _ => format!("Posted {}.", date.iso()),
+            };
+            body_prefix.push_str(&format!("<p class=\"byline\">{rendered}</p>\n"));
+        }
+        DateMarkup::None => {}
+    }
+
+    let paragraphs: String = page
+        .body
+        .split('\n')
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| format!("<p>{}</p>\n", escape(l)))
+        .collect();
+
+    format!(
+        "<!DOCTYPE html>\n<html>\n<head>\n<title>{title}</title>\n{head}</head>\n\
+         <body>\n<h1>{title}</h1>\n{body_prefix}{paragraphs}\
+         <footer>© example content, all rights reserved.</footer>\n</body>\n</html>\n",
+        title = escape(&page.title),
+    )
+}
+
+/// Minimal HTML escaping for generated text.
+fn escape(s: &str) -> String {
+    if !s.contains(['&', '<', '>']) {
+        return s.to_string();
+    }
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{DomainId, PageId, TopicId};
+    use crate::page::PageKind;
+    use shift_freshness::{extract_page_date, DateSource};
+
+    fn page(markup: DateMarkup, id: u32) -> Page {
+        Page {
+            id: PageId(id),
+            domain: DomainId(0),
+            url: "https://example.com/review/x".into(),
+            title: "Example <review> & verdict".into(),
+            body: "First paragraph about battery.\nSecond paragraph about display.".into(),
+            kind: PageKind::Review,
+            topic: TopicId(0),
+            mentions: vec![],
+            published_day: CivilDate::new(2025, 4, 10).unwrap().to_day_number(),
+            date_markup: markup,
+        }
+    }
+
+    #[test]
+    fn meta_markup_extracts_as_meta() {
+        let html = render_html(&page(DateMarkup::MetaTag, 1));
+        let e = extract_page_date(&html).unwrap();
+        assert_eq!(e.source, DateSource::MetaTag);
+        assert_eq!(e.published, CivilDate::new(2025, 4, 10).unwrap());
+    }
+
+    #[test]
+    fn meta_markup_even_ids_carry_modified_date() {
+        let html = render_html(&page(DateMarkup::MetaTag, 4));
+        let e = extract_page_date(&html).unwrap();
+        assert_eq!(e.modified, Some(CivilDate::new(2025, 4, 14).unwrap()));
+    }
+
+    #[test]
+    fn json_ld_markup_extracts_as_json_ld() {
+        let html = render_html(&page(DateMarkup::JsonLd, 2));
+        let e = extract_page_date(&html).unwrap();
+        assert_eq!(e.source, DateSource::JsonLd);
+        assert_eq!(e.published, CivilDate::new(2025, 4, 10).unwrap());
+    }
+
+    #[test]
+    fn time_markup_extracts_as_time_tag() {
+        let html = render_html(&page(DateMarkup::TimeTag, 3));
+        let e = extract_page_date(&html).unwrap();
+        assert_eq!(e.source, DateSource::TimeTag);
+    }
+
+    #[test]
+    fn body_text_markup_extracts_from_text_in_all_variants() {
+        for id in [0, 1, 2] {
+            let html = render_html(&page(DateMarkup::BodyText, id));
+            let e = extract_page_date(&html).unwrap_or_else(|| panic!("variant {id} failed"));
+            assert_eq!(e.source, DateSource::BodyText);
+            assert_eq!(e.published, CivilDate::new(2025, 4, 10).unwrap());
+        }
+    }
+
+    #[test]
+    fn none_markup_defeats_extraction() {
+        let html = render_html(&page(DateMarkup::None, 5));
+        assert!(extract_page_date(&html).is_none());
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let html = render_html(&page(DateMarkup::None, 6));
+        assert!(html.contains("Example &lt;review&gt; &amp; verdict"));
+        assert!(!html.contains("<review>"));
+    }
+
+    #[test]
+    fn body_lines_become_paragraphs() {
+        let html = render_html(&page(DateMarkup::None, 7));
+        assert_eq!(html.matches("<p>").count(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed index newtypes.
+//!
+//! The world stores entities, domains and pages in dense vectors; these
+//! newtypes prevent an entity index from ever being used as a page index.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of an entity in [`crate::World::entities`].
+    EntityId,
+    "E"
+);
+id_newtype!(
+    /// Index of a domain in [`crate::World::domains`].
+    DomainId,
+    "D"
+);
+id_newtype!(
+    /// Index of a page in [`crate::World::pages`].
+    PageId,
+    "P"
+);
+id_newtype!(
+    /// Index of a topic in [`crate::topics::topic_specs`].
+    TopicId,
+    "T"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(EntityId(3).to_string(), "E3");
+        assert_eq!(DomainId(0).to_string(), "D0");
+        assert_eq!(PageId(12).to_string(), "P12");
+        assert_eq!(TopicId(7).to_string(), "T7");
+    }
+
+    #[test]
+    fn from_usize_round_trips() {
+        let id: PageId = 42usize.into();
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(EntityId(1) < EntityId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn oversized_index_panics() {
+        let _: EntityId = (u64::MAX as usize).into();
+    }
+}

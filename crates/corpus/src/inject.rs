@@ -1,0 +1,296 @@
+//! Page injection: extending a generated world with new content.
+//!
+//! The §3.4 "road ahead" of the paper is about *content strategy*: which
+//! new pages would move an entity's answer-engine visibility? Injection is
+//! the what-if primitive behind that analysis — it produces a new [`World`]
+//! with extra pages, leaving the original untouched, so downstream stacks
+//! can be rebuilt and compared before/after.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ids::{EntityId, PageId};
+use crate::page::{DateMarkup, Mention, Page, PageKind};
+use crate::text_gen;
+use crate::topics::topic_specs;
+use crate::world::World;
+
+/// Specification of one page to inject.
+#[derive(Debug, Clone)]
+pub struct InjectedPageSpec {
+    /// Host of an **existing** domain (injection cannot mint new domains —
+    /// a new site would have no authority history anyway).
+    pub host: String,
+    /// Editorial format.
+    pub kind: PageKind,
+    /// Page title.
+    pub title: String,
+    /// Plain-text body.
+    pub body: String,
+    /// Entities the page speaks about.
+    pub mentions: Vec<Mention>,
+    /// Age of the new page in days (0 = published today).
+    pub age_days: i64,
+    /// Date markup style for the rendered HTML.
+    pub date_markup: DateMarkup,
+}
+
+/// Errors from [`World::with_injected_pages`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// The spec referenced a host that does not exist in the world.
+    UnknownHost(String),
+    /// The spec referenced an entity outside the world.
+    UnknownEntity(EntityId),
+}
+
+impl std::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+            InjectError::UnknownEntity(e) => write!(f, "unknown entity {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// Builds the spec for a fresh earned-media review of `entity` on `host`,
+/// with the review observing the entity favourably (`score`).
+///
+/// The text comes from the same generator as organic corpus reviews, so
+/// injected pages are indistinguishable to the search engine.
+pub fn fresh_review_spec(
+    world: &World,
+    entity: EntityId,
+    host: &str,
+    score: f64,
+    age_days: i64,
+    seed: u64,
+) -> InjectedPageSpec {
+    let e = world.entity(entity);
+    let spec = &topic_specs()[e.topic.index()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let score = score.clamp(0.02, 0.98);
+    InjectedPageSpec {
+        host: host.to_string(),
+        kind: PageKind::Review,
+        title: format!("{} review: our verdict", e.name),
+        body: text_gen::review_body(&e.name, spec.display, spec.vocab, score, &mut rng),
+        mentions: vec![Mention {
+            entity,
+            score,
+            prominence: 1.0,
+        }],
+        age_days,
+        date_markup: DateMarkup::MetaTag,
+    }
+}
+
+/// Builds the spec for a fresh social thread discussing `entity`.
+pub fn social_thread_spec(
+    world: &World,
+    entity: EntityId,
+    host: &str,
+    score: f64,
+    age_days: i64,
+    seed: u64,
+) -> InjectedPageSpec {
+    let e = world.entity(entity);
+    let spec = &topic_specs()[e.topic.index()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let score = score.clamp(0.02, 0.98);
+    let name = e.name.clone();
+    InjectedPageSpec {
+        host: host.to_string(),
+        kind: PageKind::ForumThread,
+        title: format!(
+            "Best {} recommendations? Which should I buy ({})",
+            spec.unit, spec.display
+        ),
+        body: text_gen::forum_body(&[(name.as_str(), score)], spec.display, spec.vocab, &mut rng),
+        mentions: vec![Mention {
+            entity,
+            score,
+            prominence: 0.7,
+        }],
+        age_days,
+        date_markup: DateMarkup::TimeTag,
+    }
+}
+
+/// Builds the spec for a refreshed brand product page for `entity` on its
+/// own official domain.
+pub fn brand_refresh_spec(world: &World, entity: EntityId, seed: u64) -> InjectedPageSpec {
+    let e = world.entity(entity);
+    let spec = &topic_specs()[e.topic.index()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let score = (e.quality + 0.15).clamp(0.02, 0.98);
+    InjectedPageSpec {
+        host: e.brand_domain.clone(),
+        kind: PageKind::ProductPage,
+        title: format!("Buy {} — official site", e.name),
+        body: text_gen::product_body(&e.name, spec.display, spec.vocab, &mut rng),
+        mentions: vec![Mention {
+            entity,
+            score,
+            prominence: 1.0,
+        }],
+        age_days: 1,
+        date_markup: DateMarkup::JsonLd,
+    }
+}
+
+impl World {
+    /// Returns a new world containing every page of `self` plus the
+    /// injected pages (appended with fresh ids and URLs). The original is
+    /// untouched.
+    pub fn with_injected_pages(
+        &self,
+        specs: &[InjectedPageSpec],
+    ) -> Result<World, InjectError> {
+        // Validate first so a failed injection has no partial effects.
+        for spec in specs {
+            if self.domain_by_host(&spec.host).is_none() {
+                return Err(InjectError::UnknownHost(spec.host.clone()));
+            }
+            for m in &spec.mentions {
+                if m.entity.index() >= self.entities().len() {
+                    return Err(InjectError::UnknownEntity(m.entity));
+                }
+            }
+        }
+
+        let mut pages: Vec<Page> = self.pages().to_vec();
+        for spec in specs {
+            let id = PageId::from(pages.len());
+            let domain = self
+                .domain_by_host(&spec.host)
+                .expect("validated above");
+            // Injected pages default to the topic of their first mention;
+            // mention-less pages attach to topic 0 (they are inert anyway).
+            let topic = spec
+                .mentions
+                .first()
+                .map(|m| self.entity(m.entity).topic)
+                .unwrap_or_else(|| crate::ids::TopicId(0));
+            let url = format!(
+                "https://{}/{}/{}-{}",
+                spec.host,
+                spec.kind.label(),
+                crate::world::slugify(&spec.title),
+                id.0
+            );
+            pages.push(Page {
+                id,
+                domain,
+                url,
+                title: spec.title.clone(),
+                body: spec.body.clone(),
+                kind: spec.kind,
+                topic,
+                mentions: spec.mentions.clone(),
+                published_day: self.now_day() - spec.age_days.max(0),
+                date_markup: spec.date_markup,
+            });
+        }
+        Ok(self.rebuild_with_pages(pages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(), 64)
+    }
+
+    #[test]
+    fn injection_appends_pages_without_touching_existing() {
+        let w = world();
+        let e = w.entities()[0].id;
+        let spec = fresh_review_spec(&w, e, "rtings.com", 0.9, 3, 1);
+        let w2 = w.with_injected_pages(&[spec]).unwrap();
+        assert_eq!(w2.pages().len(), w.pages().len() + 1);
+        for (a, b) in w.pages().iter().zip(w2.pages()) {
+            assert_eq!(a.url, b.url);
+        }
+        let injected = w2.pages().last().unwrap();
+        assert_eq!(injected.kind, PageKind::Review);
+        assert_eq!(injected.age_days(w2.now_day()), 3);
+        assert!(injected.mentions_entity(e));
+    }
+
+    #[test]
+    fn injected_pages_are_indexed() {
+        let w = world();
+        let e = w.entities()[0].id;
+        let before = w.pages_mentioning(e).len();
+        let specs = vec![
+            fresh_review_spec(&w, e, "rtings.com", 0.9, 3, 1),
+            social_thread_spec(&w, e, "reddit.com", 0.8, 1, 2),
+        ];
+        let w2 = w.with_injected_pages(&specs).unwrap();
+        assert_eq!(w2.pages_mentioning(e).len(), before + 2);
+        let last = w2.pages().last().unwrap();
+        assert_eq!(w2.page_by_url(&last.url), Some(last.id));
+    }
+
+    #[test]
+    fn unknown_host_is_rejected() {
+        let w = world();
+        let e = w.entities()[0].id;
+        let mut spec = fresh_review_spec(&w, e, "rtings.com", 0.9, 3, 1);
+        spec.host = "no-such-site.example".into();
+        assert_eq!(
+            w.with_injected_pages(&[spec]).unwrap_err(),
+            InjectError::UnknownHost("no-such-site.example".into())
+        );
+    }
+
+    #[test]
+    fn unknown_entity_is_rejected() {
+        let w = world();
+        let e = w.entities()[0].id;
+        let mut spec = fresh_review_spec(&w, e, "rtings.com", 0.9, 3, 1);
+        spec.mentions[0].entity = EntityId(999_999);
+        assert!(matches!(
+            w.with_injected_pages(&[spec]).unwrap_err(),
+            InjectError::UnknownEntity(_)
+        ));
+    }
+
+    #[test]
+    fn brand_refresh_lands_on_brand_domain() {
+        let w = world();
+        let toyota = w.entity_by_name("Toyota RAV4").unwrap();
+        let spec = brand_refresh_spec(&w, toyota, 5);
+        assert_eq!(spec.host, "toyota.com");
+        let w2 = w.with_injected_pages(&[spec]).unwrap();
+        let last = w2.pages().last().unwrap();
+        assert_eq!(w2.domain(last.domain).host, "toyota.com");
+        assert_eq!(last.age_days(w2.now_day()), 1);
+    }
+
+    #[test]
+    fn injected_html_extracts_fresh_dates() {
+        let w = world();
+        let e = w.entities()[0].id;
+        let spec = fresh_review_spec(&w, e, "cnet.com", 0.85, 0, 9);
+        let w2 = w.with_injected_pages(&[spec]).unwrap();
+        let last = w2.pages().last().unwrap();
+        let html = w2.page_html(last.id);
+        let d = shift_freshness::extract_page_date(&html).expect("dated");
+        assert_eq!(d.age_days(w2.now_date()), 0);
+    }
+
+    #[test]
+    fn empty_injection_is_identity_shaped() {
+        let w = world();
+        let w2 = w.with_injected_pages(&[]).unwrap();
+        assert_eq!(w2.pages().len(), w.pages().len());
+        assert_eq!(w2.seed(), w.seed());
+    }
+}

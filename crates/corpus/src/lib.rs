@@ -1,0 +1,55 @@
+//! # shift-corpus
+//!
+//! A deterministic synthetic web corpus — the study's stand-in for the live
+//! web (see DESIGN.md §2 for the substitution argument).
+//!
+//! The corpus is a [`World`] generated from a single seed:
+//!
+//! * **Topics** ([`topics`]) — the paper's ten consumer topics plus the
+//!   automotive/SUV vertical of Table 3 and several niche-only topics, each
+//!   with a roster of popular and niche **entities**.
+//! * **Entities** ([`entity`]) — brands/products with a latent popularity
+//!   (how much pre-training material exists about them) and quality (the
+//!   "true" ranking signal that reviews noisily observe).
+//! * **Domains** ([`domain_gen`]) — brand, earned-media and social hosts
+//!   with authority scores, matching the paper's typology.
+//! * **Pages** ([`page`], [`html_gen`]) — reviews, ranking lists, forum
+//!   threads, product pages … each with body text, a publication day and
+//!   one of the date-markup styles the freshness extractor must handle.
+//!
+//! Everything downstream (the search engine, the LLM simulator, the five
+//! answer-engine personas) operates only on this world, so every measured
+//! number in EXPERIMENTS.md is reproducible from the seed.
+//!
+//! ```
+//! use shift_corpus::{World, WorldConfig};
+//!
+//! let world = World::generate(&WorldConfig::small(), 42);
+//! assert!(world.pages().len() > 100);
+//! let same = World::generate(&WorldConfig::small(), 42);
+//! assert_eq!(world.pages().len(), same.pages().len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod domain_gen;
+pub mod entity;
+pub mod html_gen;
+pub mod ids;
+pub mod inject;
+pub mod page;
+pub mod source;
+pub mod stats;
+pub mod text_gen;
+pub mod topics;
+pub mod world;
+
+pub use domain_gen::Domain;
+pub use entity::Entity;
+pub use ids::{DomainId, EntityId, PageId, TopicId};
+pub use inject::{InjectError, InjectedPageSpec};
+pub use page::{DateMarkup, Page, PageKind};
+pub use source::SourceType;
+pub use topics::{topic_by_key, topic_specs, TopicSpec, Vertical};
+pub use world::{World, WorldConfig};

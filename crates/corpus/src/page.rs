@@ -1,0 +1,185 @@
+//! Pages: the atomic documents of the synthetic web.
+
+use crate::ids::{DomainId, EntityId, PageId, TopicId};
+
+/// Editorial format of a page. Drives text templates, URL paths, age
+/// distribution and which domains can host it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// Single-product editorial review.
+    Review,
+    /// "10 best X of 2025" list.
+    RankingList,
+    /// Head-to-head "X vs Y" piece.
+    Comparison,
+    /// News / announcement coverage.
+    News,
+    /// Evergreen explainer ("How does Wi-Fi 7 work?").
+    Guide,
+    /// User discussion thread.
+    ForumThread,
+    /// Video page (YouTube-style).
+    Video,
+    /// Official or retail product page.
+    ProductPage,
+}
+
+impl PageKind {
+    /// All kinds in stable order.
+    pub const ALL: [PageKind; 8] = [
+        PageKind::Review,
+        PageKind::RankingList,
+        PageKind::Comparison,
+        PageKind::News,
+        PageKind::Guide,
+        PageKind::ForumThread,
+        PageKind::Video,
+        PageKind::ProductPage,
+    ];
+
+    /// Stable lowercase label (also the URL path prefix).
+    pub fn label(self) -> &'static str {
+        match self {
+            PageKind::Review => "review",
+            PageKind::RankingList => "best",
+            PageKind::Comparison => "vs",
+            PageKind::News => "news",
+            PageKind::Guide => "guide",
+            PageKind::ForumThread => "thread",
+            PageKind::Video => "watch",
+            PageKind::ProductPage => "product",
+        }
+    }
+
+    /// Mean page age in days before vertical/domain scaling. Calibrated so
+    /// that editorial review content is fresh while owned product pages are
+    /// old — the raw material of Figure 4.
+    pub fn base_age_mean(self) -> f64 {
+        match self {
+            PageKind::Review => 170.0,
+            PageKind::RankingList => 120.0,
+            PageKind::Comparison => 200.0,
+            PageKind::News => 45.0,
+            PageKind::Guide => 320.0,
+            PageKind::ForumThread => 260.0,
+            PageKind::Video => 200.0,
+            PageKind::ProductPage => 520.0,
+        }
+    }
+}
+
+/// How the page announces its publication date in HTML, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateMarkup {
+    /// `<meta property="article:published_time" …>`.
+    MetaTag,
+    /// JSON-LD `datePublished`.
+    JsonLd,
+    /// `<time datetime="…">`.
+    TimeTag,
+    /// A "Published &lt;date&gt;" sentence in the body.
+    BodyText,
+    /// No machine-readable date anywhere (freshness extraction must fail).
+    None,
+}
+
+/// One entity mention on a page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mention {
+    /// The mentioned entity.
+    pub entity: EntityId,
+    /// The page's noisy observation of the entity's quality, in `[0, 1]`.
+    /// Reviews observe with little noise; forum posts with a lot.
+    pub score: f64,
+    /// How central the entity is to the page (1.0 = the page is about it).
+    pub prominence: f64,
+}
+
+/// A page of the synthetic web.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Dense id.
+    pub id: PageId,
+    /// Hosting domain.
+    pub domain: DomainId,
+    /// Absolute URL.
+    pub url: String,
+    /// Title (indexed with extra weight by the search engine).
+    pub title: String,
+    /// Plain-text body.
+    pub body: String,
+    /// Editorial format.
+    pub kind: PageKind,
+    /// Owning topic.
+    pub topic: TopicId,
+    /// Entities mentioned, most prominent first.
+    pub mentions: Vec<Mention>,
+    /// Publication day (day number, days since 1970-01-01).
+    pub published_day: i64,
+    /// Date markup style used when rendering HTML.
+    pub date_markup: DateMarkup,
+}
+
+impl Page {
+    /// Age in days at the world's reference day.
+    pub fn age_days(&self, now_day: i64) -> i64 {
+        (now_day - self.published_day).max(0)
+    }
+
+    /// The most prominent mention, if any.
+    pub fn primary_mention(&self) -> Option<&Mention> {
+        self.mentions.first()
+    }
+
+    /// Does the page mention the entity at all?
+    pub fn mentions_entity(&self, e: EntityId) -> bool {
+        self.mentions.iter().any(|m| m.entity == e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = PageKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn product_pages_age_slowest_news_fastest() {
+        let max = PageKind::ALL
+            .iter()
+            .max_by(|a, b| a.base_age_mean().total_cmp(&b.base_age_mean()))
+            .unwrap();
+        let min = PageKind::ALL
+            .iter()
+            .min_by(|a, b| a.base_age_mean().total_cmp(&b.base_age_mean()))
+            .unwrap();
+        assert_eq!(*max, PageKind::ProductPage);
+        assert_eq!(*min, PageKind::News);
+    }
+
+    #[test]
+    fn age_days_clamps_future() {
+        let p = Page {
+            id: PageId(0),
+            domain: DomainId(0),
+            url: "https://e.com/x".into(),
+            title: String::new(),
+            body: String::new(),
+            kind: PageKind::Review,
+            topic: TopicId(0),
+            mentions: vec![],
+            published_day: 100,
+            date_markup: DateMarkup::None,
+        };
+        assert_eq!(p.age_days(150), 50);
+        assert_eq!(p.age_days(50), 0);
+        assert!(p.primary_mention().is_none());
+    }
+}

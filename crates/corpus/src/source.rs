@@ -1,0 +1,64 @@
+//! The paper's source typology.
+
+use std::fmt;
+
+/// Source category of a domain, following §2.2 of the paper:
+/// *"brand (official sites), earned (independent media), and social
+/// (user-generated content)"*.
+///
+/// Retailer storefronts (BestBuy, cars.com) are owned commercial properties
+/// and classify as [`SourceType::Brand`], matching the paper's treatment of
+/// Perplexity's retail citations as brand diversity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SourceType {
+    /// Official / owned sites: manufacturer pages, retailer storefronts.
+    Brand,
+    /// Independent editorial media: review sites, newspapers, Wikipedia.
+    Earned,
+    /// User-generated content: forums, Reddit, YouTube, Q&A sites.
+    Social,
+}
+
+impl SourceType {
+    /// All variants in report order.
+    pub const ALL: [SourceType; 3] = [SourceType::Brand, SourceType::Earned, SourceType::Social];
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceType::Brand => "brand",
+            SourceType::Earned => "earned",
+            SourceType::Social => "social",
+        }
+    }
+
+    /// Index into [`SourceType::ALL`] (used by fixed-size counters).
+    pub fn index(self) -> usize {
+        match self {
+            SourceType::Brand => 0,
+            SourceType::Earned => 1,
+            SourceType::Social => 2,
+        }
+    }
+}
+
+impl fmt::Display for SourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_indices_are_consistent() {
+        for (i, st) in SourceType::ALL.iter().enumerate() {
+            assert_eq!(st.index(), i);
+        }
+        assert_eq!(SourceType::Brand.label(), "brand");
+        assert_eq!(SourceType::Earned.to_string(), "earned");
+        assert_eq!(SourceType::Social.label(), "social");
+    }
+}

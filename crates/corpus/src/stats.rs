@@ -1,0 +1,189 @@
+//! World statistics: composition summaries for diagnostics and reports.
+
+use std::collections::BTreeMap;
+
+use crate::page::PageKind;
+use crate::source::SourceType;
+use crate::topics::{topic_specs, Vertical};
+use crate::world::World;
+
+/// Composition summary of a generated world.
+#[derive(Debug, Clone)]
+pub struct WorldStats {
+    /// Total entities.
+    pub entities: usize,
+    /// Entities with popularity ≥ 0.5.
+    pub popular_entities: usize,
+    /// Total domains.
+    pub domains: usize,
+    /// Domains per source type `[brand, earned, social]`.
+    pub domains_by_type: [usize; 3],
+    /// Total pages.
+    pub pages: usize,
+    /// Pages per source type `[brand, earned, social]`.
+    pub pages_by_type: [usize; 3],
+    /// Pages per kind, in [`PageKind::ALL`] order.
+    pub pages_by_kind: Vec<(PageKind, usize)>,
+    /// Pages per vertical.
+    pub pages_by_vertical: BTreeMap<&'static str, usize>,
+    /// Median page age in days.
+    pub median_age_days: f64,
+    /// Fraction of pages carrying machine-readable (or body-text) dates.
+    pub dated_fraction: f64,
+}
+
+impl WorldStats {
+    /// Computes statistics for a world.
+    pub fn of(world: &World) -> WorldStats {
+        let mut domains_by_type = [0usize; 3];
+        for d in world.domains() {
+            domains_by_type[d.source_type.index()] += 1;
+        }
+
+        let mut pages_by_type = [0usize; 3];
+        let mut kind_counts: BTreeMap<&'static str, (PageKind, usize)> = BTreeMap::new();
+        let mut pages_by_vertical: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut ages: Vec<f64> = Vec::with_capacity(world.pages().len());
+        let mut dated = 0usize;
+        for p in world.pages() {
+            pages_by_type[world.page_source_type(p.id).index()] += 1;
+            kind_counts
+                .entry(p.kind.label())
+                .or_insert((p.kind, 0))
+                .1 += 1;
+            let vertical = topic_specs()[p.topic.index()].vertical;
+            *pages_by_vertical.entry(vertical.label()).or_insert(0) += 1;
+            ages.push(p.age_days(world.now_day()) as f64);
+            if p.date_markup != crate::page::DateMarkup::None {
+                dated += 1;
+            }
+        }
+        ages.sort_by(f64::total_cmp);
+        let median_age_days = if ages.is_empty() {
+            0.0
+        } else {
+            ages[ages.len() / 2]
+        };
+
+        WorldStats {
+            entities: world.entities().len(),
+            popular_entities: world.entities().iter().filter(|e| e.is_popular()).count(),
+            domains: world.domains().len(),
+            domains_by_type,
+            pages: world.pages().len(),
+            pages_by_type,
+            pages_by_kind: kind_counts.into_values().collect(),
+            pages_by_vertical,
+            median_age_days,
+            dated_fraction: if world.pages().is_empty() {
+                0.0
+            } else {
+                dated as f64 / world.pages().len() as f64
+            },
+        }
+    }
+
+    /// Renders a compact text report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "world: {} entities ({} popular), {} domains, {} pages \
+             (median age {:.0}d, {:.0}% dated)\n",
+            self.entities,
+            self.popular_entities,
+            self.domains,
+            self.pages,
+            self.median_age_days,
+            100.0 * self.dated_fraction
+        );
+        out.push_str("domains by type: ");
+        for (i, st) in SourceType::ALL.iter().enumerate() {
+            out.push_str(&format!("{} {}  ", self.domains_by_type[i], st.label()));
+        }
+        out.push_str("\npages by type:   ");
+        for (i, st) in SourceType::ALL.iter().enumerate() {
+            out.push_str(&format!("{} {}  ", self.pages_by_type[i], st.label()));
+        }
+        out.push_str("\npages by kind:   ");
+        for (kind, n) in &self.pages_by_kind {
+            out.push_str(&format!("{} {}  ", n, kind.label()));
+        }
+        out.push_str("\npages by vertical: ");
+        for (v, n) in &self.pages_by_vertical {
+            out.push_str(&format!("{n} {v}  "));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Verticals with at least one page (diagnostic helper).
+pub fn verticals_present(world: &World) -> Vec<Vertical> {
+    let mut present: Vec<Vertical> = Vec::new();
+    for v in Vertical::ALL {
+        let has = world
+            .pages()
+            .iter()
+            .any(|p| topic_specs()[p.topic.index()].vertical == v);
+        if has {
+            present.push(v);
+        }
+    }
+    present
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn stats() -> WorldStats {
+        WorldStats::of(&World::generate(&WorldConfig::small(), 33))
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let s = stats();
+        assert_eq!(s.pages_by_type.iter().sum::<usize>(), s.pages);
+        assert_eq!(
+            s.pages_by_kind.iter().map(|(_, n)| n).sum::<usize>(),
+            s.pages
+        );
+        assert_eq!(
+            s.pages_by_vertical.values().sum::<usize>(),
+            s.pages
+        );
+        assert!(s.popular_entities < s.entities);
+    }
+
+    #[test]
+    fn every_source_type_and_kind_present() {
+        let s = stats();
+        for (i, st) in SourceType::ALL.iter().enumerate() {
+            assert!(s.pages_by_type[i] > 0, "no {st} pages");
+            assert!(s.domains_by_type[i] > 0, "no {st} domains");
+        }
+        assert!(s.pages_by_kind.len() >= 6, "kinds: {:?}", s.pages_by_kind);
+    }
+
+    #[test]
+    fn dated_fraction_is_high_but_not_total() {
+        let s = stats();
+        assert!(s.dated_fraction > 0.7, "{}", s.dated_fraction);
+        assert!(s.dated_fraction < 1.0, "some pages must be undatable");
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let s = stats();
+        let r = s.render();
+        assert!(r.contains("entities"));
+        assert!(r.contains("earned"));
+        assert!(r.contains(&s.pages.to_string()));
+    }
+
+    #[test]
+    fn all_verticals_present_at_small_scale() {
+        let world = World::generate(&WorldConfig::small(), 33);
+        assert_eq!(verticals_present(&world).len(), Vertical::ALL.len());
+    }
+}

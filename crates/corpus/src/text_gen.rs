@@ -1,0 +1,271 @@
+//! Template-based body-text generation.
+//!
+//! Page text has to be *searchable* (contain the topic vocabulary and
+//! entity names that BM25 retrieval matches against) and *informative*
+//! (verbalize the noisy quality score that the page's structured mentions
+//! carry), but it does not need to be literature. Each generator produces a
+//! few sentences from deterministic templates driven by the world RNG.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sentiment phrase for a `[0, 1]` score.
+pub fn sentiment_phrase(score: f64) -> &'static str {
+    match score {
+        s if s >= 0.85 => "outstanding",
+        s if s >= 0.7 => "excellent",
+        s if s >= 0.55 => "solid",
+        s if s >= 0.4 => "mixed",
+        s if s >= 0.25 => "underwhelming",
+        _ => "disappointing",
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn vocab_pair(rng: &mut StdRng, vocab: &[&str]) -> (String, String) {
+    let a = vocab[rng.gen_range(0..vocab.len())].to_string();
+    let b = vocab[rng.gen_range(0..vocab.len())].to_string();
+    (a, b)
+}
+
+/// Body for a single-product review.
+pub fn review_body(
+    entity: &str,
+    topic_display: &str,
+    vocab: &[&str],
+    score: f64,
+    rng: &mut StdRng,
+) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    let verdict = sentiment_phrase(score);
+    let opener = pick(
+        rng,
+        &[
+            "After two weeks of testing",
+            "Following our lab evaluation",
+            "In day-to-day use",
+            "Across our full benchmark suite",
+        ],
+    );
+    format!(
+        "{opener}, the {entity} proves {verdict} among {topic_display}. \
+         Its {v1} stands out, while the {v2} is {}. \
+         We rate the {entity} {:.1} out of 10 overall. \
+         Compared with rival {topic_display}, the {entity} remains a {} choice for most buyers \
+         and one of the best {topic_display} you can buy right now.",
+        pick(rng, &["competitive", "serviceable", "class-leading", "adequate"]),
+        score * 10.0,
+        pick(rng, &["strong", "reasonable", "situational", "safe"]),
+    )
+}
+
+/// Body for a "best of" ranking list. `ranked` is ordered best-first.
+pub fn ranking_body(
+    topic_display: &str,
+    ranked: &[(&str, f64)],
+    vocab: &[&str],
+    rng: &mut StdRng,
+) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    let mut out = format!(
+        "We tested dozens of {topic_display} this year, focusing on {v1} and {v2}. \
+         Here are our top picks, ranked for reliability, value and overall quality.\n",
+    );
+    for (i, (name, score)) in ranked.iter().enumerate() {
+        out.push_str(&format!(
+            "{}. {name} — {} overall, scoring {:.1}/10.\n",
+            i + 1,
+            sentiment_phrase(*score),
+            score * 10.0
+        ));
+    }
+    out.push_str(
+        "Rankings reflect our own testing of the most reliable and most \
+         recommended models, and are updated as new releases ship.",
+    );
+    out
+}
+
+/// Body for an "X vs Y" comparison.
+pub fn comparison_body(
+    a: (&str, f64),
+    b: (&str, f64),
+    topic_display: &str,
+    vocab: &[&str],
+    rng: &mut StdRng,
+) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    let (winner, loser) = if a.1 >= b.1 { (a, b) } else { (b, a) };
+    format!(
+        "{} or {}? Both are popular {topic_display}, and the choice comes down to {v1} and {v2}. \
+         The {} edges ahead with {} {v1}, scoring {:.1}/10 against {:.1}/10 for the {}. \
+         Budget-minded buyers may still prefer the {} when {v2} matters most.",
+        a.0, b.0, winner.0,
+        pick(rng, &["noticeably better", "more consistent", "stronger"]),
+        winner.1 * 10.0,
+        loser.1 * 10.0,
+        loser.0,
+        loser.0,
+    )
+}
+
+/// Body for a news item about an entity.
+pub fn news_body(entity: &str, topic_display: &str, vocab: &[&str], rng: &mut StdRng) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    format!(
+        "{} announced {} to its {entity} line this week, \
+         promising improved {v1} and revised {v2}. \
+         Analysts called the move {} for the {topic_display} market, \
+         with availability expected {}.",
+        entity.split(' ').next().unwrap_or(entity),
+        pick(rng, &["an update", "a refresh", "new options", "a price change"]),
+        pick(rng, &["significant", "incremental", "overdue", "surprising"]),
+        pick(rng, &["this quarter", "next month", "later this year"]),
+    )
+}
+
+/// Body for an evergreen explainer.
+pub fn guide_body(topic_display: &str, vocab: &[&str], rng: &mut StdRng) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    let v3 = vocab[rng.gen_range(0..vocab.len())];
+    format!(
+        "Choosing among {topic_display} starts with understanding {v1}. \
+         This guide explains how {v1} interacts with {v2}, what the marketing \
+         numbers around {v3} actually mean, and which trade-offs matter in practice. \
+         We keep this explainer updated as the technology evolves.",
+    )
+}
+
+/// Body for a user forum thread mentioning several entities.
+pub fn forum_body(
+    mentions: &[(&str, f64)],
+    topic_display: &str,
+    vocab: &[&str],
+    rng: &mut StdRng,
+) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    let mut out = format!(
+        "Thread: which of these {topic_display} should I get? Mostly care about {v1} and {v2}.\n",
+    );
+    for (name, score) in mentions {
+        out.push_str(&format!(
+            "> reply: I've had the {name} for a while — {} experience, would {} it.\n",
+            sentiment_phrase(*score),
+            if *score >= 0.5 { "recommend" } else { "avoid" },
+        ));
+    }
+    out.push_str(&format!(
+        "> reply: honestly depends on your {} budget, check the pinned megathread.",
+        pick(rng, &["overall", "monthly", "upgrade"]),
+    ));
+    out
+}
+
+/// Description body for a video page.
+pub fn video_body(entity: &str, topic_display: &str, vocab: &[&str], rng: &mut StdRng) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    format!(
+        "In this video we put the {entity} through its paces: {v1} tests, {v2} \
+         measurements, and long-term impressions. Timestamps in the description. \
+         Like and subscribe for more {topic_display} coverage.",
+    )
+}
+
+/// Body for an official or retail product page. Brand sites do SEO: the
+/// copy names the category ("the best smartphones") so commercial queries
+/// retrieve official pages too — the source of Google's brand share.
+pub fn product_body(entity: &str, topic_display: &str, vocab: &[&str], rng: &mut StdRng) -> String {
+    let (v1, v2) = vocab_pair(rng, vocab);
+    format!(
+        "{entity}. Engineered for {} {v1} with class-leading {v2}. \
+         Shop the best {topic_display} and buy the {entity} today — \
+         free shipping, easy returns, financing available. \
+         See full specifications and compare top rated models.",
+        pick(rng, &["exceptional", "reliable", "effortless", "unmatched"]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    const VOCAB: &[&str] = &["battery", "display", "camera", "charging"];
+
+    #[test]
+    fn sentiment_bands() {
+        assert_eq!(sentiment_phrase(0.95), "outstanding");
+        assert_eq!(sentiment_phrase(0.75), "excellent");
+        assert_eq!(sentiment_phrase(0.6), "solid");
+        assert_eq!(sentiment_phrase(0.45), "mixed");
+        assert_eq!(sentiment_phrase(0.3), "underwhelming");
+        assert_eq!(sentiment_phrase(0.1), "disappointing");
+    }
+
+    #[test]
+    fn review_mentions_entity_and_score() {
+        let body = review_body("Pixel 9", "smartphones", VOCAB, 0.87, &mut rng());
+        assert!(body.contains("Pixel 9"));
+        assert!(body.contains("8.7 out of 10"));
+        assert!(body.contains("smartphones"));
+    }
+
+    #[test]
+    fn ranking_lists_all_entries_in_order() {
+        let ranked = [("Alpha", 0.9), ("Beta", 0.7), ("Gamma", 0.5)];
+        let body = ranking_body("laptops", &ranked, VOCAB, &mut rng());
+        let pa = body.find("1. Alpha").unwrap();
+        let pb = body.find("2. Beta").unwrap();
+        let pc = body.find("3. Gamma").unwrap();
+        assert!(pa < pb && pb < pc);
+    }
+
+    #[test]
+    fn comparison_names_both_and_declares_winner() {
+        let body = comparison_body(("X1", 0.8), ("Y2", 0.6), "laptops", VOCAB, &mut rng());
+        assert!(body.contains("X1"));
+        assert!(body.contains("Y2"));
+        assert!(body.contains("X1 edges ahead"));
+    }
+
+    #[test]
+    fn comparison_winner_by_score_not_position() {
+        let body = comparison_body(("X1", 0.3), ("Y2", 0.9), "laptops", VOCAB, &mut rng());
+        assert!(body.contains("Y2 edges ahead"));
+    }
+
+    #[test]
+    fn forum_replies_cover_all_mentions() {
+        let body = forum_body(&[("A", 0.8), ("B", 0.2)], "smartwatches", VOCAB, &mut rng());
+        assert!(body.contains("the A for a while"));
+        assert!(body.contains("the B for a while"));
+        assert!(body.contains("recommend"));
+        assert!(body.contains("avoid"));
+    }
+
+    #[test]
+    fn generators_use_topic_vocab() {
+        let body = guide_body("smartphones", VOCAB, &mut rng());
+        assert!(VOCAB.iter().any(|v| body.contains(v)));
+        let body = product_body("Thing", "widgets", VOCAB, &mut rng());
+        assert!(VOCAB.iter().any(|v| body.contains(v)));
+        let body = news_body("Thing Two", "widgets", VOCAB, &mut rng());
+        assert!(body.contains("Thing"));
+        let body = video_body("Thing", "widgets", VOCAB, &mut rng());
+        assert!(body.contains("subscribe"));
+    }
+
+    #[test]
+    fn output_is_deterministic_per_seed() {
+        let a = review_body("Z", "gadgets", VOCAB, 0.5, &mut rng());
+        let b = review_body("Z", "gadgets", VOCAB, 0.5, &mut rng());
+        assert_eq!(a, b);
+    }
+}

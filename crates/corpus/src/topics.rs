@@ -1,0 +1,702 @@
+//! Topic and vertical definitions: the study's workload universe.
+//!
+//! The ten consumer topics are those of §2.1 footnote 1; the SUV topic
+//! carries the exact brand roster of Table 3 (popularity decreasing from
+//! Toyota to Infiniti); the niche-only topics supply the low-coverage
+//! entities of §2.1/§3.3 (ultramarathon watches, Toronto family law, …).
+
+use crate::ids::TopicId;
+
+/// High-level content vertical; drives domain coverage and the freshness
+/// profile (automotive content ages slower than consumer electronics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Vertical {
+    /// Phones, laptops, watches, routers …
+    ConsumerElectronics,
+    /// Cars, SUVs, EVs.
+    Automotive,
+    /// Airlines, hotels.
+    Travel,
+    /// Credit cards, banking.
+    Finance,
+    /// Shoes, skin care, fitness gear.
+    Lifestyle,
+    /// Streaming and other subscription services.
+    Services,
+    /// Local professional services (law firms, clinics).
+    LocalServices,
+}
+
+impl Vertical {
+    /// All verticals in stable order.
+    pub const ALL: [Vertical; 7] = [
+        Vertical::ConsumerElectronics,
+        Vertical::Automotive,
+        Vertical::Travel,
+        Vertical::Finance,
+        Vertical::Lifestyle,
+        Vertical::Services,
+        Vertical::LocalServices,
+    ];
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Vertical::ConsumerElectronics => "consumer-electronics",
+            Vertical::Automotive => "automotive",
+            Vertical::Travel => "travel",
+            Vertical::Finance => "finance",
+            Vertical::Lifestyle => "lifestyle",
+            Vertical::Services => "services",
+            Vertical::LocalServices => "local-services",
+        }
+    }
+
+    /// Minimum age (days) of any editorial page in the vertical — the
+    /// publication-cycle floor. Consumer electronics publishes daily;
+    /// automotive editorial follows model-year cycles, so even the
+    /// freshest piece is weeks old. This floor is what keeps AI-engine
+    /// medians at ~150 d for automotive vs ~60 d for CE (Figure 4).
+    pub fn age_floor(self) -> f64 {
+        match self {
+            Vertical::ConsumerElectronics => 2.0,
+            Vertical::Automotive => 55.0,
+            Vertical::Travel => 10.0,
+            Vertical::Finance => 14.0,
+            Vertical::Lifestyle => 6.0,
+            Vertical::Services => 4.0,
+            Vertical::LocalServices => 30.0,
+        }
+    }
+
+    /// Median-age multiplier for the vertical. Calibrated so consumer
+    /// electronics turns over quickly while automotive editorial lives for
+    /// years, matching the Figure 4 gap (62–130 d vs 148–493 d).
+    pub fn age_scale(self) -> f64 {
+        match self {
+            Vertical::ConsumerElectronics => 1.0,
+            Vertical::Automotive => 2.6,
+            Vertical::Travel => 1.6,
+            Vertical::Finance => 1.8,
+            Vertical::Lifestyle => 1.3,
+            Vertical::Services => 1.2,
+            Vertical::LocalServices => 2.2,
+        }
+    }
+}
+
+/// Static description of one topic.
+#[derive(Debug, Clone)]
+pub struct TopicSpec {
+    /// Stable slug (used in URLs and reports).
+    pub key: &'static str,
+    /// Human-readable topic name used in query text.
+    pub display: &'static str,
+    /// Singular product noun for query templates ("smartphone").
+    pub unit: &'static str,
+    /// Plural product noun ("smartphones").
+    pub plural: &'static str,
+    /// The vertical the topic belongs to.
+    pub vertical: Vertical,
+    /// True for the ten consumer topics of the Figure 1 workload.
+    pub consumer_topic: bool,
+    /// Multiplier applied to every entity popularity in the topic.
+    /// 1.0 for mainstream topics; < 1.0 for niche-only topics ("family law
+    /// firms in Toronto"), where even the best-known roster entry has thin
+    /// pre-training coverage.
+    pub popularity_scale: f64,
+    /// Popular entities as `(brand, model)`; ordered by decreasing
+    /// popularity. An empty model means the brand itself is the entity.
+    pub popular: &'static [(&'static str, &'static str)],
+    /// Niche entities — limited pre-training coverage.
+    pub niche: &'static [(&'static str, &'static str)],
+    /// Topic vocabulary for text and query generation.
+    pub vocab: &'static [&'static str],
+}
+
+impl TopicSpec {
+    /// True for niche-only topics — the low-coverage workloads of §3.3.
+    pub fn is_niche_topic(&self) -> bool {
+        self.popularity_scale < 1.0
+    }
+}
+
+/// The full topic table.
+pub fn topic_specs() -> &'static [TopicSpec] {
+    &TOPICS
+}
+
+/// Topic lookup by key.
+pub fn topic_by_key(key: &str) -> Option<(TopicId, &'static TopicSpec)> {
+    TOPICS
+        .iter()
+        .position(|t| t.key == key)
+        .map(|i| (TopicId::from(i), &TOPICS[i]))
+}
+
+static TOPICS: [TopicSpec; 16] = [
+    TopicSpec {
+        key: "smartphones",
+        display: "smartphones",
+        unit: "smartphone",
+        plural: "smartphones",
+        vertical: Vertical::ConsumerElectronics,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Apple", "iPhone 15"),
+            ("Samsung", "Galaxy S24"),
+            ("Google", "Pixel 9"),
+            ("OnePlus", "12"),
+            ("Xiaomi", "14"),
+            ("Motorola", "Edge 50"),
+            ("Sony", "Xperia 1"),
+            ("Asus", "Zenfone 11"),
+            ("Nothing", "Phone 2"),
+            ("Oppo", "Find X7"),
+        ],
+        niche: &[
+            ("Fairphone", "5"),
+            ("Punkt", "MP02"),
+            ("Unihertz", "Jelly Star"),
+            ("Doogee", "V30"),
+            ("Sonim", "XP10"),
+            ("Cat", "S75"),
+        ],
+        vocab: &[
+            "camera", "battery", "display", "chipset", "refresh", "zoom",
+            "charging", "android", "screen", "photo", "storage", "signal",
+        ],
+    },
+    TopicSpec {
+        key: "athletic-shoes",
+        display: "athletic shoes",
+        unit: "running shoe",
+        plural: "athletic shoes",
+        vertical: Vertical::Lifestyle,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Nike", "Pegasus"),
+            ("Adidas", "Ultraboost"),
+            ("New Balance", "1080"),
+            ("Asics", "Gel-Nimbus"),
+            ("Brooks", "Ghost"),
+            ("Hoka", "Clifton"),
+            ("Saucony", "Triumph"),
+            ("On", "Cloudmonster"),
+            ("Altra", "Torin"),
+            ("Mizuno", "Wave Rider"),
+        ],
+        niche: &[
+            ("Topo", "Phantom"),
+            ("Norda", "001"),
+            ("Speedland", "SL:PDX"),
+            ("Atreyu", "Base Model"),
+            ("Tracksmith", "Eliot"),
+            ("Mount to Coast", "R1"),
+        ],
+        vocab: &[
+            "cushioning", "midsole", "stability", "foam", "heel", "stack",
+            "outsole", "marathon", "tempo", "trail", "durability", "fit",
+        ],
+    },
+    TopicSpec {
+        key: "skin-care",
+        display: "skin care",
+        unit: "moisturizer",
+        plural: "skin care products",
+        vertical: Vertical::Lifestyle,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("CeraVe", "Moisturizing Cream"),
+            ("Neutrogena", "Hydro Boost"),
+            ("La Roche-Posay", "Toleriane"),
+            ("Cetaphil", "Daily Lotion"),
+            ("Olay", "Regenerist"),
+            ("The Ordinary", "Niacinamide"),
+            ("Paula's Choice", "BHA Exfoliant"),
+            ("Eucerin", "Advanced Repair"),
+            ("Aveeno", "Daily Moisturizer"),
+            ("Kiehl's", "Ultra Facial"),
+        ],
+        niche: &[
+            ("Stratia", "Liquid Gold"),
+            ("Krave", "Great Barrier"),
+            ("Purito", "Centella Green"),
+            ("Haruharu", "Wonder Black Rice"),
+            ("Beauty of Joseon", "Glow Serum"),
+            ("Geek & Gorgeous", "Calm Down"),
+        ],
+        vocab: &[
+            "hydration", "ceramide", "retinol", "serum", "spf", "barrier",
+            "sensitive", "fragrance", "acne", "texture", "ingredient", "dermatologist",
+        ],
+    },
+    TopicSpec {
+        key: "electric-cars",
+        display: "electric cars",
+        unit: "electric car",
+        plural: "electric cars",
+        vertical: Vertical::Automotive,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Tesla", "Model Y"),
+            ("Hyundai", "Ioniq 5"),
+            ("Kia", "EV6"),
+            ("Ford", "Mustang Mach-E"),
+            ("Chevrolet", "Equinox EV"),
+            ("BMW", "i4"),
+            ("Rivian", "R1S"),
+            ("Polestar", "2"),
+            ("Nissan", "Ariya"),
+            ("Volkswagen", "ID.4"),
+        ],
+        niche: &[
+            ("Lucid", "Air Pure"),
+            ("Fisker", "Ocean"),
+            ("VinFast", "VF 8"),
+            ("Zeekr", "001"),
+            ("Aptera", "Launch Edition"),
+            ("Canoo", "Lifestyle Vehicle"),
+        ],
+        vocab: &[
+            "range", "charging", "battery", "efficiency", "torque", "autopilot",
+            "warranty", "interior", "infotainment", "towing", "mileage", "incentive",
+        ],
+    },
+    TopicSpec {
+        key: "streaming-services",
+        display: "streaming services",
+        unit: "streaming service",
+        plural: "streaming services",
+        vertical: Vertical::Services,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Netflix", ""),
+            ("Disney", "Plus"),
+            ("Max", ""),
+            ("Hulu", ""),
+            ("Amazon", "Prime Video"),
+            ("Apple", "TV Plus"),
+            ("Peacock", ""),
+            ("Paramount", "Plus"),
+            ("YouTube", "TV"),
+            ("Crunchyroll", ""),
+        ],
+        niche: &[
+            ("Mubi", ""),
+            ("Criterion", "Channel"),
+            ("Shudder", ""),
+            ("Dropout", ""),
+            ("Nebula", ""),
+            ("Curiosity", "Stream"),
+        ],
+        vocab: &[
+            "catalog", "originals", "bundle", "ads", "subscription", "stream",
+            "library", "price", "documentary", "series", "movie", "account",
+        ],
+    },
+    TopicSpec {
+        key: "laptops",
+        display: "laptops",
+        unit: "laptop",
+        plural: "laptops",
+        vertical: Vertical::ConsumerElectronics,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Apple", "MacBook Air"),
+            ("Dell", "XPS 13"),
+            ("Lenovo", "ThinkPad X1"),
+            ("HP", "Spectre x360"),
+            ("Asus", "Zenbook 14"),
+            ("Acer", "Swift Go"),
+            ("Microsoft", "Surface Laptop"),
+            ("Razer", "Blade 14"),
+            ("LG", "Gram 16"),
+            ("Samsung", "Galaxy Book"),
+        ],
+        niche: &[
+            ("Framework", "Laptop 13"),
+            ("System76", "Lemur Pro"),
+            ("Tuxedo", "InfinityBook"),
+            ("Star Labs", "StarBook"),
+            ("Malibal", "Aon S1"),
+            ("MNT", "Reform"),
+        ],
+        vocab: &[
+            "keyboard", "battery", "display", "thermals", "processor", "ram",
+            "portability", "trackpad", "webcam", "port", "chassis", "performance",
+        ],
+    },
+    TopicSpec {
+        key: "airlines",
+        display: "airlines",
+        unit: "airline",
+        plural: "airlines",
+        vertical: Vertical::Travel,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Delta", "Air Lines"),
+            ("United", "Airlines"),
+            ("American", "Airlines"),
+            ("Southwest", "Airlines"),
+            ("Alaska", "Airlines"),
+            ("JetBlue", ""),
+            ("Emirates", ""),
+            ("Qatar", "Airways"),
+            ("Singapore", "Airlines"),
+            ("Lufthansa", ""),
+        ],
+        niche: &[
+            ("Breeze", "Airways"),
+            ("Avelo", "Airlines"),
+            ("French Bee", ""),
+            ("Zipair", ""),
+            ("Play", "Airlines"),
+            ("Norse", "Atlantic"),
+        ],
+        vocab: &[
+            "legroom", "cabin", "loyalty", "delay", "baggage", "lounge",
+            "routes", "upgrade", "boarding", "seat", "service", "miles",
+        ],
+    },
+    TopicSpec {
+        key: "hotels",
+        display: "hotels",
+        unit: "hotel chain",
+        plural: "hotel chains",
+        vertical: Vertical::Travel,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Marriott", ""),
+            ("Hilton", ""),
+            ("Hyatt", ""),
+            ("IHG", ""),
+            ("Four Seasons", ""),
+            ("Ritz-Carlton", ""),
+            ("Wyndham", ""),
+            ("Best Western", ""),
+            ("Accor", ""),
+            ("Choice", "Hotels"),
+        ],
+        niche: &[
+            ("Graduate", "Hotels"),
+            ("Ace", "Hotel"),
+            ("citizenM", ""),
+            ("Selina", ""),
+            ("Life House", ""),
+            ("Bunkhouse", ""),
+        ],
+        vocab: &[
+            "amenities", "suite", "points", "location", "breakfast", "spa",
+            "checkin", "concierge", "room", "resort", "elite", "redemption",
+        ],
+    },
+    TopicSpec {
+        key: "credit-cards",
+        display: "credit cards",
+        unit: "credit card",
+        plural: "credit cards",
+        vertical: Vertical::Finance,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Chase", "Sapphire Preferred"),
+            ("Amex", "Gold"),
+            ("Capital One", "Venture"),
+            ("Citi", "Double Cash"),
+            ("Discover", "It"),
+            ("Wells Fargo", "Active Cash"),
+            ("Apple", "Card"),
+            ("Bilt", "Mastercard"),
+            ("US Bank", "Altitude"),
+            ("Bank of America", "Travel Rewards"),
+        ],
+        niche: &[
+            ("Robinhood", "Gold Card"),
+            ("X1", "Card"),
+            ("Petal", "2"),
+            ("Upgrade", "Cash Rewards"),
+            ("Yotta", "Card"),
+            ("Atmos", "Card"),
+        ],
+        vocab: &[
+            "cashback", "apr", "rewards", "annual", "fee", "points",
+            "signup", "bonus", "credit", "transfer", "lounge", "redemption",
+        ],
+    },
+    TopicSpec {
+        key: "smartwatches",
+        display: "smartwatches",
+        unit: "smartwatch",
+        plural: "smartwatches",
+        vertical: Vertical::ConsumerElectronics,
+        consumer_topic: true,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Apple", "Watch Series 10"),
+            ("Samsung", "Galaxy Watch 7"),
+            ("Garmin", "Fenix 8"),
+            ("Fitbit", "Sense 2"),
+            ("Google", "Pixel Watch 3"),
+            ("Amazfit", "GTR 4"),
+            ("Whoop", "4.0"),
+            ("Polar", "Vantage V3"),
+            ("Suunto", "Race"),
+            ("Withings", "ScanWatch"),
+        ],
+        niche: &[
+            ("Coros", "Apex 2"),
+            ("Mobvoi", "TicWatch Pro"),
+            ("PineTime", ""),
+            ("Bangle", "js 2"),
+            ("Casio", "G-Shock Move"),
+            ("Timex", "Ironman R300"),
+        ],
+        vocab: &[
+            "battery", "gps", "heart", "sleep", "tracking", "workout",
+            "strap", "sensor", "notification", "altimeter", "recovery", "display",
+        ],
+    },
+    TopicSpec {
+        key: "suvs",
+        display: "SUVs",
+        unit: "SUV",
+        plural: "SUVs",
+        vertical: Vertical::Automotive,
+        consumer_topic: false,
+        popularity_scale: 1.0,
+        popular: &[
+            ("Toyota", "RAV4"),
+            ("Honda", "CR-V"),
+            ("Kia", "Telluride"),
+            ("Chevrolet", "Traverse"),
+            ("Mazda", "CX-50"),
+            ("Hyundai", "Santa Fe"),
+            ("Subaru", "Outback"),
+            ("Ford", "Explorer"),
+            ("Cadillac", "XT5"),
+            ("Infiniti", "QX60"),
+        ],
+        niche: &[
+            ("Ineos", "Grenadier"),
+            ("VinFast", "VF 9"),
+            ("Mitsubishi", "Outlander"),
+            ("Alfa Romeo", "Stelvio"),
+            ("Genesis", "GV70"),
+            ("Jaguar", "F-Pace"),
+        ],
+        vocab: &[
+            "reliability", "cargo", "towing", "awd", "safety", "hybrid",
+            "fuel", "seating", "resale", "suspension", "trim", "warranty",
+        ],
+    },
+    TopicSpec {
+        key: "ultrarunning-watches",
+        display: "GPS watches for ultramarathon training",
+        unit: "GPS watch",
+        plural: "GPS watches",
+        vertical: Vertical::ConsumerElectronics,
+        consumer_topic: false,
+        popularity_scale: 0.45,
+        popular: &[
+            ("Garmin", "Enduro 3"),
+            ("Coros", "Vertix 2"),
+            ("Suunto", "Vertical"),
+            ("Polar", "Grit X2"),
+        ],
+        niche: &[
+            ("Coros", "Apex 2 Pro"),
+            ("Garmin", "Instinct 3"),
+            ("Suunto", "9 Peak Pro"),
+            ("Polar", "Pacer Pro"),
+            ("Amazfit", "T-Rex Ultra"),
+            ("Wahoo", "Elemnt Rival"),
+        ],
+        vocab: &[
+            "ultramarathon", "battery", "navigation", "elevation", "maps",
+            "durability", "solar", "tracking", "route", "vertical", "pacing", "aid",
+        ],
+    },
+    TopicSpec {
+        key: "toronto-family-law",
+        display: "family law firms in Toronto",
+        unit: "family law firm",
+        plural: "family law firms",
+        vertical: Vertical::LocalServices,
+        consumer_topic: false,
+        popularity_scale: 0.40,
+        popular: &[
+            ("Epstein Cole", ""),
+            ("Torkin Manes", "Family Law"),
+            ("McCarthy Hansen", ""),
+        ],
+        niche: &[
+            ("Shulman", "& Partners"),
+            ("Gelman", "& Associates"),
+            ("Feldstein", "Family Law"),
+            ("Russell Alexander", "Collaborative"),
+            ("Crossroads", "Law"),
+            ("Modern Family Law", "Toronto"),
+            ("Bortolussi", "Family Law"),
+            ("Steinberg", "Family Law"),
+        ],
+        vocab: &[
+            "custody", "divorce", "separation", "mediation", "support",
+            "settlement", "consultation", "retainer", "litigation", "agreement",
+            "property", "parenting",
+        ],
+    },
+    TopicSpec {
+        key: "espresso-machines",
+        display: "home espresso machines",
+        unit: "espresso machine",
+        plural: "espresso machines",
+        vertical: Vertical::ConsumerElectronics,
+        consumer_topic: false,
+        popularity_scale: 0.50,
+        popular: &[
+            ("Breville", "Barista Express"),
+            ("De'Longhi", "La Specialista"),
+            ("Gaggia", "Classic Pro"),
+            ("Rancilio", "Silvia"),
+        ],
+        niche: &[
+            ("Profitec", "Go"),
+            ("Lelit", "Bianca"),
+            ("ECM", "Synchronika"),
+            ("Cafelat", "Robot"),
+            ("Flair", "58"),
+            ("Decent", "DE1PRO"),
+        ],
+        vocab: &[
+            "pressure", "grinder", "portafilter", "steam", "shot", "crema",
+            "temperature", "boiler", "tamping", "extraction", "milk", "dose",
+        ],
+    },
+    TopicSpec {
+        key: "gravel-bikes",
+        display: "gravel bikes",
+        unit: "gravel bike",
+        plural: "gravel bikes",
+        vertical: Vertical::Lifestyle,
+        consumer_topic: false,
+        popularity_scale: 0.50,
+        popular: &[
+            ("Specialized", "Diverge"),
+            ("Trek", "Checkpoint"),
+            ("Canyon", "Grizl"),
+            ("Cannondale", "Topstone"),
+        ],
+        niche: &[
+            ("Salsa", "Warbird"),
+            ("Lauf", "Seigla"),
+            ("Ribble", "Gravel AL"),
+            ("Fairlight", "Secan"),
+            ("Mason", "Bokeh"),
+            ("Otso", "Waheela C"),
+        ],
+        vocab: &[
+            "tire", "clearance", "groupset", "frame", "carbon", "geometry",
+            "mounts", "gearing", "comfort", "bikepacking", "drivetrain", "wheels",
+        ],
+    },
+    TopicSpec {
+        key: "mechanical-keyboards",
+        display: "mechanical keyboards",
+        unit: "mechanical keyboard",
+        plural: "mechanical keyboards",
+        vertical: Vertical::ConsumerElectronics,
+        consumer_topic: false,
+        popularity_scale: 0.50,
+        popular: &[
+            ("Keychron", "Q1"),
+            ("Logitech", "MX Mechanical"),
+            ("Razer", "BlackWidow"),
+            ("Corsair", "K70"),
+        ],
+        niche: &[
+            ("Wooting", "60HE"),
+            ("ZSA", "Moonlander"),
+            ("Kinesis", "Advantage360"),
+            ("Mode", "Sonnet"),
+            ("Qwertykeys", "Neo65"),
+            ("NuPhy", "Air75"),
+        ],
+        vocab: &[
+            "switches", "keycaps", "hotswap", "latency", "gasket", "stabilizer",
+            "layout", "firmware", "acoustics", "tactile", "linear", "rgb",
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_ten_consumer_topics() {
+        let n = TOPICS.iter().filter(|t| t.consumer_topic).count();
+        assert_eq!(n, 10, "Figure 1 requires the ten consumer topics");
+    }
+
+    #[test]
+    fn keys_are_unique_slugs() {
+        let mut keys: Vec<&str> = TOPICS.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+        for t in &TOPICS {
+            assert!(
+                t.key.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "bad slug {}",
+                t.key
+            );
+        }
+    }
+
+    #[test]
+    fn suv_topic_carries_table3_roster() {
+        let (_, suvs) = topic_by_key("suvs").unwrap();
+        let brands: Vec<&str> = suvs.popular.iter().map(|(b, _)| *b).collect();
+        for expected in ["Toyota", "Honda", "Kia", "Chevrolet", "Cadillac", "Infiniti"] {
+            assert!(brands.contains(&expected), "missing {expected}");
+        }
+        // Popularity must decrease left-to-right: Toyota before Cadillac.
+        let pos = |b: &str| brands.iter().position(|x| *x == b).unwrap();
+        assert!(pos("Toyota") < pos("Chevrolet"));
+        assert!(pos("Chevrolet") < pos("Cadillac"));
+        assert!(pos("Cadillac") < pos("Infiniti"));
+    }
+
+    #[test]
+    fn every_topic_has_entities_and_vocab() {
+        for t in &TOPICS {
+            assert!(!t.popular.is_empty(), "{} lacks popular entities", t.key);
+            assert!(!t.niche.is_empty(), "{} lacks niche entities", t.key);
+            assert!(t.vocab.len() >= 10, "{} vocab too small", t.key);
+        }
+    }
+
+    #[test]
+    fn topic_by_key_round_trips() {
+        let (id, spec) = topic_by_key("laptops").unwrap();
+        assert_eq!(spec.key, "laptops");
+        assert_eq!(topic_specs()[id.index()].key, "laptops");
+        assert!(topic_by_key("no-such-topic").is_none());
+    }
+
+    #[test]
+    fn niche_topics_exist_for_section_3_3() {
+        assert!(topic_by_key("toronto-family-law").is_some());
+        assert!(topic_by_key("ultrarunning-watches").is_some());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for world generation: structural invariants must
+//! hold for every seed.
+
+use proptest::prelude::*;
+use shift_corpus::{DateMarkup, SourceType, World, WorldConfig};
+use shift_freshness::extract_page_date;
+
+fn tiny_config() -> WorldConfig {
+    WorldConfig {
+        ranking_lists_per_topic: 2,
+        reviews_per_popular_entity: 1,
+        news_per_topic: 1,
+        comparisons_per_topic: 1,
+        guides_per_topic: 1,
+        forum_threads_per_topic: 2,
+        videos_per_topic: 1,
+        ..WorldConfig::default_scale()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dense ids, valid cross-references, bounded scores — for any seed.
+    #[test]
+    fn structural_invariants_hold(seed in 0u64..1_000_000) {
+        let w = World::generate(&tiny_config(), seed);
+        for (i, e) in w.entities().iter().enumerate() {
+            prop_assert_eq!(e.id.index(), i);
+            prop_assert!((0.0..=1.0).contains(&e.popularity));
+            prop_assert!((0.0..=1.0).contains(&e.quality));
+        }
+        for (i, d) in w.domains().iter().enumerate() {
+            prop_assert_eq!(d.id.index(), i);
+            prop_assert!((0.0..=1.0).contains(&d.authority));
+        }
+        for (i, p) in w.pages().iter().enumerate() {
+            prop_assert_eq!(p.id.index(), i);
+            prop_assert!(p.domain.index() < w.domains().len());
+            prop_assert!(p.published_day < w.now_day());
+            for m in &p.mentions {
+                prop_assert!(m.entity.index() < w.entities().len());
+                prop_assert!((0.0..=1.0).contains(&m.score));
+                prop_assert!((0.0..=1.0).contains(&m.prominence));
+            }
+        }
+    }
+
+    /// Same seed ⇒ identical worlds; URL sets never collide.
+    #[test]
+    fn determinism_and_url_uniqueness(seed in 0u64..1_000_000) {
+        let a = World::generate(&tiny_config(), seed);
+        let b = World::generate(&tiny_config(), seed);
+        prop_assert_eq!(a.pages().len(), b.pages().len());
+        let mut urls: Vec<&str> = a.pages().iter().map(|p| p.url.as_str()).collect();
+        let n = urls.len();
+        urls.sort_unstable();
+        urls.dedup();
+        prop_assert_eq!(urls.len(), n);
+        for (x, y) in a.pages().iter().zip(b.pages()) {
+            prop_assert_eq!(&x.url, &y.url);
+            prop_assert_eq!(&x.body, &y.body);
+        }
+    }
+
+    /// Every page with date markup round-trips through the freshness
+    /// extractor to the exact publication day; unmarked pages never yield
+    /// a date.
+    #[test]
+    fn freshness_round_trip(seed in 0u64..1_000_000) {
+        let w = World::generate(&tiny_config(), seed);
+        for p in w.pages().iter().step_by(7) {
+            let html = w.page_html(p.id);
+            match (p.date_markup, extract_page_date(&html)) {
+                (DateMarkup::None, got) => prop_assert!(got.is_none(), "{}", p.url),
+                (_, Some(e)) => prop_assert_eq!(
+                    e.published.to_day_number(), p.published_day, "{}", &p.url
+                ),
+                (style, None) => prop_assert!(false, "{:?} failed for {}", style, p.url),
+            }
+        }
+    }
+
+    /// The source-type mix always contains all three categories.
+    #[test]
+    fn all_source_types_present(seed in 0u64..1_000_000) {
+        let w = World::generate(&tiny_config(), seed);
+        let mut counts = [0usize; 3];
+        for p in w.pages() {
+            counts[w.page_source_type(p.id).index()] += 1;
+        }
+        for (i, st) in SourceType::ALL.iter().enumerate() {
+            prop_assert!(counts[i] > 0, "no {st} pages");
+        }
+    }
+}

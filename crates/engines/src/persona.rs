@@ -1,0 +1,313 @@
+//! Persona definitions: the declared citation policies of the five
+//! systems.
+
+use shift_classify::intent::QueryIntentLabel;
+use shift_search::RankingParams;
+
+/// The five systems of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EngineKind {
+    /// Google Search (organic top-10).
+    Google,
+    /// GPT-4o with web search enabled.
+    Gpt4o,
+    /// Claude with web search enabled.
+    Claude,
+    /// Gemini with Google Search grounding.
+    Gemini,
+    /// Perplexity Sonar (search mode: web).
+    Perplexity,
+}
+
+impl EngineKind {
+    /// All engines in report order (Google first).
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Google,
+        EngineKind::Gpt4o,
+        EngineKind::Claude,
+        EngineKind::Gemini,
+        EngineKind::Perplexity,
+    ];
+
+    /// The four generative engines (everything but Google).
+    pub const GENERATIVE: [EngineKind; 4] = [
+        EngineKind::Gpt4o,
+        EngineKind::Claude,
+        EngineKind::Gemini,
+        EngineKind::Perplexity,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Google => "Google Search",
+            EngineKind::Gpt4o => "GPT-4o",
+            EngineKind::Claude => "Claude",
+            EngineKind::Gemini => "Gemini",
+            EngineKind::Perplexity => "Perplexity",
+        }
+    }
+
+    /// Stable slug for reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            EngineKind::Google => "google",
+            EngineKind::Gpt4o => "gpt4o",
+            EngineKind::Claude => "claude",
+            EngineKind::Gemini => "gemini",
+            EngineKind::Perplexity => "perplexity",
+        }
+    }
+}
+
+/// `[brand, earned, social]` multiplicative citation affinities.
+pub type Affinity = [f64; 3];
+
+/// A generative engine's citation policy.
+#[derive(Debug, Clone)]
+pub struct Persona {
+    /// Which engine this persona models.
+    pub kind: EngineKind,
+    /// Retrieval-stage ranking parameters (ignored for Gemini, which
+    /// retrieves through Google's ranking).
+    pub retrieval: RankingParams,
+    /// Candidate pool size fetched before citation selection.
+    pub pool_size: usize,
+    /// Maximum citations returned.
+    pub citations_k: usize,
+    /// Per-intent source-type affinities.
+    pub affinity_informational: Affinity,
+    /// Consideration-intent affinities.
+    pub affinity_consideration: Affinity,
+    /// Transactional-intent affinities.
+    pub affinity_transactional: Affinity,
+    /// Rerank bonus for fresh sources (multiplied with `exp(-age/90)`).
+    pub freshness_pref: f64,
+    /// Rerank bonus for domain authority.
+    pub authority_pref: f64,
+    /// Amplitude of the persona's idiosyncratic per-domain preference —
+    /// the "retrieval stack fingerprint" that pushes citations off
+    /// Google's domain set.
+    pub domain_jitter: f64,
+    /// Max citations per registrable domain.
+    pub max_per_domain: usize,
+    /// Probability of citing at all for informational/transactional
+    /// queries (Claude's "no links without explicit search prompting").
+    pub off_consideration_citation_rate: f64,
+    /// Salt for the persona's deterministic noise streams.
+    pub seed_salt: u64,
+}
+
+impl Persona {
+    /// Affinity vector for a classified intent.
+    pub fn affinity(&self, intent: QueryIntentLabel) -> Affinity {
+        match intent {
+            QueryIntentLabel::Informational => self.affinity_informational,
+            QueryIntentLabel::Consideration => self.affinity_consideration,
+            QueryIntentLabel::Transactional => self.affinity_transactional,
+        }
+    }
+
+    /// The GPT-4o persona: freshness-seeking retrieval with the wildest
+    /// domain fingerprint (lowest Google overlap in Figure 1: 4.0 %).
+    pub fn gpt4o() -> Persona {
+        let mut retrieval = RankingParams::ai_retrieval();
+        retrieval.freshness_half_life = 70.0;
+        retrieval.authority_weight = 0.15;
+        Persona {
+            kind: EngineKind::Gpt4o,
+            retrieval,
+            // The deepest pool of any persona: GPT-4o's retrieval surfaces
+            // results far below anything Google would show.
+            pool_size: 60,
+            citations_k: 10,
+            affinity_informational: [0.45, 0.45, 0.10],
+            affinity_consideration: [0.22, 0.70, 0.08],
+            affinity_transactional: [0.78, 0.16, 0.06],
+            freshness_pref: 1.2,
+            authority_pref: 0.2,
+            domain_jitter: 3.4,
+            max_per_domain: 1,
+            off_consideration_citation_rate: 1.0,
+            seed_salt: 0x6770_7434,
+        }
+    }
+
+    /// The Claude persona: heaviest earned-media concentration (65 %
+    /// earned / 1 % social in Figure 3), freshest citations, and reluctant
+    /// to cite outside consideration queries.
+    pub fn claude() -> Persona {
+        let mut retrieval = RankingParams::ai_retrieval();
+        retrieval.freshness_half_life = 70.0;
+        retrieval.authority_weight = 0.8;
+        Persona {
+            kind: EngineKind::Claude,
+            retrieval,
+            pool_size: 30,
+            citations_k: 8,
+            affinity_informational: [0.30, 0.69, 0.01],
+            affinity_consideration: [0.13, 0.86, 0.01],
+            affinity_transactional: [0.70, 0.29, 0.01],
+            freshness_pref: 1.6,
+            authority_pref: 0.8,
+            domain_jitter: 0.75,
+            max_per_domain: 2,
+            off_consideration_citation_rate: 0.3,
+            seed_salt: 0x636c_6175,
+        }
+    }
+
+    /// The Gemini persona: grounded through Google's own ranking, then
+    /// re-ranked — which keeps it structurally closer to Google (11.1 %
+    /// overlap) with a balanced earned/brand mix.
+    pub fn gemini() -> Persona {
+        Persona {
+            kind: EngineKind::Gemini,
+            // Unused for retrieval (grounding goes through Google), kept
+            // for ablations that disable grounding.
+            retrieval: RankingParams::google(),
+            // Grounding pulls a deep Google pool; the re-ranker then
+            // wanders well below the top-10, which is why Gemini's final
+            // citations overlap Google's visible results no more than
+            // Claude's do.
+            pool_size: 60,
+            citations_k: 10,
+            affinity_informational: [0.48, 0.44, 0.08],
+            affinity_consideration: [0.32, 0.60, 0.08],
+            affinity_transactional: [0.72, 0.22, 0.06],
+            freshness_pref: 0.9,
+            authority_pref: 0.6,
+            domain_jitter: 2.0,
+            max_per_domain: 2,
+            off_consideration_citation_rate: 1.0,
+            seed_salt: 0x6765_6d69,
+        }
+    }
+
+    /// The Perplexity persona: the most search-like of the AI engines —
+    /// retains more authority signal, mixes retail and YouTube in, lands
+    /// closest to Google (15.2 % overlap).
+    pub fn perplexity() -> Persona {
+        let mut retrieval = RankingParams::ai_retrieval();
+        retrieval.freshness_half_life = 150.0;
+        retrieval.authority_weight = 1.2;
+        Persona {
+            kind: EngineKind::Perplexity,
+            retrieval,
+            pool_size: 30,
+            citations_k: 10,
+            affinity_informational: [0.42, 0.44, 0.14],
+            affinity_consideration: [0.28, 0.55, 0.17],
+            affinity_transactional: [0.65, 0.25, 0.10],
+            freshness_pref: 0.8,
+            authority_pref: 0.9,
+            domain_jitter: 0.55,
+            max_per_domain: 2,
+            off_consideration_citation_rate: 1.0,
+            seed_salt: 0x7065_7270,
+        }
+    }
+
+    /// Persona lookup for the four generative engines.
+    ///
+    /// # Panics
+    /// Panics for [`EngineKind::Google`], which has no persona — its SERP
+    /// is the answer.
+    pub fn for_kind(kind: EngineKind) -> Persona {
+        match kind {
+            EngineKind::Gpt4o => Persona::gpt4o(),
+            EngineKind::Claude => Persona::claude(),
+            EngineKind::Gemini => Persona::gemini(),
+            EngineKind::Perplexity => Persona::perplexity(),
+            EngineKind::Google => panic!("Google is not a generative persona"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_slugs_are_unique() {
+        let mut names: Vec<&str> = EngineKind::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+        let mut slugs: Vec<&str> = EngineKind::ALL.iter().map(|e| e.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 5);
+    }
+
+    #[test]
+    fn affinities_are_distributions_ish() {
+        for kind in EngineKind::GENERATIVE {
+            let p = Persona::for_kind(kind);
+            for aff in [
+                p.affinity_informational,
+                p.affinity_consideration,
+                p.affinity_transactional,
+            ] {
+                let sum: f64 = aff.iter().sum();
+                assert!((0.9..=1.1).contains(&sum), "{kind:?} affinity sums to {sum}");
+                assert!(aff.iter().all(|&a| a > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn claude_social_affinity_is_minimal() {
+        let c = Persona::claude();
+        assert!(c.affinity_consideration[2] <= 0.02);
+    }
+
+    #[test]
+    fn transactional_intent_boosts_brand_for_all_ai_engines() {
+        for kind in EngineKind::GENERATIVE {
+            let p = Persona::for_kind(kind);
+            assert!(
+                p.affinity_transactional[0] > p.affinity_consideration[0],
+                "{kind:?} must boost brand under transactional intent"
+            );
+            assert!(p.affinity_transactional[0] > 0.5);
+        }
+    }
+
+    #[test]
+    fn gpt_has_largest_domain_jitter() {
+        let jitters: Vec<(EngineKind, f64)> = EngineKind::GENERATIVE
+            .iter()
+            .map(|&k| (k, Persona::for_kind(k).domain_jitter))
+            .collect();
+        let max = jitters
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(max.0, EngineKind::Gpt4o);
+        let min = jitters
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(min.0, EngineKind::Perplexity);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a generative persona")]
+    fn google_has_no_persona() {
+        let _ = Persona::for_kind(EngineKind::Google);
+    }
+
+    #[test]
+    fn affinity_selector_matches_intent() {
+        let p = Persona::gpt4o();
+        assert_eq!(
+            p.affinity(QueryIntentLabel::Transactional),
+            p.affinity_transactional
+        );
+        assert_eq!(
+            p.affinity(QueryIntentLabel::Informational),
+            p.affinity_informational
+        );
+    }
+}

@@ -1,0 +1,500 @@
+//! The engine stack: five answer systems over shared substrates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use shift_classify::intent::QueryIntentLabel;
+use shift_classify::classify_intent;
+use shift_corpus::World;
+use shift_llm::{GroundingMode, Llm, LlmConfig, Snippet};
+use shift_metrics::bootstrap::SplitMix64;
+use shift_search::{RankingParams, SearchEngine, Serp};
+
+use crate::answer::{Citation, EngineAnswer};
+use crate::persona::{EngineKind, Persona};
+
+/// All five answer systems built over one world, one index build and one
+/// pre-trained LLM. The world is shared via [`Arc`], so a stack is
+/// self-contained and cheap to pass around.
+pub struct AnswerEngines {
+    world: Arc<World>,
+    google: SearchEngine,
+    retrievers: HashMap<EngineKind, SearchEngine>,
+    personas: HashMap<EngineKind, Persona>,
+    llm: Llm,
+}
+
+impl AnswerEngines {
+    /// Builds the stack: one shared index, Google's organic parameters,
+    /// one retrieval engine per persona, and the pre-trained LLM.
+    pub fn build(world: Arc<World>) -> AnswerEngines {
+        Self::build_with_llm_config(world, LlmConfig::default())
+    }
+
+    /// Builds the stack with a custom LLM configuration (used by the
+    /// pre-training ablations).
+    pub fn build_with_llm_config(world: Arc<World>, llm_config: LlmConfig) -> AnswerEngines {
+        let google = SearchEngine::build(&world, RankingParams::google());
+        let index = google.index_handle();
+        let mut retrievers = HashMap::new();
+        let mut personas = HashMap::new();
+        for kind in EngineKind::GENERATIVE {
+            let persona = Persona::for_kind(kind);
+            retrievers.insert(
+                kind,
+                SearchEngine::with_index(index.clone(), persona.retrieval.clone()),
+            );
+            personas.insert(kind, persona);
+        }
+        let llm = Llm::pretrain(&world, llm_config);
+        AnswerEngines {
+            world,
+            google,
+            retrievers,
+            personas,
+            llm,
+        }
+    }
+
+    /// The world the stack runs over.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Clones the shared world handle.
+    pub fn world_handle(&self) -> Arc<World> {
+        Arc::clone(&self.world)
+    }
+
+    /// The shared pre-trained LLM.
+    pub fn llm(&self) -> &Llm {
+        &self.llm
+    }
+
+    /// Google's organic SERP (the study's reference ranking).
+    pub fn google_serp(&self, query: &str, k: usize) -> Serp {
+        self.google.search(query, k)
+    }
+
+    /// The persona of a generative engine.
+    pub fn persona(&self, kind: EngineKind) -> &Persona {
+        &self.personas[&kind]
+    }
+
+    /// Converts a SERP into LLM evidence snippets (presentation order =
+    /// retrieval order).
+    ///
+    /// A snippet only *speaks about* the entities whose names are visible
+    /// in its text window — a snippet of a top-10 list usually shows the
+    /// head of the list, so tail entities go unsupported. This is the
+    /// mechanism behind Table 3's citation-miss rates. When the window
+    /// names nobody, the page's primary mention stands in (the page is
+    /// still "about" its subject).
+    pub fn snippets_from_serp(&self, serp: &Serp) -> Vec<Snippet> {
+        serp.results
+            .iter()
+            .map(|r| {
+                let page = self.world.page(r.page);
+                let text_lower = r.snippet.to_lowercase();
+                let mut entities: Vec<(shift_corpus::EntityId, f64)> = page
+                    .mentions
+                    .iter()
+                    .filter(|m| {
+                        let name = &self.world.entity(m.entity).name;
+                        text_lower.contains(&name.to_lowercase())
+                    })
+                    .map(|m| (m.entity, m.score))
+                    .collect();
+                if entities.is_empty() {
+                    if let Some(primary) = page.primary_mention() {
+                        entities.push((primary.entity, primary.score));
+                    }
+                }
+                Snippet {
+                    url: r.url.clone(),
+                    text: r.snippet.clone(),
+                    entities,
+                    age_days: r.age_days,
+                }
+            })
+            .collect()
+    }
+
+    /// Issues `query` to one engine and returns its answer with citations.
+    ///
+    /// `seed` controls the decision noise of the generative run (Google is
+    /// fully deterministic and ignores it).
+    pub fn answer(&self, kind: EngineKind, query: &str, k: usize, seed: u64) -> EngineAnswer {
+        match kind {
+            EngineKind::Google => self.google_answer(query, k),
+            _ => self.generative_answer(kind, query, k, seed),
+        }
+    }
+
+    fn google_answer(&self, query: &str, k: usize) -> EngineAnswer {
+        let serp = self.google_serp(query, k);
+        let citations = serp
+            .results
+            .iter()
+            .filter_map(|r| Citation::from_url(&r.url, r.page, r.source_type, r.age_days))
+            .collect();
+        let snippets = self.snippets_from_serp(&serp);
+        EngineAnswer {
+            engine: EngineKind::Google,
+            query: query.to_string(),
+            citations,
+            snippets,
+            text: String::new(), // ten blue links, no synthesis
+        }
+    }
+
+    fn generative_answer(
+        &self,
+        kind: EngineKind,
+        query: &str,
+        k: usize,
+        seed: u64,
+    ) -> EngineAnswer {
+        let persona = &self.personas[&kind];
+        let intent = classify_intent(query);
+
+        // Retrieval: Gemini grounds through Google's own ranking; the
+        // others run their persona retrieval parameters.
+        let pool = match kind {
+            EngineKind::Gemini => self.google_serp(query, persona.pool_size),
+            _ => self.retrievers[&kind].search(query, persona.pool_size),
+        };
+        let snippets = self.snippets_from_serp(&pool);
+
+        // Citation suppression outside consideration intent (Claude).
+        let cites = if intent == QueryIntentLabel::Consideration {
+            true
+        } else {
+            let mut rng = SplitMix64::new(
+                persona.seed_salt ^ hash_str(query) ^ seed.wrapping_mul(0x9E37),
+            );
+            ((rng.next_u64() % 1000) as f64)
+                < persona.off_consideration_citation_rate * 1000.0
+        };
+
+        let citations = if cites {
+            self.select_citations(persona, intent, &pool, k.min(persona.citations_k), seed)
+        } else {
+            Vec::new()
+        };
+
+        let text = self.synthesize_text(kind, query, &snippets, seed);
+
+        EngineAnswer {
+            engine: kind,
+            query: query.to_string(),
+            citations,
+            snippets,
+            text,
+        }
+    }
+
+    /// Citation selection: re-rank the retrieval pool with the persona's
+    /// typology affinity, freshness/authority preferences and its
+    /// idiosyncratic per-domain fingerprint, then take the top-k with a
+    /// per-domain cap.
+    fn select_citations(
+        &self,
+        persona: &Persona,
+        intent: QueryIntentLabel,
+        pool: &Serp,
+        k: usize,
+        seed: u64,
+    ) -> Vec<Citation> {
+        let affinity = persona.affinity(intent);
+        let query_hash = hash_str(&pool.query);
+        let mut scored: Vec<(f64, Citation)> = pool
+            .results
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, r)| {
+                let citation = Citation::from_url(&r.url, r.page, r.source_type, r.age_days)?;
+                let domain = self.world.domain(self.world.page(r.page).domain);
+                let rank_w = 1.0 / (1.0 + 0.05 * pos as f64);
+                let aff = affinity[r.source_type.index()];
+                let fresh = (-r.age_days / 90.0).exp();
+                // Idiosyncratic fingerprint: mostly a stable per-domain
+                // preference, partly query-specific.
+                let u_dom = unit_noise(persona.seed_salt ^ hash_str(&citation.domain));
+                let u_query = unit_noise(
+                    persona.seed_salt ^ hash_str(&citation.domain) ^ query_hash ^ seed,
+                );
+                let jitter = 1.0 + persona.domain_jitter * (0.7 * u_dom + 0.3 * u_query);
+                let score = rank_w
+                    * aff
+                    * (1.0 + persona.freshness_pref * fresh)
+                    * (1.0 + persona.authority_pref * domain.authority)
+                    * jitter.max(0.05);
+                Some((score, citation))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.url.cmp(&b.1.url)));
+
+        let mut out: Vec<Citation> = Vec::with_capacity(k);
+        let mut per_domain: HashMap<String, usize> = HashMap::new();
+        for (_, c) in scored {
+            let n = per_domain.entry(c.domain.clone()).or_insert(0);
+            if *n < persona.max_per_domain {
+                *n += 1;
+                out.push(c);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// A short synthesized answer: the model ranks the entities present in
+    /// the evidence and verbalizes the top of the list.
+    ///
+    /// Retrieval pools contain lexical-accident results from other topics;
+    /// the model, like a real LLM, answers within the query's subject — so
+    /// candidates are restricted to the modal topic of the evidence.
+    fn synthesize_text(
+        &self,
+        kind: EngineKind,
+        query: &str,
+        snippets: &[Snippet],
+        seed: u64,
+    ) -> String {
+        let mut candidates: Vec<shift_corpus::EntityId> = snippets
+            .iter()
+            .flat_map(|s| s.entities.iter().map(|(e, _)| *e))
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        // Majority topic of the evidence = the query's subject (ties
+        // break toward the lower topic id for determinism).
+        let mut topic_mass: std::collections::BTreeMap<shift_corpus::TopicId, usize> =
+            std::collections::BTreeMap::new();
+        for e in &candidates {
+            *topic_mass.entry(self.world.entity(*e).topic).or_insert(0) += 1;
+        }
+        if let Some((&modal, _)) = topic_mass
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        {
+            candidates.retain(|e| self.world.entity(*e).topic == modal);
+        }
+        if candidates.is_empty() {
+            return format!("{}: no ranked entities for \"{query}\".", kind.name());
+        }
+        let answer = self
+            .llm
+            .rank_entities(&candidates, snippets, GroundingMode::Normal, seed);
+        let names: Vec<&str> = answer
+            .ranking
+            .iter()
+            .take(5)
+            .map(|e| self.world.entity(*e).name.as_str())
+            .collect();
+        format!(
+            "{} — top picks for \"{query}\": {}.",
+            kind.name(),
+            names.join(", ")
+        )
+    }
+}
+
+/// FNV-1a over a string (stable across runs).
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic noise in `[-1, 1]` from a key.
+fn unit_noise(key: u64) -> f64 {
+    let mut rng = SplitMix64::new(key);
+    2.0 * (rng.next_u64() as f64 / u64::MAX as f64) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::{SourceType, WorldConfig};
+    use shift_metrics::jaccard;
+
+    fn world() -> Arc<World> {
+        Arc::new(World::generate(&WorldConfig::small(), 55))
+    }
+
+    #[test]
+    fn all_engines_answer_ranking_queries() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        for kind in EngineKind::ALL {
+            let a = stack.answer(kind, "Top 10 most reliable SUVs", 10, 1);
+            assert_eq!(a.engine, kind);
+            assert!(
+                !a.citations.is_empty(),
+                "{kind:?} returned no citations for a consideration query"
+            );
+            assert!(a.citations.len() <= 10);
+            assert!(!a.snippets.is_empty());
+        }
+    }
+
+    #[test]
+    fn answers_are_deterministic_per_seed() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        let a = stack.answer(EngineKind::Gpt4o, "best laptops 2025", 10, 3);
+        let b = stack.answer(EngineKind::Gpt4o, "best laptops 2025", 10, 3);
+        assert_eq!(a.domains(), b.domains());
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn ai_engines_diverge_from_google_domains() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        let queries = [
+            "Top 10 most reliable smartphones",
+            "best laptops for students",
+            "top rated smartwatches 2025",
+            "most reliable electric cars",
+        ];
+        for kind in EngineKind::GENERATIVE {
+            let mut total = 0.0;
+            for q in &queries {
+                let g = stack.answer(EngineKind::Google, q, 10, 0);
+                let a = stack.answer(kind, q, 10, 0);
+                total += jaccard(&g.domains(), &a.domains());
+            }
+            let mean = total / queries.len() as f64;
+            assert!(
+                mean < 0.6,
+                "{kind:?} overlaps too much with Google: {mean:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpt_diverges_more_than_perplexity() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        let queries: Vec<String> = (0..12)
+            .map(|i| {
+                let topics = ["smartphones", "laptops", "smartwatches", "electric cars"];
+                format!("Top 10 best {} pick {}", topics[i % 4], i)
+            })
+            .collect();
+        let mean_overlap = |kind: EngineKind| {
+            let mut total = 0.0;
+            for q in &queries {
+                let g = stack.answer(EngineKind::Google, q, 10, 0);
+                let a = stack.answer(kind, q, 10, 0);
+                total += jaccard(&g.domains(), &a.domains());
+            }
+            total / queries.len() as f64
+        };
+        let gpt = mean_overlap(EngineKind::Gpt4o);
+        let pplx = mean_overlap(EngineKind::Perplexity);
+        assert!(
+            gpt < pplx,
+            "GPT overlap ({gpt:.3}) must be below Perplexity ({pplx:.3})"
+        );
+    }
+
+    #[test]
+    fn claude_suppresses_citations_off_consideration() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        let mut empty = 0;
+        let mut total = 0;
+        for i in 0..20 {
+            let q = format!("How does smartphone battery {i} work?");
+            let a = stack.answer(EngineKind::Claude, &q, 10, 0);
+            total += 1;
+            if a.citations.is_empty() {
+                empty += 1;
+            }
+        }
+        assert!(
+            empty > total / 3,
+            "Claude should skip citations for most informational queries ({empty}/{total})"
+        );
+        // But consideration queries always cite.
+        let a = stack.answer(EngineKind::Claude, "best smartphones 2025", 10, 0);
+        assert!(!a.citations.is_empty());
+    }
+
+    #[test]
+    fn claude_citations_avoid_social_sources() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        let mut social = 0usize;
+        let mut total = 0usize;
+        for q in [
+            "best smartphones 2025",
+            "top rated laptops",
+            "most reliable SUVs",
+            "best smartwatches for runners",
+        ] {
+            let a = stack.answer(EngineKind::Claude, q, 10, 0);
+            total += a.citations.len();
+            social += a
+                .citations
+                .iter()
+                .filter(|c| c.source_type == SourceType::Social)
+                .count();
+        }
+        assert!(total > 0);
+        assert!(
+            (social as f64) < 0.1 * total as f64,
+            "Claude cited {social}/{total} social sources"
+        );
+    }
+
+    #[test]
+    fn per_domain_cap_is_respected() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        for kind in EngineKind::GENERATIVE {
+            let a = stack.answer(kind, "Top 10 best laptops 2025", 10, 0);
+            let cap = stack.persona(kind).max_per_domain;
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for c in &a.citations {
+                *counts.entry(c.domain.as_str()).or_insert(0) += 1;
+            }
+            for (d, n) in counts {
+                assert!(n <= cap, "{kind:?} cited {d} {n} times (cap {cap})");
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_text_names_entities() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        let a = stack.answer(EngineKind::Gpt4o, "Top 10 most reliable SUVs", 10, 0);
+        assert!(a.text.contains("GPT-4o"));
+        assert!(a.text.contains("top picks"));
+        // At least one SUV entity name should appear.
+        let (suv_topic, _) = shift_corpus::topics::topic_by_key("suvs").unwrap();
+        let named = w
+            .entities_of_topic(suv_topic)
+            .iter()
+            .any(|e| a.text.contains(&w.entity(*e).name));
+        assert!(named, "answer text: {}", a.text);
+    }
+
+    #[test]
+    fn hash_and_noise_are_stable() {
+        assert_eq!(hash_str("abc"), hash_str("abc"));
+        assert_ne!(hash_str("abc"), hash_str("abd"));
+        let n = unit_noise(42);
+        assert!((-1.0..=1.0).contains(&n));
+        assert_eq!(n, unit_noise(42));
+    }
+}

@@ -1,0 +1,203 @@
+//! Proleptic-Gregorian civil-date arithmetic.
+//!
+//! Day numbers count days since 1970-01-01 (negative before). The
+//! conversions are Howard Hinnant's `days_from_civil` / `civil_from_days`
+//! algorithms, exact over the full `i32` day range used here.
+
+use std::fmt;
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDate {
+    /// Year (e.g. 2025).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+/// English month names, index 0 = January.
+pub const MONTH_NAMES: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+];
+
+impl CivilDate {
+    /// Creates a date, validating month and day against the calendar.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<CivilDate> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(CivilDate { year, month, day })
+    }
+
+    /// Days since 1970-01-01.
+    pub fn to_day_number(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Date for a day number (days since 1970-01-01).
+    pub fn from_day_number(days: i64) -> CivilDate {
+        let (year, month, day) = civil_from_days(days);
+        CivilDate { year, month, day }
+    }
+
+    /// Adds (or subtracts) days.
+    pub fn plus_days(self, delta: i64) -> CivilDate {
+        CivilDate::from_day_number(self.to_day_number() + delta)
+    }
+
+    /// Whole days from `self` to `other` (positive when `other` is later).
+    pub fn days_until(self, other: CivilDate) -> i64 {
+        other.to_day_number() - self.to_day_number()
+    }
+
+    /// `YYYY-MM-DD`.
+    pub fn iso(self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+
+    /// `March 14, 2025`.
+    pub fn long(self) -> String {
+        format!(
+            "{} {}, {}",
+            MONTH_NAMES[(self.month - 1) as usize],
+            self.day,
+            self.year
+        )
+    }
+
+    /// `03/14/2025` (US order, as seen on retail pages).
+    pub fn slash_us(self) -> String {
+        format!("{:02}/{:02}/{:04}", self.month, self.day, self.year)
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.iso())
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in a month, accounting for leap years.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Hinnant's `days_from_civil`: days since 1970-01-01.
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Hinnant's `civil_from_days`.
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(CivilDate::new(1970, 1, 1).unwrap().to_day_number(), 0);
+        assert_eq!(CivilDate::from_day_number(0), CivilDate::new(1970, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn known_day_numbers() {
+        // 2000-03-01 is day 11017 (post-leap-day of a 400-divisible year).
+        assert_eq!(CivilDate::new(2000, 3, 1).unwrap().to_day_number(), 11017);
+        // 2025-01-01.
+        assert_eq!(CivilDate::new(2025, 1, 1).unwrap().to_day_number(), 20089);
+    }
+
+    #[test]
+    fn round_trip_across_decades() {
+        for days in (-20000..40000).step_by(97) {
+            let d = CivilDate::from_day_number(days);
+            assert_eq!(d.to_day_number(), days, "round-trip failed at {days} ({d})");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2025));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2025, 2), 28);
+    }
+
+    #[test]
+    fn validation_rejects_impossible_dates() {
+        assert!(CivilDate::new(2025, 2, 29).is_none());
+        assert!(CivilDate::new(2024, 2, 29).is_some());
+        assert!(CivilDate::new(2025, 13, 1).is_none());
+        assert!(CivilDate::new(2025, 0, 1).is_none());
+        assert!(CivilDate::new(2025, 4, 31).is_none());
+        assert!(CivilDate::new(2025, 4, 0).is_none());
+    }
+
+    #[test]
+    fn plus_days_and_days_until() {
+        let a = CivilDate::new(2025, 12, 30).unwrap();
+        let b = a.plus_days(3);
+        assert_eq!(b, CivilDate::new(2026, 1, 2).unwrap());
+        assert_eq!(a.days_until(b), 3);
+        assert_eq!(b.days_until(a), -3);
+    }
+
+    #[test]
+    fn formatting() {
+        let d = CivilDate::new(2025, 3, 4).unwrap();
+        assert_eq!(d.iso(), "2025-03-04");
+        assert_eq!(d.long(), "March 4, 2025");
+        assert_eq!(d.slash_us(), "03/04/2025");
+        assert_eq!(d.to_string(), "2025-03-04");
+    }
+
+    #[test]
+    fn ordering_matches_day_numbers() {
+        let a = CivilDate::new(2024, 12, 31).unwrap();
+        let b = CivilDate::new(2025, 1, 1).unwrap();
+        assert!(a < b);
+    }
+}

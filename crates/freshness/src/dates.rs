@@ -1,0 +1,292 @@
+//! Multi-format date-string parsing.
+//!
+//! Real pages carry dates in a handful of shapes; the extractor must read
+//! all of them:
+//!
+//! * ISO 8601: `2025-03-14`, `2025-03-14T09:30:00Z`, `2025-03-14 09:30`
+//! * Long / abbreviated month names: `March 14, 2025`, `Mar 14 2025`,
+//!   `14 March 2025`
+//! * US slashes: `03/14/2025`
+//! * Year-first slashes: `2025/03/14`
+//!
+//! Parsing is strict about calendar validity (no February 30) and rejects
+//! years outside `[1990, 2035]` — anything else on a consumer page is noise
+//! (prices, model numbers) rather than a publication date.
+
+use crate::civil::{CivilDate, MONTH_NAMES};
+
+/// Year range accepted as a plausible publication date.
+const MIN_YEAR: i32 = 1990;
+const MAX_YEAR: i32 = 2035;
+
+/// Parses one date string in any supported format.
+///
+/// ```
+/// use shift_freshness::{parse_date, CivilDate};
+/// let d = CivilDate::new(2025, 3, 14).unwrap();
+/// assert_eq!(parse_date("2025-03-14"), Some(d));
+/// assert_eq!(parse_date("2025-03-14T09:30:00Z"), Some(d));
+/// assert_eq!(parse_date("March 14, 2025"), Some(d));
+/// assert_eq!(parse_date("Mar 14, 2025"), Some(d));
+/// assert_eq!(parse_date("14 March 2025"), Some(d));
+/// assert_eq!(parse_date("03/14/2025"), Some(d));
+/// assert_eq!(parse_date("not a date"), None);
+/// ```
+pub fn parse_date(input: &str) -> Option<CivilDate> {
+    let s = input.trim();
+    if s.is_empty() {
+        return None;
+    }
+    parse_iso(s)
+        .or_else(|| parse_month_name(s))
+        .or_else(|| parse_slash(s))
+        .filter(|d| (MIN_YEAR..=MAX_YEAR).contains(&d.year))
+}
+
+/// `YYYY-MM-DD` with optional `T…`/` …` time suffix, or `YYYY/MM/DD`.
+fn parse_iso(s: &str) -> Option<CivilDate> {
+    let date_part = s
+        .split(['T', ' '])
+        .next()
+        .unwrap_or(s);
+    let sep = if date_part.contains('-') {
+        '-'
+    } else if date_part.contains('/') {
+        '/'
+    } else {
+        return None;
+    };
+    let mut it = date_part.split(sep);
+    let y: i32 = it.next()?.parse().ok()?;
+    if !(1000..=9999).contains(&y) {
+        return None; // year-first format requires a 4-digit year
+    }
+    let m: u8 = it.next()?.parse().ok()?;
+    let d: u8 = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    CivilDate::new(y, m, d)
+}
+
+/// `March 14, 2025` / `Mar 14 2025` / `14 March 2025` / `14th of March, 2025`.
+fn parse_month_name(s: &str) -> Option<CivilDate> {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if c == ',' || c == '.' { ' ' } else { c })
+        .collect();
+    let words: Vec<&str> = cleaned
+        .split_whitespace()
+        .filter(|w| !w.eq_ignore_ascii_case("of"))
+        .collect();
+    if words.len() < 3 {
+        return None;
+    }
+    // Try (Month Day Year) then (Day Month Year).
+    for (mi, di, yi) in [(0, 1, 2), (1, 0, 2)] {
+        if words.len() <= yi {
+            continue;
+        }
+        let month = month_from_name(words[mi]);
+        let day = parse_day(words[di]);
+        let year: Option<i32> = words[yi].parse().ok();
+        if let (Some(m), Some(d), Some(y)) = (month, day, year) {
+            return CivilDate::new(y, m, d);
+        }
+    }
+    None
+}
+
+/// `MM/DD/YYYY` (US order only — ambiguous `DD/MM` inputs with day ≤ 12
+/// resolve as US, matching how US consumer sites format dates).
+fn parse_slash(s: &str) -> Option<CivilDate> {
+    let parts: Vec<&str> = s.split('/').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let a: u32 = parts[0].trim().parse().ok()?;
+    let b: u32 = parts[1].trim().parse().ok()?;
+    let y: i32 = parts[2].trim().parse().ok()?;
+    if !(1000..=9999).contains(&y) {
+        return None;
+    }
+    // US order; fall back to day-first when the first field can't be a month.
+    if (1..=12).contains(&a) {
+        CivilDate::new(y, a as u8, u8::try_from(b).ok()?)
+    } else if (1..=12).contains(&b) {
+        CivilDate::new(y, b as u8, u8::try_from(a).ok()?)
+    } else {
+        None
+    }
+}
+
+fn parse_day(word: &str) -> Option<u8> {
+    let trimmed = word
+        .trim_end_matches("st")
+        .trim_end_matches("nd")
+        .trim_end_matches("rd")
+        .trim_end_matches("th");
+    let d: u8 = trimmed.parse().ok()?;
+    (1..=31).contains(&d).then_some(d)
+}
+
+/// Month number (1–12) from a full or 3-letter English name.
+pub fn month_from_name(name: &str) -> Option<u8> {
+    let lower = name.to_ascii_lowercase();
+    if !lower.is_char_boundary(3.min(lower.len())) {
+        return None;
+    }
+    MONTH_NAMES.iter().position(|m| {
+        let ml = m.to_ascii_lowercase();
+        ml == lower || (lower.len() == 3 && ml.starts_with(&lower[..3]))
+    }).map(|i| (i + 1) as u8)
+}
+
+/// Scans free text for the first parseable date, preferring dates adjacent
+/// to publication markers ("published", "updated", "posted").
+///
+/// This is the paper's "body text" extraction channel; it is deliberately
+/// conservative — a page full of prices must not yield a date.
+pub fn scan_text_for_date(text: &str) -> Option<CivilDate> {
+    // Pass 1: dates following a marker word within a short window. Scanning
+    // happens on the lowercased copy throughout (the date formats are
+    // case-insensitive) so byte offsets stay consistent even when Unicode
+    // lowercasing changes lengths.
+    let lower = text.to_lowercase();
+    for marker in ["published", "updated", "posted", "last modified", "reviewed"] {
+        let mut from = 0;
+        while let Some(i) = lower[from..].find(marker) {
+            let start = from + i + marker.len();
+            let mut end = (start + 40).min(lower.len());
+            while !lower.is_char_boundary(end) {
+                end -= 1;
+            }
+            if let Some(d) = scan_window(&lower[start..end]) {
+                return Some(d);
+            }
+            from = start;
+        }
+    }
+    // Pass 2: any date-shaped token sequence anywhere.
+    scan_window(&lower)
+}
+
+/// Tries every plausible date-shaped substring of a window.
+fn scan_window(window: &str) -> Option<CivilDate> {
+    let tokens: Vec<&str> = window
+        .split(|c: char| c.is_whitespace() || matches!(c, ':' | ';' | '(' | ')'))
+        .filter(|t| !t.is_empty())
+        .collect();
+    for i in 0..tokens.len() {
+        // Single-token formats: ISO / slashes.
+        let tok = tokens[i].trim_matches(|c: char| matches!(c, ',' | '.' | '"'));
+        if let Some(d) = parse_iso(tok).or_else(|| parse_slash(tok)) {
+            if (MIN_YEAR..=MAX_YEAR).contains(&d.year) {
+                return Some(d);
+            }
+        }
+        // Three-token month-name formats.
+        if i + 2 < tokens.len() {
+            let candidate = format!("{} {} {}", tokens[i], tokens[i + 1], tokens[i + 2]);
+            if let Some(d) = parse_month_name(&candidate) {
+                if (MIN_YEAR..=MAX_YEAR).contains(&d.year) {
+                    return Some(d);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> CivilDate {
+        CivilDate::new(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn iso_variants() {
+        assert_eq!(parse_date("2025-01-05"), Some(d(2025, 1, 5)));
+        assert_eq!(parse_date("2025-01-05T23:59:59+02:00"), Some(d(2025, 1, 5)));
+        assert_eq!(parse_date("2025-01-05 08:00"), Some(d(2025, 1, 5)));
+        assert_eq!(parse_date("2025/01/05"), Some(d(2025, 1, 5)));
+    }
+
+    #[test]
+    fn month_name_variants() {
+        assert_eq!(parse_date("January 5, 2025"), Some(d(2025, 1, 5)));
+        assert_eq!(parse_date("Jan 5 2025"), Some(d(2025, 1, 5)));
+        assert_eq!(parse_date("5 January 2025"), Some(d(2025, 1, 5)));
+        assert_eq!(parse_date("5th of January, 2025"), Some(d(2025, 1, 5)));
+        assert_eq!(parse_date("September 30, 2024"), Some(d(2024, 9, 30)));
+    }
+
+    #[test]
+    fn slash_variants() {
+        assert_eq!(parse_date("01/05/2025"), Some(d(2025, 1, 5)));
+        // First field cannot be a month → day-first fallback.
+        assert_eq!(parse_date("25/12/2024"), Some(d(2024, 12, 25)));
+    }
+
+    #[test]
+    fn rejects_invalid_calendar_dates() {
+        assert_eq!(parse_date("2025-02-29"), None);
+        assert_eq!(parse_date("2025-13-01"), None);
+        assert_eq!(parse_date("2025-00-10"), None);
+        assert_eq!(parse_date("February 30, 2025"), None);
+    }
+
+    #[test]
+    fn rejects_implausible_years() {
+        assert_eq!(parse_date("1850-01-01"), None);
+        assert_eq!(parse_date("3024-01-01"), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "hello", "12345", "12-34", "a/b/c", "month 5, 2025"] {
+            assert_eq!(parse_date(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn month_names_full_and_abbreviated() {
+        assert_eq!(month_from_name("March"), Some(3));
+        assert_eq!(month_from_name("mar"), Some(3));
+        assert_eq!(month_from_name("DEC"), Some(12));
+        assert_eq!(month_from_name("Marchx"), None);
+        assert_eq!(month_from_name("xyz"), None);
+    }
+
+    #[test]
+    fn text_scan_prefers_marker_adjacent_dates() {
+        let text = "Model year 2019. Published March 14, 2025. Price $1,999.";
+        assert_eq!(scan_text_for_date(text), Some(d(2025, 3, 14)));
+    }
+
+    #[test]
+    fn text_scan_finds_bare_dates() {
+        let text = "Our testing concluded on 2024-11-02 after two weeks.";
+        assert_eq!(scan_text_for_date(text), Some(d(2024, 11, 2)));
+    }
+
+    #[test]
+    fn text_scan_ignores_non_dates() {
+        let text = "The model 3080 costs 1200 dollars and weighs 2.5 kg.";
+        assert_eq!(scan_text_for_date(text), None);
+    }
+
+    #[test]
+    fn text_scan_updated_marker() {
+        let text = "Specifications… Updated on 01/05/2025 by staff.";
+        assert_eq!(scan_text_for_date(text), Some(d(2025, 1, 5)));
+    }
+
+    #[test]
+    fn text_scan_unicode_safety() {
+        let text = "Published — 2024-06-07 — café naïve 😀";
+        assert_eq!(scan_text_for_date(text), Some(d(2024, 6, 7)));
+    }
+}

@@ -1,0 +1,295 @@
+//! The page-date extraction pipeline (§2.3 of the paper).
+//!
+//! Priority order: HTML `<meta>` tags → JSON-LD → `<time>` tags → body
+//! text. The first channel that yields a parseable, plausible date wins;
+//! a separate *modified* date is reported when present so callers can choose
+//! published-vs-updated semantics.
+
+use crate::civil::CivilDate;
+use crate::dates::{parse_date, scan_text_for_date};
+use crate::html::{scan, Event};
+use crate::json;
+
+/// Which extraction channel produced the date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateSource {
+    /// `<meta property="article:published_time" …>` and friends.
+    MetaTag,
+    /// `<script type="application/ld+json">` `datePublished`.
+    JsonLd,
+    /// `<time datetime="…">`.
+    TimeTag,
+    /// A date found in visible body text.
+    BodyText,
+}
+
+impl DateSource {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DateSource::MetaTag => "meta",
+            DateSource::JsonLd => "json-ld",
+            DateSource::TimeTag => "time-tag",
+            DateSource::BodyText => "body-text",
+        }
+    }
+}
+
+/// A successfully extracted page date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractedDate {
+    /// The publication date.
+    pub published: CivilDate,
+    /// The modification date, when the page carries one.
+    pub modified: Option<CivilDate>,
+    /// Channel that produced `published`.
+    pub source: DateSource,
+}
+
+impl ExtractedDate {
+    /// Age in whole days at the reference date `now` (clamped at zero —
+    /// pages "from the future" are treated as fresh rather than negative).
+    pub fn age_days(&self, now: CivilDate) -> u32 {
+        self.published.days_until(now).max(0) as u32
+    }
+
+    /// Age using the modification date when available, otherwise the
+    /// publication date. The paper's "publication or update dates".
+    pub fn effective_age_days(&self, now: CivilDate) -> u32 {
+        let base = self.modified.unwrap_or(self.published);
+        base.days_until(now).max(0) as u32
+    }
+}
+
+/// Meta attribute names that announce a publication date.
+const META_PUBLISHED_KEYS: &[&str] = &[
+    "article:published_time",
+    "datepublished",
+    "date",
+    "pubdate",
+    "publishdate",
+    "dc.date.issued",
+    "parsely-pub-date",
+    "sailthru.date",
+];
+
+/// Meta attribute names that announce a modification date.
+const META_MODIFIED_KEYS: &[&str] = &[
+    "article:modified_time",
+    "datemodified",
+    "og:updated_time",
+    "lastmod",
+];
+
+/// Extracts the publication (and optional modification) date of a page.
+///
+/// ```
+/// use shift_freshness::{extract_page_date, CivilDate, DateSource};
+/// let html = r#"<html><head>
+///   <meta property="article:published_time" content="2025-03-14T10:00:00Z">
+/// </head><body>…</body></html>"#;
+/// let d = extract_page_date(html).unwrap();
+/// assert_eq!(d.published, CivilDate::new(2025, 3, 14).unwrap());
+/// assert_eq!(d.source, DateSource::MetaTag);
+/// ```
+pub fn extract_page_date(html: &str) -> Option<ExtractedDate> {
+    let events = scan(html);
+
+    let mut meta_published: Option<CivilDate> = None;
+    let mut meta_modified: Option<CivilDate> = None;
+    let mut jsonld_published: Option<CivilDate> = None;
+    let mut jsonld_modified: Option<CivilDate> = None;
+    let mut time_tag: Option<CivilDate> = None;
+    let mut body_text = String::new();
+
+    for ev in &events {
+        match ev {
+            Event::Open(tag) if tag.name == "meta" => {
+                let key = tag
+                    .attr("property")
+                    .or_else(|| tag.attr("name"))
+                    .or_else(|| tag.attr("itemprop"))
+                    .map(|k| k.to_ascii_lowercase());
+                let Some(key) = key else { continue };
+                let Some(content) = tag.attr("content") else { continue };
+                if META_PUBLISHED_KEYS.contains(&key.as_str()) {
+                    if meta_published.is_none() {
+                        meta_published = parse_date(content);
+                    }
+                } else if META_MODIFIED_KEYS.contains(&key.as_str())
+                    && meta_modified.is_none()
+                {
+                    meta_modified = parse_date(content);
+                }
+            }
+            Event::Open(tag) if tag.name == "time"
+                && time_tag.is_none() => {
+                    if let Some(dt) = tag.attr("datetime") {
+                        time_tag = parse_date(dt);
+                    }
+                }
+            Event::Script { kind, body } if kind == "application/ld+json" => {
+                if jsonld_published.is_some() {
+                    continue;
+                }
+                if let Ok(doc) = json::parse(body.trim()) {
+                    jsonld_published = doc
+                        .find_string(&["datePublished", "dateCreated", "uploadDate"])
+                        .and_then(parse_date);
+                    jsonld_modified = doc.find_string(&["dateModified"]).and_then(parse_date);
+                }
+            }
+            Event::Text(t)
+                if body_text.len() < 8192 => {
+                    body_text.push(' ');
+                    body_text.push_str(t);
+                }
+            _ => {}
+        }
+    }
+
+    let modified = meta_modified.or(jsonld_modified);
+
+    if let Some(published) = meta_published {
+        return Some(ExtractedDate {
+            published,
+            modified,
+            source: DateSource::MetaTag,
+        });
+    }
+    if let Some(published) = jsonld_published {
+        return Some(ExtractedDate {
+            published,
+            modified,
+            source: DateSource::JsonLd,
+        });
+    }
+    if let Some(published) = time_tag {
+        return Some(ExtractedDate {
+            published,
+            modified,
+            source: DateSource::TimeTag,
+        });
+    }
+    scan_text_for_date(&body_text).map(|published| ExtractedDate {
+        published,
+        modified,
+        source: DateSource::BodyText,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> CivilDate {
+        CivilDate::new(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn meta_tag_wins_over_everything() {
+        let html = r#"
+        <head>
+          <meta property="article:published_time" content="2025-01-01T00:00:00Z">
+          <script type="application/ld+json">{"datePublished":"2024-01-01"}</script>
+        </head>
+        <body><time datetime="2023-01-01">old</time>Published June 1, 2020</body>"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.source, DateSource::MetaTag);
+        assert_eq!(e.published, d(2025, 1, 1));
+    }
+
+    #[test]
+    fn json_ld_second_priority() {
+        let html = r#"
+        <script type="application/ld+json">
+          {"@context":"https://schema.org","@type":"Article","datePublished":"2024-07-15","dateModified":"2024-08-01"}
+        </script>
+        <body><time datetime="2023-01-01">x</time></body>"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.source, DateSource::JsonLd);
+        assert_eq!(e.published, d(2024, 7, 15));
+        assert_eq!(e.modified, Some(d(2024, 8, 1)));
+    }
+
+    #[test]
+    fn json_ld_graph_nesting() {
+        let html = r#"<script type="application/ld+json">
+          {"@graph":[{"@type":"WebSite"},{"@type":"NewsArticle","datePublished":"2025-02-20"}]}
+        </script>"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.published, d(2025, 2, 20));
+    }
+
+    #[test]
+    fn time_tag_third_priority() {
+        let html = r#"<body><time datetime="2024-05-06">May 6</time>no other dates</body>"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.source, DateSource::TimeTag);
+        assert_eq!(e.published, d(2024, 5, 6));
+    }
+
+    #[test]
+    fn body_text_last_resort() {
+        let html = "<body><p>Review published March 3, 2024 by our lab.</p></body>";
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.source, DateSource::BodyText);
+        assert_eq!(e.published, d(2024, 3, 3));
+    }
+
+    #[test]
+    fn page_without_dates_yields_none() {
+        let html = "<body><p>Timeless content about widgets costing 500 dollars.</p></body>";
+        assert_eq!(extract_page_date(html), None);
+    }
+
+    #[test]
+    fn malformed_json_ld_falls_through() {
+        let html = r#"
+        <script type="application/ld+json">{invalid json…</script>
+        <time datetime="2024-10-10">ok</time>"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.source, DateSource::TimeTag);
+    }
+
+    #[test]
+    fn meta_modified_is_captured_alongside() {
+        let html = r#"
+        <meta property="article:published_time" content="2024-01-10">
+        <meta property="article:modified_time" content="2024-02-15">"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.modified, Some(d(2024, 2, 15)));
+    }
+
+    #[test]
+    fn ages_clamp_and_prefer_modified() {
+        let e = ExtractedDate {
+            published: d(2025, 1, 1),
+            modified: Some(d(2025, 3, 1)),
+            source: DateSource::MetaTag,
+        };
+        let now = d(2025, 3, 11);
+        assert_eq!(e.age_days(now), 69);
+        assert_eq!(e.effective_age_days(now), 10);
+        // Future-dated page clamps to zero.
+        assert_eq!(e.age_days(d(2024, 12, 31)), 0);
+    }
+
+    #[test]
+    fn unparseable_meta_value_falls_through_to_next_channel() {
+        let html = r#"
+        <meta name="date" content="yesterday">
+        <time datetime="2024-09-09">ok</time>"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.source, DateSource::TimeTag);
+    }
+
+    #[test]
+    fn first_meta_occurrence_wins() {
+        let html = r#"
+        <meta name="date" content="2024-04-04">
+        <meta name="date" content="2020-01-01">"#;
+        let e = extract_page_date(html).unwrap();
+        assert_eq!(e.published, d(2024, 4, 4));
+    }
+}

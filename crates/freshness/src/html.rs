@@ -1,0 +1,410 @@
+//! A tolerant single-pass HTML scanner.
+//!
+//! No DOM is built: the extractor only needs (a) attributes of `<meta>` and
+//! `<time>` tags, (b) the raw contents of `<script type="application/ld+json">`
+//! blocks, and (c) the visible text. The scanner is resilient to unclosed
+//! tags, attribute quoting styles, and comments — the synthetic corpus
+//! injects all of these deliberately.
+
+/// One scanned HTML tag with its attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tag {
+    /// Lowercased tag name (e.g. `meta`).
+    pub name: String,
+    /// `(lowercased key, raw value)` attribute pairs, in document order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Tag {
+    /// First value of an attribute by (case-insensitive) name.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Events produced by [`scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An opening or self-closing tag.
+    Open(Tag),
+    /// A closing tag (name lowercased).
+    Close(String),
+    /// A run of text between tags (entity-decoded for the common entities).
+    Text(String),
+    /// Contents of a `<script>` block (raw, not entity-decoded).
+    Script {
+        /// The `type` attribute of the script tag, lowercased (empty if
+        /// absent).
+        kind: String,
+        /// Raw block contents.
+        body: String,
+    },
+}
+
+/// Scans an HTML document into a flat event stream.
+pub fn scan(html: &str) -> Vec<Event> {
+    let bytes = html.as_bytes();
+    let mut events = Vec::new();
+    let mut pos = 0usize;
+    let mut text_start = 0usize;
+
+    while pos < bytes.len() {
+        if bytes[pos] != b'<' {
+            pos += 1;
+            continue;
+        }
+        // Flush preceding text.
+        if pos > text_start {
+            push_text(&mut events, &html[text_start..pos]);
+        }
+        // Comment?
+        if html[pos..].starts_with("<!--") {
+            match html[pos + 4..].find("-->") {
+                Some(i) => pos += 4 + i + 3,
+                None => pos = bytes.len(),
+            }
+            text_start = pos;
+            continue;
+        }
+        // Doctype / processing instruction?
+        if html[pos..].starts_with("<!") || html[pos..].starts_with("<?") {
+            match html[pos..].find('>') {
+                Some(i) => pos += i + 1,
+                None => pos = bytes.len(),
+            }
+            text_start = pos;
+            continue;
+        }
+        // Closing tag?
+        if html[pos..].starts_with("</") {
+            let end = match html[pos..].find('>') {
+                Some(i) => pos + i,
+                None => bytes.len(),
+            };
+            let name = html[pos + 2..end.min(html.len())]
+                .trim()
+                .to_ascii_lowercase();
+            if !name.is_empty() {
+                events.push(Event::Close(name));
+            }
+            pos = (end + 1).min(bytes.len());
+            text_start = pos;
+            continue;
+        }
+        // Opening tag.
+        let end = match html[pos..].find('>') {
+            Some(i) => pos + i,
+            None => {
+                // Unterminated tag: treat remainder as text and stop.
+                push_text(&mut events, &html[pos..]);
+                text_start = bytes.len();
+                break;
+            }
+        };
+        let inner = html[pos + 1..end].trim_end_matches('/');
+        let tag = parse_tag(inner);
+        pos = end + 1;
+        text_start = pos;
+
+        if let Some(tag) = tag {
+            if tag.name == "script" || tag.name == "style" {
+                // Raw-text element: capture until the matching close tag.
+                let close = format!("</{}", tag.name);
+                let rest = &html[pos..];
+                let (body_end, after) = match find_ci(rest, &close) {
+                    Some(i) => {
+                        let after_close = match rest[i..].find('>') {
+                            Some(j) => i + j + 1,
+                            None => rest.len(),
+                        };
+                        (i, after_close)
+                    }
+                    None => (rest.len(), rest.len()),
+                };
+                if tag.name == "script" {
+                    let kind = tag
+                        .attr("type")
+                        .map(|t| t.trim().to_ascii_lowercase())
+                        .unwrap_or_default();
+                    events.push(Event::Script {
+                        kind,
+                        body: rest[..body_end].to_string(),
+                    });
+                }
+                pos += after;
+                text_start = pos;
+            } else {
+                events.push(Event::Open(tag));
+            }
+        }
+    }
+    if text_start < bytes.len() {
+        push_text(&mut events, &html[text_start..]);
+    }
+    events
+}
+
+/// Case-insensitive substring search.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || n.len() > h.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| {
+        h[i..i + n.len()]
+            .iter()
+            .zip(n)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    })
+}
+
+fn push_text(events: &mut Vec<Event>, raw: &str) {
+    let decoded = decode_entities(raw);
+    if !decoded.trim().is_empty() {
+        events.push(Event::Text(decoded));
+    }
+}
+
+/// Decodes the common named entities plus numeric references.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let mut window_end = rest.len().min(10);
+        while !rest.is_char_boundary(window_end) {
+            window_end -= 1;
+        }
+        let semi = rest[..window_end].find(';');
+        match semi {
+            Some(j) => {
+                let entity = &rest[1..j];
+                let decoded = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    "nbsp" => Some(' '),
+                    "mdash" => Some('—'),
+                    "ndash" => Some('–'),
+                    _ => entity
+                        .strip_prefix("#x")
+                        .or_else(|| entity.strip_prefix("#X"))
+                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        .or_else(|| entity.strip_prefix('#').and_then(|d| d.parse().ok()))
+                        .and_then(char::from_u32),
+                };
+                match decoded {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &rest[j + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Parses `name attr=val attr2="val 2"` into a [`Tag`].
+fn parse_tag(inner: &str) -> Option<Tag> {
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return None;
+    }
+    let name_end = inner
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(inner.len());
+    let name = inner[..name_end].to_ascii_lowercase();
+    if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return None;
+    }
+    let mut attrs = Vec::new();
+    let mut rest = inner[name_end..].trim_start();
+    while !rest.is_empty() {
+        // Attribute name.
+        let key_end = rest
+            .find(|c: char| c.is_whitespace() || c == '=')
+            .unwrap_or(rest.len());
+        let key = rest[..key_end].to_ascii_lowercase();
+        rest = rest[key_end..].trim_start();
+        if key.is_empty() {
+            break;
+        }
+        if let Some(after_eq) = rest.strip_prefix('=') {
+            let after_eq = after_eq.trim_start();
+            let (value, remainder) = if let Some(stripped) = after_eq.strip_prefix('"') {
+                match stripped.find('"') {
+                    Some(i) => (stripped[..i].to_string(), &stripped[i + 1..]),
+                    None => (stripped.to_string(), ""),
+                }
+            } else if let Some(stripped) = after_eq.strip_prefix('\'') {
+                match stripped.find('\'') {
+                    Some(i) => (stripped[..i].to_string(), &stripped[i + 1..]),
+                    None => (stripped.to_string(), ""),
+                }
+            } else {
+                let end = after_eq
+                    .find(|c: char| c.is_whitespace())
+                    .unwrap_or(after_eq.len());
+                (after_eq[..end].to_string(), &after_eq[end..])
+            };
+            attrs.push((key, decode_entities(&value)));
+            rest = remainder.trim_start();
+        } else {
+            // Boolean attribute.
+            attrs.push((key, String::new()));
+        }
+    }
+    Some(Tag { name, attrs })
+}
+
+/// Concatenates all visible text of a document (whitespace-normalized).
+pub fn visible_text(html: &str) -> String {
+    let mut out = String::new();
+    for ev in scan(html) {
+        if let Event::Text(t) = ev {
+            let trimmed = t.trim();
+            if !trimmed.is_empty() {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(trimmed);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_meta_tags_with_attributes() {
+        let html = r#"<head><meta property="article:published_time" content="2025-03-14T10:00:00Z"></head>"#;
+        let events = scan(html);
+        let meta = events.iter().find_map(|e| match e {
+            Event::Open(t) if t.name == "meta" => Some(t),
+            _ => None,
+        });
+        let meta = meta.expect("meta tag found");
+        assert_eq!(meta.attr("property"), Some("article:published_time"));
+        assert_eq!(meta.attr("content"), Some("2025-03-14T10:00:00Z"));
+    }
+
+    #[test]
+    fn attribute_quoting_styles() {
+        let html = "<meta name=date content='2025-01-01'><meta name=\"x\" content=unquoted>";
+        let metas: Vec<Tag> = scan(html)
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Open(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(metas[0].attr("content"), Some("2025-01-01"));
+        assert_eq!(metas[1].attr("content"), Some("unquoted"));
+    }
+
+    #[test]
+    fn captures_json_ld_script_body() {
+        let html = r#"<script type="application/ld+json">{"datePublished":"2025-02-02"}</script>"#;
+        let events = scan(html);
+        match &events[0] {
+            Event::Script { kind, body } => {
+                assert_eq!(kind, "application/ld+json");
+                assert!(body.contains("datePublished"));
+            }
+            other => panic!("expected script event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_close_tag_case_insensitive() {
+        let html = "<script>var x = 1;</SCRIPT><p>after</p>";
+        let events = scan(html);
+        assert!(matches!(&events[0], Event::Script { body, .. } if body.contains("var x")));
+        assert!(events.iter().any(|e| matches!(e, Event::Text(t) if t == "after")));
+    }
+
+    #[test]
+    fn style_contents_are_dropped() {
+        let html = "<style>.a { color: red }</style><p>visible</p>";
+        assert_eq!(visible_text(html), "visible");
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let html = "<!DOCTYPE html><!-- published 1999-01-01 --><p>body</p>";
+        assert_eq!(visible_text(html), "body");
+    }
+
+    #[test]
+    fn entities_are_decoded_in_text() {
+        let html = "<p>Tom&amp;Jerry &lt;3 &#65; &#x42; caf&eacute;</p>";
+        assert_eq!(visible_text(html), "Tom&Jerry <3 A B caf&eacute;");
+    }
+
+    #[test]
+    fn close_events_are_emitted() {
+        let events = scan("<div><p>x</p></div>");
+        assert!(events.contains(&Event::Close("p".to_string())));
+        assert!(events.contains(&Event::Close("div".to_string())));
+    }
+
+    #[test]
+    fn unterminated_tag_degrades_gracefully() {
+        let events = scan("<p>ok</p><meta content=\"2025");
+        assert!(events.iter().any(|e| matches!(e, Event::Text(t) if t == "ok")));
+    }
+
+    #[test]
+    fn time_tag_datetime_attribute() {
+        let html = r#"<time datetime="2024-08-09">August 9</time>"#;
+        let events = scan(html);
+        match &events[0] {
+            Event::Open(t) => {
+                assert_eq!(t.name, "time");
+                assert_eq!(t.attr("datetime"), Some("2024-08-09"));
+            }
+            other => panic!("expected time tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_attributes() {
+        let events = scan("<input disabled required>");
+        match &events[0] {
+            Event::Open(t) => {
+                assert_eq!(t.attr("disabled"), Some(""));
+                assert_eq!(t.attr("required"), Some(""));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(scan("").is_empty());
+        assert_eq!(visible_text(""), "");
+    }
+}

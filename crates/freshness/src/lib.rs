@@ -1,0 +1,33 @@
+//! # shift-freshness
+//!
+//! Page-level publication-date extraction, reproducing the paper's §2.3
+//! methodology: *"extract page-level publication or update dates (HTML meta,
+//! JSON-LD, `<time>` tags, and body text) to compute source age in days."*
+//!
+//! The pipeline in [`extract`] mirrors that priority order:
+//!
+//! 1. `<meta>` tags (`article:published_time`, `datePublished`, `date`, …)
+//! 2. JSON-LD `<script type="application/ld+json">` blocks
+//!    (`datePublished` / `dateModified` on `Article`-like objects)
+//! 3. `<time datetime="…">` elements
+//! 4. Visible body text ("Published March 14, 2025", bare dates)
+//!
+//! Supporting modules are deliberately self-contained (no dependencies):
+//!
+//! * [`civil`] — proleptic-Gregorian day arithmetic (Hinnant's algorithms).
+//! * [`json`] — a compact JSON parser sufficient for real-world JSON-LD.
+//! * [`html`] — a tolerant HTML tag scanner (no DOM, single pass).
+//! * [`dates`] — multi-format date-string parsing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod civil;
+pub mod dates;
+pub mod extract;
+pub mod html;
+pub mod json;
+
+pub use civil::CivilDate;
+pub use dates::parse_date;
+pub use extract::{extract_page_date, DateSource, ExtractedDate};

@@ -1,0 +1,215 @@
+//! Pre-training: building entity priors from a dated corpus snapshot.
+//!
+//! The snapshot contains every page published at least `cutoff_days` before
+//! the study's reference date — the model "has read" the older web but none
+//! of the recent material. Each entity's prior aggregates the quality
+//! observations in that snapshot, weighted by mention prominence, with
+//! confidence saturating in the amount of material.
+
+use shift_corpus::{EntityId, World};
+
+use crate::generate::LlmConfig;
+
+/// The pre-trained belief about one entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntityPrior {
+    /// The entity.
+    pub entity: EntityId,
+    /// What the model believes the entity's quality is, in `[0, 1]`.
+    /// 0.5 (uninformative) when the snapshot contained nothing.
+    pub quality: f64,
+    /// How strongly the belief is held, in `[0, 1)`. A saturating function
+    /// of snapshot coverage: popular entities approach 1, unseen entities
+    /// sit at 0.
+    pub strength: f64,
+    /// Weighted mention mass in the snapshot (diagnostic).
+    pub coverage: f64,
+}
+
+/// A pre-trained language model over a world.
+#[derive(Debug)]
+pub struct Llm {
+    priors: Vec<EntityPrior>,
+    config: LlmConfig,
+    cutoff_day: i64,
+}
+
+impl Llm {
+    /// Runs the pre-training pass.
+    ///
+    /// `config.pretrain_cutoff_days` controls the staleness of the
+    /// snapshot; everything younger is invisible to the model and reachable
+    /// only through retrieval.
+    pub fn pretrain(world: &World, config: LlmConfig) -> Llm {
+        let cutoff_day = world.now_day() - config.pretrain_cutoff_days;
+        let mut mass = vec![0.0f64; world.entities().len()];
+        let mut weighted_quality = vec![0.0f64; world.entities().len()];
+
+        for page in world.pages() {
+            if page.published_day > cutoff_day {
+                continue; // too recent: not in the pre-training snapshot
+            }
+            for m in &page.mentions {
+                let w = m.prominence;
+                mass[m.entity.index()] += w;
+                weighted_quality[m.entity.index()] += w * m.score;
+            }
+        }
+
+        let priors = world
+            .entities()
+            .iter()
+            .map(|e| {
+                let cov = mass[e.id.index()];
+                let quality = if cov > 0.0 {
+                    weighted_quality[e.id.index()] / cov
+                } else {
+                    0.5
+                };
+                // Hill-type saturation (exponent 2): strength crosses 0.5
+                // at `strength_saturation` units of coverage, stays near 0
+                // for sparsely covered entities and approaches 1 for
+                // heavily covered ones.
+                let k = config.strength_saturation;
+                let strength = cov * cov / (cov * cov + k * k);
+                EntityPrior {
+                    entity: e.id,
+                    quality,
+                    strength,
+                    coverage: cov,
+                }
+            })
+            .collect();
+
+        Llm {
+            priors,
+            config,
+            cutoff_day,
+        }
+    }
+
+    /// The prior for an entity.
+    pub fn prior(&self, entity: EntityId) -> EntityPrior {
+        self.priors[entity.index()]
+    }
+
+    /// All priors, dense by entity id.
+    pub fn priors(&self) -> &[EntityPrior] {
+        &self.priors
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &LlmConfig {
+        &self.config
+    }
+
+    /// Last day included in the pre-training snapshot.
+    pub fn cutoff_day(&self) -> i64 {
+        self.cutoff_day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn model() -> (World, Llm) {
+        let world = World::generate(&WorldConfig::small(), 11);
+        let llm = Llm::pretrain(&world, LlmConfig::default());
+        (world, llm)
+    }
+
+    #[test]
+    fn popular_entities_have_stronger_priors() {
+        let (world, llm) = model();
+        let mut popular = Vec::new();
+        let mut niche = Vec::new();
+        for e in world.entities() {
+            let p = llm.prior(e.id);
+            if e.is_popular() {
+                popular.push(p.strength);
+            } else {
+                niche.push(p.strength);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&popular) > mean(&niche) + 0.1,
+            "popular {:.2} vs niche {:.2}",
+            mean(&popular),
+            mean(&niche)
+        );
+    }
+
+    #[test]
+    fn priors_are_bounded() {
+        let (_, llm) = model();
+        for p in llm.priors() {
+            assert!((0.0..=1.0).contains(&p.quality), "{p:?}");
+            assert!((0.0..1.0).contains(&p.strength), "{p:?}");
+            assert!(p.coverage >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unseen_entity_gets_uninformative_prior() {
+        let (world, _) = model();
+        // Cutoff in the far past: nothing is old enough to be in the
+        // snapshot.
+        let cfg = LlmConfig {
+            pretrain_cutoff_days: 100_000,
+            ..LlmConfig::default()
+        };
+        let llm = Llm::pretrain(&world, cfg);
+        for p in llm.priors() {
+            assert_eq!(p.quality, 0.5);
+            assert_eq!(p.strength, 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_cutoff_sees_everything() {
+        let (world, _) = model();
+        let cfg = LlmConfig {
+            pretrain_cutoff_days: 0,
+            ..LlmConfig::default()
+        };
+        let llm = Llm::pretrain(&world, cfg);
+        let total: f64 = llm.priors().iter().map(|p| p.coverage).sum();
+        let mentions: f64 = world
+            .pages()
+            .iter()
+            .flat_map(|p| &p.mentions)
+            .map(|m| m.prominence)
+            .sum();
+        assert!((total - mentions).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prior_quality_tracks_latent_quality_for_covered_entities() {
+        let (world, llm) = model();
+        // Among well-covered entities, prior quality should correlate with
+        // the latent generator quality.
+        let mut diffs = Vec::new();
+        for e in world.entities() {
+            let p = llm.prior(e.id);
+            if p.coverage > 5.0 {
+                diffs.push((p.quality - e.quality).abs());
+            }
+        }
+        assert!(!diffs.is_empty());
+        let mean_err = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        assert!(mean_err < 0.15, "prior error too large: {mean_err:.3}");
+    }
+
+    #[test]
+    fn pretraining_is_deterministic() {
+        let world = World::generate(&WorldConfig::small(), 5);
+        let a = Llm::pretrain(&world, LlmConfig::default());
+        let b = Llm::pretrain(&world, LlmConfig::default());
+        for (x, y) in a.priors().iter().zip(b.priors()) {
+            assert_eq!(x, y);
+        }
+    }
+}

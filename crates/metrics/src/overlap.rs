@@ -1,0 +1,165 @@
+//! Set-overlap measures for Figures 1 and 2.
+//!
+//! The paper computes, per query, the Jaccard overlap between a model's
+//! cited registrable domains and Google's top-10 domains, then averages the
+//! per-query values across the query set. These functions are generic over
+//! `Ord` items so the same code serves domain sets and entity sets.
+
+use std::collections::BTreeSet;
+
+/// Jaccard coefficient |A∩B| / |A∪B| over two slices (duplicates are
+/// collapsed). Defined as 0.0 when both sides are empty: a query where
+/// neither system cited anything contributes no overlap.
+///
+/// ```
+/// use shift_metrics::jaccard;
+/// let a = ["cnet.com", "rtings.com", "tomsguide.com"];
+/// let b = ["rtings.com", "theverge.com"];
+/// assert!((jaccard(&a, &b) - 0.25).abs() < 1e-12);
+/// ```
+pub fn jaccard<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    let sa: BTreeSet<&T> = a.iter().collect();
+    let sb: BTreeSet<&T> = b.iter().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Overlap coefficient |A∩B| / min(|A|,|B|) — a secondary view used when one
+/// engine systematically returns fewer citations.
+pub fn overlap_coefficient<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    let sa: BTreeSet<&T> = a.iter().collect();
+    let sb: BTreeSet<&T> = b.iter().collect();
+    let denom = sa.len().min(sb.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    sa.intersection(&sb).count() as f64 / denom as f64
+}
+
+/// Mean of per-query Jaccard values. Empty input yields 0.0.
+pub fn mean_jaccard(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Ratio of domains unique to a single system across a group of systems'
+/// per-query citation sets.
+///
+/// Given one set per system for the *same* query, returns
+/// `|domains cited by exactly one system| / |all cited domains|`.
+/// The paper reports this declining from 74.2 % to 68.6 % when moving from
+/// popular to niche entities.
+pub fn unique_domain_ratio<T: Ord + Clone>(per_system: &[Vec<T>]) -> f64 {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<&T, usize> = BTreeMap::new();
+    for sys in per_system {
+        let dedup: BTreeSet<&T> = sys.iter().collect();
+        for d in dedup {
+            *counts.entry(d).or_insert(0) += 1;
+        }
+    }
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let unique = counts.values().filter(|&&c| c == 1).count();
+    unique as f64 / counts.len() as f64
+}
+
+/// Mean pairwise Jaccard across a group of systems for one query
+/// ("cross-model overlap" in §2.1). Fewer than two systems yields 0.0.
+pub fn cross_system_jaccard<T: Ord>(per_system: &[Vec<T>]) -> f64 {
+    let n = per_system.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            total += jaccard(&per_system[i], &per_system[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identity() {
+        let a = [1, 2, 3];
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint() {
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_empty_sides() {
+        let e: [i32; 0] = [];
+        assert_eq!(jaccard(&e, &e), 0.0);
+        assert_eq!(jaccard(&e, &[1]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_collapses_duplicates() {
+        assert_eq!(jaccard(&[1, 1, 2], &[2, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn overlap_coefficient_subset_is_one() {
+        assert_eq!(overlap_coefficient(&[1, 2], &[1, 2, 3, 4]), 1.0);
+    }
+
+    #[test]
+    fn mean_jaccard_averages() {
+        assert!((mean_jaccard(&[0.0, 0.5, 1.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_jaccard(&[]), 0.0);
+    }
+
+    #[test]
+    fn unique_domain_ratio_all_unique() {
+        let sets = vec![vec!["a"], vec!["b"], vec!["c"]];
+        assert_eq!(unique_domain_ratio(&sets), 1.0);
+    }
+
+    #[test]
+    fn unique_domain_ratio_all_shared() {
+        let sets = vec![vec!["a"], vec!["a"], vec!["a"]];
+        assert_eq!(unique_domain_ratio(&sets), 0.0);
+    }
+
+    #[test]
+    fn unique_domain_ratio_mixed() {
+        // a shared by 2 systems, b and c unique → 2/3 unique.
+        let sets = vec![vec!["a", "b"], vec!["a", "c"]];
+        assert!((unique_domain_ratio(&sets) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_domain_ratio_dedupes_within_system() {
+        // Duplicate within one system must not count as sharing.
+        let sets = vec![vec!["a", "a"], vec!["b"]];
+        assert_eq!(unique_domain_ratio(&sets), 1.0);
+    }
+
+    #[test]
+    fn cross_system_jaccard_pairs() {
+        let sets = vec![vec![1, 2], vec![1, 2], vec![3, 4]];
+        // pairs: (0,1)=1.0, (0,2)=0.0, (1,2)=0.0 → 1/3
+        assert!((cross_system_jaccard(&sets) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cross_system_jaccard(&sets[..1]), 0.0);
+    }
+}

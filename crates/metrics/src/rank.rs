@@ -1,0 +1,260 @@
+//! Rank-correlation statistics for the pre-training-bias experiments.
+//!
+//! * [`kendall_tau`] — tie-aware Kendall τ-b between two rankings of the same
+//!   item universe, used for Table 2's consistency metric τ(R, R′).
+//! * [`mean_abs_rank_deviation`] — the paper's Δ: the mean absolute change in
+//!   rank position between a baseline ranking and a perturbed one (Table 1).
+//! * [`spearman_rho`] — secondary correlation for ablations.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Kendall τ-b between two rankings given as item sequences (rank = index).
+///
+/// Items present in only one ranking are ignored; `None` is returned when
+/// fewer than two common items exist or when either side's common items are
+/// all tied (τ-b undefined).
+///
+/// ```
+/// use shift_metrics::kendall_tau;
+/// let r = ["a", "b", "c", "d"];
+/// let same = ["a", "b", "c", "d"];
+/// let rev = ["d", "c", "b", "a"];
+/// assert_eq!(kendall_tau(&r, &same), Some(1.0));
+/// assert_eq!(kendall_tau(&r, &rev), Some(-1.0));
+/// ```
+pub fn kendall_tau<T: Eq + Hash>(a: &[T], b: &[T]) -> Option<f64> {
+    let pos_b: HashMap<&T, usize> = b.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    // Ranks of common items, in a's order.
+    let pairs: Vec<(usize, usize)> = a
+        .iter()
+        .enumerate()
+        .filter_map(|(i, x)| pos_b.get(x).map(|&j| (i, j)))
+        .collect();
+    kendall_tau_from_rank_pairs(&pairs)
+}
+
+/// Kendall τ-b from (rank_in_R, rank_in_R') pairs. Supports ties (equal rank
+/// values on either side).
+pub fn kendall_tau_from_rank_pairs(pairs: &[(usize, usize)]) -> Option<f64> {
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a1, b1) = pairs[i];
+            let (a2, b2) = pairs[j];
+            let da = a1.cmp(&a2);
+            let db = b1.cmp(&b2);
+            use std::cmp::Ordering::Equal;
+            match (da, db) {
+                (Equal, Equal) => {
+                    ties_a += 1;
+                    ties_b += 1;
+                }
+                (Equal, _) => ties_a += 1,
+                (_, Equal) => ties_b += 1,
+                (x, y) if x == y => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as i64;
+    let denom_a = total - ties_a;
+    let denom_b = total - ties_b;
+    if denom_a <= 0 || denom_b <= 0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / ((denom_a as f64) * (denom_b as f64)).sqrt())
+}
+
+/// The paper's Δ: mean absolute rank deviation between a baseline ranking
+/// `r` and a perturbed ranking `r_perturbed`, over the items of `r`.
+///
+/// An item missing from the perturbed ranking is treated as demoted to the
+/// position one past its end (the most pessimistic stable convention).
+///
+/// ```
+/// use shift_metrics::mean_abs_rank_deviation;
+/// let base = ["a", "b", "c", "d"];
+/// let swap = ["b", "a", "c", "d"];
+/// assert!((mean_abs_rank_deviation(&base, &swap) - 0.5).abs() < 1e-12);
+/// ```
+pub fn mean_abs_rank_deviation<T: Eq + Hash>(r: &[T], r_perturbed: &[T]) -> f64 {
+    if r.is_empty() {
+        return 0.0;
+    }
+    let pos: HashMap<&T, usize> = r_perturbed.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let missing_rank = r_perturbed.len();
+    let total: f64 = r
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let j = pos.get(x).copied().unwrap_or(missing_rank);
+            (i as f64 - j as f64).abs()
+        })
+        .sum();
+    total / r.len() as f64
+}
+
+/// Spearman ρ between two rankings of (mostly) the same items.
+/// Returns `None` with fewer than two common items.
+pub fn spearman_rho<T: Eq + Hash>(a: &[T], b: &[T]) -> Option<f64> {
+    let pos_b: HashMap<&T, usize> = b.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let pairs: Vec<(f64, f64)> = a
+        .iter()
+        .enumerate()
+        .filter_map(|(i, x)| pos_b.get(x).map(|&j| (i as f64, j as f64)))
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let mean_a = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
+    let mean_b = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in &pairs {
+        cov += (x - mean_a) * (y - mean_b);
+        var_a += (x - mean_a).powi(2);
+        var_b += (y - mean_b).powi(2);
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return None;
+    }
+    Some(cov / (var_a * var_b).sqrt())
+}
+
+/// Builds a ranking (best first) from per-item win counts, breaking ties by
+/// the provided tiebreak order (earlier in `tiebreak` wins the tie). This is
+/// the paper's pairwise-derived ranking R′: "each entity's final score equals
+/// the number of pairwise wins".
+pub fn ranking_from_wins<T: Eq + Hash + Clone>(
+    wins: &HashMap<T, usize>,
+    tiebreak: &[T],
+) -> Vec<T> {
+    let order: HashMap<&T, usize> = tiebreak.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let mut items: Vec<&T> = wins.keys().collect();
+    items.sort_by(|a, b| {
+        wins[*b]
+            .cmp(&wins[*a])
+            .then_with(|| {
+                let oa = order.get(*a).copied().unwrap_or(usize::MAX);
+                let ob = order.get(*b).copied().unwrap_or(usize::MAX);
+                oa.cmp(&ob)
+            })
+    });
+    items.into_iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_perfect_and_reversed() {
+        let r: Vec<i32> = (0..10).collect();
+        let rev: Vec<i32> = (0..10).rev().collect();
+        assert_eq!(kendall_tau(&r, &r), Some(1.0));
+        assert_eq!(kendall_tau(&r, &rev), Some(-1.0));
+    }
+
+    #[test]
+    fn tau_single_adjacent_swap() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [2, 1, 3, 4, 5];
+        // one discordant pair out of 10 → (9-1)/10 = 0.8
+        let tau = kendall_tau(&a, &b).unwrap();
+        assert!((tau - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_ignores_uncommon_items() {
+        let a = [1, 2, 3, 99];
+        let b = [1, 2, 3, 42];
+        assert_eq!(kendall_tau(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn tau_undefined_for_tiny_or_disjoint() {
+        assert_eq!(kendall_tau(&[1], &[1]), None);
+        assert_eq!(kendall_tau(&[1, 2], &[3, 4]), None);
+        let e: [i32; 0] = [];
+        assert_eq!(kendall_tau(&e, &e), None);
+    }
+
+    #[test]
+    fn tau_b_handles_ties() {
+        // Pairs with a tie on one side: (0,0),(1,0),(2,1)
+        let pairs = [(0usize, 0usize), (1, 0), (2, 1)];
+        let tau = kendall_tau_from_rank_pairs(&pairs).unwrap();
+        // concordant: (0,2),(1,2) → 2; ties_b: (0,1); total 3 pairs
+        // τ-b = 2 / sqrt(3 * 2) ≈ 0.8165
+        assert!((tau - 2.0 / (6.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_zero_for_identical() {
+        let r = ["x", "y", "z"];
+        assert_eq!(mean_abs_rank_deviation(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn delta_full_reversal() {
+        let a = [1, 2, 3, 4];
+        let b = [4, 3, 2, 1];
+        // deviations: 3,1,1,3 → 2.0
+        assert_eq!(mean_abs_rank_deviation(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn delta_missing_item_is_pessimistic() {
+        let a = [1, 2];
+        let b = [1];
+        // item 2: baseline rank 1, missing → rank 1 (len of b)... deviation 0? No:
+        // missing_rank = 1, baseline index 1 → |1-1| = 0. Use longer example:
+        let a2 = [1, 2, 3];
+        let b2 = [1, 3];
+        // 1: |0-0|=0; 2: missing → |1-2|=1; 3: |2-1|=1 → 2/3
+        assert!((mean_abs_rank_deviation(&a2, &b2) - 2.0 / 3.0).abs() < 1e-12);
+        // [1,2] vs [1]: item 2 is missing and demoted to rank 1 = |1-1| = 0.
+        assert_eq!(mean_abs_rank_deviation(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn delta_empty_baseline() {
+        let e: [i32; 0] = [];
+        assert_eq!(mean_abs_rank_deviation(&e, &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn spearman_matches_direction() {
+        let r: Vec<i32> = (0..8).collect();
+        let rev: Vec<i32> = (0..8).rev().collect();
+        assert!((spearman_rho(&r, &r).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&r, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_from_wins_orders_by_wins_then_tiebreak() {
+        let mut wins = HashMap::new();
+        wins.insert("a", 1);
+        wins.insert("b", 3);
+        wins.insert("c", 1);
+        let ranking = ranking_from_wins(&wins, &["c", "a", "b"]);
+        assert_eq!(ranking, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn tau_is_symmetric() {
+        let a = [1, 2, 3, 4, 5, 6];
+        let b = [2, 1, 4, 3, 6, 5];
+        assert_eq!(kendall_tau(&a, &b), kendall_tau(&b, &a));
+    }
+}

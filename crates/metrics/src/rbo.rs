@@ -1,0 +1,164 @@
+//! Rank-biased overlap (Webber, Moffat & Zobel 2010).
+//!
+//! Jaccard ignores rank positions; RBO weights agreement at the top of two
+//! rankings more heavily, which matches how users consume SERPs and
+//! citation lists. The study reports RBO as a secondary overlap view
+//! alongside Figure 1's Jaccard numbers.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Rank-biased overlap at persistence `p` for two (possibly truncated)
+/// rankings.
+///
+/// Uses the extrapolated RBO_ext of the original paper for prefix
+/// evaluation: the agreement at the deepest common depth is assumed to
+/// persist. `p` must be in `(0, 1)`; typical values are 0.9 (top-heavy)
+/// to 0.98 (deep).
+///
+/// ```
+/// use shift_metrics::rbo::rbo;
+/// let a = ["x", "y", "z"];
+/// let b = ["x", "y", "z"];
+/// assert!((rbo(&a, &b, 0.9) - 1.0).abs() < 1e-9);
+/// let disjoint = ["p", "q", "r"];
+/// assert_eq!(rbo(&a, &disjoint, 0.9), 0.0);
+/// ```
+pub fn rbo<T: Eq + Hash>(a: &[T], b: &[T], p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "persistence must be in (0, 1)");
+    let depth = a.len().min(b.len());
+    if depth == 0 {
+        return 0.0;
+    }
+
+    let mut seen_a: HashSet<&T> = HashSet::with_capacity(a.len());
+    let mut seen_b: HashSet<&T> = HashSet::with_capacity(b.len());
+    let mut overlap = 0usize; // |A_d ∩ B_d|
+    let mut sum = 0.0;
+    let mut agreement_at_depth = 0.0;
+
+    for d in 0..depth {
+        // Insert the d-th element of each list, counting cross-hits.
+        let xa = &a[d];
+        let xb = &b[d];
+        if xa == xb {
+            overlap += 1;
+        } else {
+            if seen_b.contains(xa) {
+                overlap += 1;
+            }
+            if seen_a.contains(xb) {
+                overlap += 1;
+            }
+        }
+        seen_a.insert(xa);
+        seen_b.insert(xb);
+
+        agreement_at_depth = overlap as f64 / (d + 1) as f64;
+        sum += agreement_at_depth * p.powi(d as i32);
+    }
+
+    // Extrapolate: assume the final agreement persists beyond the prefix.
+    let prefix = (1.0 - p) * sum;
+    let tail = agreement_at_depth * p.powi(depth as i32);
+    (prefix + tail).clamp(0.0, 1.0)
+}
+
+/// Mean RBO over per-query ranking pairs.
+pub fn mean_rbo<T: Eq + Hash>(pairs: &[(Vec<T>, Vec<T>)], p: f64) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(a, b)| rbo(a, b, p)).sum::<f64>() / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_score_one() {
+        let r: Vec<u32> = (0..10).collect();
+        assert!((rbo(&r, &r, 0.9) - 1.0).abs() < 1e-9);
+        assert!((rbo(&r, &r, 0.98) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_rankings_score_zero() {
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (100..110).collect();
+        assert_eq!(rbo(&a, &b, 0.9), 0.0);
+    }
+
+    #[test]
+    fn empty_input_scores_zero() {
+        let e: Vec<u32> = vec![];
+        let a: Vec<u32> = vec![1, 2];
+        assert_eq!(rbo(&e, &a, 0.9), 0.0);
+        assert_eq!(rbo(&e, &e, 0.9), 0.0);
+    }
+
+    #[test]
+    fn top_agreement_beats_bottom_agreement() {
+        // Same set, agreement only at the top vs only at the bottom.
+        let base = [1, 2, 3, 4, 5, 6];
+        let top_same = [1, 2, 3, 6, 5, 4];
+        let bottom_same = [3, 2, 1, 4, 5, 6];
+        // Both share the same elements; top_same agrees on positions 0-2
+        // exactly, bottom_same on 3-5 exactly.
+        let t = rbo(&base, &top_same, 0.9);
+        let b = rbo(&base, &bottom_same, 0.9);
+        assert!(t > b, "top-weighted: {t:.3} vs {b:.3}");
+    }
+
+    #[test]
+    fn is_symmetric() {
+        let a = [1, 2, 3, 4];
+        let b = [2, 4, 1, 9];
+        assert!((rbo(&a, &b, 0.9) - rbo(&b, &a, 0.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [5, 1, 9, 2, 7];
+        for p in [0.5, 0.9, 0.98] {
+            let v = rbo(&a, &b, p);
+            assert!((0.0..=1.0).contains(&v), "p={p}: {v}");
+        }
+    }
+
+    #[test]
+    fn handles_different_lengths() {
+        let a = [1, 2, 3, 4, 5, 6, 7, 8];
+        let b = [1, 2, 3];
+        let v = rbo(&a, &b, 0.9);
+        assert!(v > 0.9, "strong prefix agreement, got {v}");
+    }
+
+    #[test]
+    fn higher_persistence_weights_deeper_ranks() {
+        // Agreement only deep in the list earns more under larger p.
+        let a = [1, 2, 3, 4, 5, 6, 7, 8];
+        let b = [11, 12, 13, 14, 5, 6, 7, 8];
+        assert!(rbo(&a, &b, 0.98) > rbo(&a, &b, 0.7));
+    }
+
+    #[test]
+    fn mean_rbo_averages() {
+        let pairs = vec![
+            (vec![1, 2], vec![1, 2]),
+            (vec![1, 2], vec![3, 4]),
+        ];
+        assert!((mean_rbo(&pairs, 0.9) - 0.5).abs() < 1e-9);
+        let empty: Vec<(Vec<u32>, Vec<u32>)> = vec![];
+        assert_eq!(mean_rbo(&empty, 0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "persistence")]
+    fn invalid_p_panics() {
+        let a = [1];
+        let _ = rbo(&a, &a, 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Descriptive statistics: mean, median, percentiles, standard deviation,
+//! and a [`Summary`] convenience aggregate used by report rendering.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); 0.0 for fewer than two
+/// values.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Median via sorting (even-length inputs average the two central values);
+/// 0.0 for empty input.
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`. 0.0 for empty input.
+///
+/// ```
+/// use shift_metrics::percentile;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 0.0), 1.0);
+/// assert_eq!(percentile(&v, 50.0), 2.5);
+/// assert_eq!(percentile(&v, 100.0), 4.0);
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let idx = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; all fields are 0.0 for empty input except `count`.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                p25: 0.0,
+                median: 0.0,
+                p75: 0.0,
+                p90: 0.0,
+                max: 0.0,
+            };
+        }
+        Summary {
+            count: values.len(),
+            mean: mean(values),
+            stddev: stddev(values),
+            min: percentile(values, 0.0),
+            p25: percentile(values, 25.0),
+            median: percentile(values, 50.0),
+            p75: percentile(values, 75.0),
+            p90: percentile(values, 90.0),
+            max: percentile(values, 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_known() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        // sample stddev of this classic example is sqrt(32/7)
+        assert!((stddev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[3.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 25.0), 20.0);
+        assert_eq!(percentile(&v, 10.0), 14.0);
+    }
+
+    #[test]
+    fn percentile_clamps_p() {
+        let v = [1.0, 2.0];
+        assert_eq!(percentile(&v, -5.0), 1.0);
+        assert_eq!(percentile(&v, 150.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_input_order_irrelevant() {
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), percentile(&[1.0, 2.0, 3.0], 50.0));
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.median, 50.5);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p90);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the statistics crate.
+
+use proptest::prelude::*;
+use shift_metrics::overlap::{cross_system_jaccard, unique_domain_ratio};
+use shift_metrics::rank::kendall_tau_from_rank_pairs;
+use shift_metrics::{
+    jaccard, kendall_tau, mean, mean_abs_rank_deviation, median, percentile, spearman_rho,
+    stddev, Histogram,
+};
+
+fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..64)
+}
+
+fn permutation() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let base: Vec<u32> = (0..n as u32).collect();
+        (Just(base.clone()), Just(base)).prop_flat_map(|(a, b)| {
+            (Just(a), proptest::sample::subsequence(b.clone(), b.len()).prop_shuffle())
+        })
+    })
+}
+
+proptest! {
+    /// Jaccard is bounded and symmetric.
+    #[test]
+    fn jaccard_bounds_and_symmetry(a in prop::collection::vec(0u8..20, 0..16),
+                                   b in prop::collection::vec(0u8..20, 0..16)) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&b, &a));
+    }
+
+    /// Jaccard of a set with itself is 1 (or 0 for empty).
+    #[test]
+    fn jaccard_self(a in prop::collection::vec(0u8..20, 0..16)) {
+        let j = jaccard(&a, &a);
+        if a.is_empty() {
+            prop_assert_eq!(j, 0.0);
+        } else {
+            prop_assert!((j - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Kendall τ on permutations stays within [-1, 1] and is symmetric.
+    #[test]
+    fn tau_bounds_and_symmetry((a, b) in permutation()) {
+        if let Some(tau) = kendall_tau(&a, &b) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&tau));
+            prop_assert_eq!(Some(tau), kendall_tau(&b, &a));
+        }
+    }
+
+    /// τ of a permutation with itself is exactly 1.
+    #[test]
+    fn tau_identity((a, _) in permutation()) {
+        prop_assert_eq!(kendall_tau(&a, &a), Some(1.0));
+    }
+
+    /// Spearman agrees in sign with Kendall on permutations.
+    #[test]
+    fn spearman_and_kendall_same_sign((a, b) in permutation()) {
+        if let (Some(t), Some(s)) = (kendall_tau(&a, &b), spearman_rho(&a, &b)) {
+            if t.abs() > 0.3 {
+                prop_assert!(t.signum() == s.signum(), "τ={t}, ρ={s}");
+            }
+        }
+    }
+
+    /// Δ is zero iff the rankings are identical, and non-negative always.
+    #[test]
+    fn delta_nonneg_and_zero_on_identity((a, b) in permutation()) {
+        let d = mean_abs_rank_deviation(&a, &b);
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(mean_abs_rank_deviation(&a, &a), 0.0);
+        if d == 0.0 {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Percentile is monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_monotone(v in small_vec(), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&v, lo);
+        let b = percentile(&v, hi);
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(percentile(&v, 0.0) <= a + 1e-9);
+        prop_assert!(b <= percentile(&v, 100.0) + 1e-9);
+    }
+
+    /// Mean lies within [min, max]; stddev is non-negative.
+    #[test]
+    fn mean_within_range(v in small_vec()) {
+        let m = mean(&v);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(stddev(&v) >= 0.0);
+    }
+
+    /// Median is invariant under permutation of the input.
+    #[test]
+    fn median_permutation_invariant(v in small_vec()) {
+        let mut rev = v.clone();
+        rev.reverse();
+        prop_assert_eq!(median(&v), median(&rev));
+    }
+
+    /// Histogram conserves observations: bins + overflow == total.
+    #[test]
+    fn histogram_conserves_counts(v in prop::collection::vec(-50.0..150.0f64, 0..128)) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record_all(&v);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), v.len() as u64);
+    }
+
+    /// unique_domain_ratio and cross_system_jaccard stay in [0, 1].
+    #[test]
+    fn group_measures_bounded(sets in prop::collection::vec(
+        prop::collection::vec(0u8..12, 0..8), 0..5)) {
+        let u = unique_domain_ratio(&sets);
+        let c = cross_system_jaccard(&sets);
+        prop_assert!((0.0..=1.0).contains(&u));
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    /// τ-b from rank pairs never exceeds 1 in magnitude even with ties.
+    #[test]
+    fn tau_b_bounded_with_ties(pairs in prop::collection::vec((0usize..6, 0usize..6), 2..24)) {
+        if let Some(t) = kendall_tau_from_rank_pairs(&pairs) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&t), "τ-b out of range: {t}");
+        }
+    }
+}

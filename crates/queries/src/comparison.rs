@@ -1,0 +1,181 @@
+//! Entity-comparison queries (Figure 2 workload): "Apple or Samsung",
+//! "Garmin or Coros for ultramarathon training".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shift_corpus::{topic_specs, EntityId, TopicId, World};
+
+use crate::{Query, QueryIntent, QueryKind};
+
+/// Use-case suffixes appended to niche comparisons (niche queries are
+/// phrased with narrower scope, as in the paper's example).
+const NICHE_SUFFIXES: &[&str] = &[
+    "for ultramarathon training",
+    "for daily commuting",
+    "for a small apartment",
+    "for long-term durability",
+    "for a first-time buyer",
+    "for heavy use",
+];
+
+/// Generates `n_popular` popular-pair and `n_niche` niche-pair comparison
+/// queries.
+///
+/// Popular pairs draw two popular entities of the same consumer topic
+/// ("Apple iPhone 15 or Samsung Galaxy S24"); niche pairs draw two niche
+/// entities of any topic and append a narrowing use-case.
+pub fn comparison_queries(
+    world: &World,
+    n_popular: usize,
+    n_niche: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_popular + n_niche);
+
+    let topics: Vec<(TopicId, bool)> = topic_specs()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (TopicId::from(i), s.consumer_topic))
+        .collect();
+    let consumer: Vec<TopicId> = topics
+        .iter()
+        .filter(|(_, c)| *c)
+        .map(|(t, _)| *t)
+        .collect();
+    let all: Vec<TopicId> = topics.iter().map(|(t, _)| *t).collect();
+
+    let make = |id: usize, popular: bool, rng: &mut StdRng| -> Option<Query> {
+        let pool = if popular { &consumer } else { &all };
+        // Try a few topics until one has two entities of the right tier.
+        for _ in 0..20 {
+            let topic = pool[rng.gen_range(0..pool.len())];
+            let tier: Vec<EntityId> = world
+                .entities_of_topic(topic)
+                .iter()
+                .copied()
+                .filter(|e| world.entity(*e).is_popular() == popular)
+                .collect();
+            if tier.len() < 2 {
+                continue;
+            }
+            let a = tier[rng.gen_range(0..tier.len())];
+            let mut b = tier[rng.gen_range(0..tier.len())];
+            let mut guard = 0;
+            while b == a && guard < 10 {
+                b = tier[rng.gen_range(0..tier.len())];
+                guard += 1;
+            }
+            if b == a {
+                continue;
+            }
+            let base = format!("{} or {}", world.entity(a).name, world.entity(b).name);
+            let text = if popular {
+                base
+            } else {
+                format!(
+                    "{base} {}",
+                    NICHE_SUFFIXES[rng.gen_range(0..NICHE_SUFFIXES.len())]
+                )
+            };
+            return Some(Query {
+                id,
+                text,
+                topic,
+                intent: QueryIntent::Consideration,
+                kind: QueryKind::Comparison,
+                popular: Some(popular),
+                entities: vec![a, b],
+            });
+        }
+        None
+    };
+
+    let mut id = 0;
+    while out.len() < n_popular {
+        if let Some(q) = make(id, true, &mut rng) {
+            out.push(q);
+            id += 1;
+        }
+    }
+    while out.len() < n_popular + n_niche {
+        if let Some(q) = make(id, false, &mut rng) {
+            out.push(q);
+            id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(), 3)
+    }
+
+    #[test]
+    fn generates_requested_split() {
+        let w = world();
+        let qs = comparison_queries(&w, 30, 20, 11);
+        assert_eq!(qs.len(), 50);
+        assert_eq!(qs.iter().filter(|q| q.popular == Some(true)).count(), 30);
+        assert_eq!(qs.iter().filter(|q| q.popular == Some(false)).count(), 20);
+    }
+
+    #[test]
+    fn pairs_reference_two_distinct_entities_of_right_tier() {
+        let w = world();
+        for q in comparison_queries(&w, 25, 25, 4) {
+            assert_eq!(q.entities.len(), 2);
+            assert_ne!(q.entities[0], q.entities[1]);
+            let popular = q.popular.unwrap();
+            for e in &q.entities {
+                assert_eq!(
+                    w.entity(*e).is_popular(),
+                    popular,
+                    "tier mismatch in {:?}",
+                    q.text
+                );
+                assert_eq!(w.entity(*e).topic, q.topic);
+            }
+        }
+    }
+
+    #[test]
+    fn texts_contain_both_names_and_or() {
+        let w = world();
+        for q in comparison_queries(&w, 10, 10, 8) {
+            assert!(q.text.contains(" or "));
+            for e in &q.entities {
+                assert!(q.text.contains(&w.entity(*e).name));
+            }
+        }
+    }
+
+    #[test]
+    fn niche_queries_carry_use_case_suffix() {
+        let w = world();
+        let qs = comparison_queries(&w, 5, 20, 13);
+        for q in qs.iter().filter(|q| q.popular == Some(false)) {
+            assert!(
+                NICHE_SUFFIXES.iter().any(|s| q.text.ends_with(s)),
+                "niche query lacks suffix: {:?}",
+                q.text
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = comparison_queries(&w, 20, 20, 2);
+        let b = comparison_queries(&w, 20, 20, 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.entities, y.entities);
+        }
+    }
+}

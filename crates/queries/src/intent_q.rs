@@ -1,0 +1,142 @@
+//! Intent-classified consumer-electronics queries (Figure 3 workload).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shift_corpus::{topic_specs, TopicId, Vertical, World};
+
+use crate::{Query, QueryIntent, QueryKind};
+
+/// Audiences for consideration templates.
+const AUDIENCES: &[&str] = &[
+    "students", "gamers", "travelers", "creators", "professionals",
+    "seniors", "kids", "commuters",
+];
+
+/// Generates `per_intent` queries for each of the three intents, all within
+/// consumer-electronics topics (the paper uses 300 = 100 per intent).
+pub fn intent_queries(world: &World, per_intent: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ce_topics: Vec<(TopicId, &shift_corpus::TopicSpec)> = topic_specs()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.vertical == Vertical::ConsumerElectronics)
+        .map(|(i, s)| (TopicId::from(i), s))
+        .collect();
+    assert!(!ce_topics.is_empty());
+
+    let mut out = Vec::with_capacity(per_intent * 3);
+    let mut id = 0usize;
+    for intent in QueryIntent::ALL {
+        for _ in 0..per_intent {
+            let (topic, spec) = ce_topics[rng.gen_range(0..ce_topics.len())];
+            let vocab = spec.vocab[rng.gen_range(0..spec.vocab.len())];
+            let (text, entities) = match intent {
+                QueryIntent::Informational => {
+                    let text = match rng.gen_range(0..3) {
+                        0 => format!("How does {} {} work?", spec.unit, vocab),
+                        1 => format!("What is {} in a {}?", vocab, spec.unit),
+                        _ => format!("Why does {} matter for {}?", vocab, spec.plural),
+                    };
+                    (text, Vec::new())
+                }
+                QueryIntent::Consideration => {
+                    let text = match rng.gen_range(0..3) {
+                        0 => format!(
+                            "Best {} for {}",
+                            spec.plural,
+                            AUDIENCES[rng.gen_range(0..AUDIENCES.len())]
+                        ),
+                        1 => format!("Which {} has the best {}?", spec.unit, vocab),
+                        _ => format!("Top {} for {} quality", spec.plural, vocab),
+                    };
+                    (text, Vec::new())
+                }
+                QueryIntent::Transactional => {
+                    let ids = world.entities_of_topic(topic);
+                    let e = ids[rng.gen_range(0..ids.len())];
+                    let name = &world.entity(e).name;
+                    let text = match rng.gen_range(0..3) {
+                        0 => format!("Buy {name}"),
+                        1 => format!("{name} price and deals"),
+                        _ => format!("{name} in stock near me"),
+                    };
+                    (text, vec![e])
+                }
+            };
+            out.push(Query {
+                id,
+                text,
+                topic,
+                intent,
+                kind: QueryKind::Intent,
+                popular: None,
+                entities,
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(), 3)
+    }
+
+    #[test]
+    fn balanced_across_intents() {
+        let qs = intent_queries(&world(), 100, 21);
+        assert_eq!(qs.len(), 300);
+        for intent in QueryIntent::ALL {
+            assert_eq!(qs.iter().filter(|q| q.intent == intent).count(), 100);
+        }
+    }
+
+    #[test]
+    fn all_queries_are_consumer_electronics() {
+        for q in intent_queries(&world(), 30, 21) {
+            assert_eq!(
+                topic_specs()[q.topic.index()].vertical,
+                Vertical::ConsumerElectronics
+            );
+            assert_eq!(q.kind, QueryKind::Intent);
+        }
+    }
+
+    #[test]
+    fn transactional_queries_name_an_entity() {
+        let w = world();
+        for q in intent_queries(&w, 40, 5) {
+            match q.intent {
+                QueryIntent::Transactional => {
+                    assert_eq!(q.entities.len(), 1);
+                    assert!(q.text.contains(&w.entity(q.entities[0]).name));
+                }
+                _ => assert!(q.entities.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn informational_queries_ask_questions() {
+        for q in intent_queries(&world(), 20, 5) {
+            if q.intent == QueryIntent::Informational {
+                assert!(q.text.ends_with('?'), "{:?}", q.text);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = intent_queries(&w, 25, 9);
+        let b = intent_queries(&w, 25, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # shift-queries
+//!
+//! Deterministic workload generators for every experiment in the paper:
+//!
+//! * [`ranking`] — the 1,000 ranking-style queries over the ten consumer
+//!   topics of Figure 1 ("Top 10 most reliable smartphones", …).
+//! * [`comparison`] — the 200 entity-comparison queries of Figure 2
+//!   (100 popular "Apple or Samsung", 100 niche "Garmin or Coros for
+//!   ultramarathon training").
+//! * [`intent_q`] — the 300 consumer-electronics queries of Figure 3,
+//!   balanced across informational / consideration / transactional intent.
+//! * [`vertical`] — the curated vertical workloads of Figure 4
+//!   (consumer electronics and automotive).
+//!
+//! Every generator takes an explicit seed and produces identical workloads
+//! across runs, so the committed EXPERIMENTS.md numbers are reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comparison;
+pub mod intent_q;
+pub mod ranking;
+pub mod vertical;
+
+use shift_corpus::{EntityId, TopicId};
+
+/// User intent behind a query (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryIntent {
+    /// "How does Wi-Fi 7 work?"
+    Informational,
+    /// "Best laptops for students"
+    Consideration,
+    /// "Buy iPhone 15"
+    Transactional,
+}
+
+impl QueryIntent {
+    /// All intents in report order.
+    pub const ALL: [QueryIntent; 3] = [
+        QueryIntent::Informational,
+        QueryIntent::Consideration,
+        QueryIntent::Transactional,
+    ];
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryIntent::Informational => "informational",
+            QueryIntent::Consideration => "consideration",
+            QueryIntent::Transactional => "transactional",
+        }
+    }
+}
+
+/// Workload family a query belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Ranking-style ("top 10 …").
+    Ranking,
+    /// Entity comparison ("A or B …").
+    Comparison,
+    /// Intent-classified consumer-electronics query.
+    Intent,
+    /// Curated vertical query (freshness analysis).
+    Vertical,
+}
+
+/// One generated query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Index within its workload.
+    pub id: usize,
+    /// The query text as a user would type it.
+    pub text: String,
+    /// Owning topic.
+    pub topic: TopicId,
+    /// Interpreted intent.
+    pub intent: QueryIntent,
+    /// Workload family.
+    pub kind: QueryKind,
+    /// For comparison workloads: true = popular pair, false = niche pair.
+    pub popular: Option<bool>,
+    /// Entities explicitly referenced by the query text.
+    pub entities: Vec<EntityId>,
+}
+
+pub use comparison::comparison_queries;
+pub use intent_q::intent_queries;
+pub use ranking::ranking_queries;
+pub use vertical::vertical_queries;

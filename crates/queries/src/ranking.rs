@@ -1,0 +1,142 @@
+//! Ranking-style queries (Figure 1 workload).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shift_corpus::{topic_specs, TopicId, World};
+
+use crate::{Query, QueryIntent, QueryKind};
+
+/// Qualifier adjectives for ranking templates.
+const QUALIFIERS: &[&str] = &[
+    "most reliable",
+    "best reviewed",
+    "best overall",
+    "top rated",
+    "best value",
+    "most popular",
+    "best budget",
+    "most recommended",
+];
+
+/// Audience / use-case phrases.
+const AUDIENCES: &[&str] = &[
+    "for students",
+    "for families",
+    "for travelers",
+    "for professionals",
+    "for beginners",
+    "this season",
+    "this year",
+    "right now",
+    "on a budget",
+    "for everyday use",
+];
+
+/// Generates `n` ranking-style queries spread round-robin over the ten
+/// consumer topics, mirroring §2.1's 1,000-query workload.
+///
+/// Texts cycle through templated variants ("Top 10 most reliable
+/// smartphones", "Best reviewed airlines this season", …); topics rotate so
+/// every topic receives `n / 10` queries (± 1).
+pub fn ranking_queries(world: &World, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let consumer: Vec<(TopicId, &shift_corpus::TopicSpec)> = topic_specs()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.consumer_topic)
+        .map(|(i, s)| (TopicId::from(i), s))
+        .collect();
+    assert!(!consumer.is_empty(), "world must carry consumer topics");
+
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        let (topic, spec) = consumer[id % consumer.len()];
+        let qualifier = QUALIFIERS[rng.gen_range(0..QUALIFIERS.len())];
+        let text = match rng.gen_range(0..4) {
+            0 => format!("Top 10 {} {}", qualifier, spec.plural),
+            1 => format!(
+                "Best {} {}",
+                spec.plural,
+                AUDIENCES[rng.gen_range(0..AUDIENCES.len())]
+            ),
+            2 => format!("Top {} {} 2025", qualifier, spec.plural),
+            _ => format!(
+                "{} {} {}",
+                qualifier,
+                spec.plural,
+                AUDIENCES[rng.gen_range(0..AUDIENCES.len())]
+            ),
+        };
+        out.push(Query {
+            id,
+            text,
+            topic,
+            intent: QueryIntent::Consideration,
+            kind: QueryKind::Ranking,
+            popular: None,
+            entities: Vec::new(),
+        });
+    }
+    let _ = world; // workload depends only on the topic table today
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(), 3)
+    }
+
+    #[test]
+    fn generates_exactly_n_queries() {
+        let qs = ranking_queries(&world(), 137, 5);
+        assert_eq!(qs.len(), 137);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.id, i);
+            assert!(!q.text.is_empty());
+            assert_eq!(q.kind, QueryKind::Ranking);
+        }
+    }
+
+    #[test]
+    fn topics_rotate_evenly() {
+        let qs = ranking_queries(&world(), 1000, 5);
+        let mut counts = std::collections::HashMap::new();
+        for q in &qs {
+            *counts.entry(q.topic).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 10, "all ten consumer topics must appear");
+        for (_, c) in counts {
+            assert_eq!(c, 100);
+        }
+    }
+
+    #[test]
+    fn texts_mention_the_topic_noun() {
+        let w = world();
+        for q in ranking_queries(&w, 50, 9) {
+            let spec = &topic_specs()[q.topic.index()];
+            assert!(
+                q.text.to_lowercase().contains(&spec.plural.to_lowercase()),
+                "{:?} does not mention {}",
+                q.text,
+                spec.plural
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = world();
+        let a = ranking_queries(&w, 40, 7);
+        let b = ranking_queries(&w, 40, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
+        let c = ranking_queries(&w, 40, 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.text != y.text));
+    }
+}

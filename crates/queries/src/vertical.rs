@@ -1,0 +1,98 @@
+//! Curated vertical workloads for the freshness analysis (Figure 4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shift_corpus::{topic_specs, TopicId, Vertical, World};
+
+use crate::{Query, QueryIntent, QueryKind};
+
+/// Ranking-style templates used for the vertical workloads — §2.3 says the
+/// freshness analysis uses "curated ranking-style queries".
+const TEMPLATES: &[&str] = &[
+    "Top 10 best {plural} 2025",
+    "Best {plural} to buy right now",
+    "Most reliable {plural} this year",
+    "Best {plural} for the money",
+    "Top rated {plural} reviewed",
+];
+
+/// Generates `n` curated ranking-style queries within one vertical.
+pub fn vertical_queries(world: &World, vertical: Vertical, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topics: Vec<(TopicId, &shift_corpus::TopicSpec)> = topic_specs()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.vertical == vertical)
+        .map(|(i, s)| (TopicId::from(i), s))
+        .collect();
+    assert!(
+        !topics.is_empty(),
+        "no topics in vertical {:?}",
+        vertical.label()
+    );
+
+    let _ = world;
+    (0..n)
+        .map(|id| {
+            let (topic, spec) = topics[id % topics.len()];
+            let template = TEMPLATES[rng.gen_range(0..TEMPLATES.len())];
+            Query {
+                id,
+                text: template.replace("{plural}", spec.plural),
+                topic,
+                intent: QueryIntent::Consideration,
+                kind: QueryKind::Vertical,
+                popular: None,
+                entities: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(), 3)
+    }
+
+    #[test]
+    fn queries_stay_within_vertical() {
+        let w = world();
+        for vertical in [Vertical::ConsumerElectronics, Vertical::Automotive] {
+            for q in vertical_queries(&w, vertical, 20, 1) {
+                assert_eq!(topic_specs()[q.topic.index()].vertical, vertical);
+                assert_eq!(q.kind, QueryKind::Vertical);
+            }
+        }
+    }
+
+    #[test]
+    fn templates_are_instantiated() {
+        let w = world();
+        for q in vertical_queries(&w, Vertical::Automotive, 10, 2) {
+            assert!(!q.text.contains("{plural}"));
+            assert!(!q.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn automotive_covers_both_car_topics() {
+        let w = world();
+        let qs = vertical_queries(&w, Vertical::Automotive, 10, 3);
+        let topics: std::collections::HashSet<TopicId> = qs.iter().map(|q| q.topic).collect();
+        assert!(topics.len() >= 2, "expected SUVs and EVs to both appear");
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = vertical_queries(&w, Vertical::ConsumerElectronics, 15, 4);
+        let b = vertical_queries(&w, Vertical::ConsumerElectronics, 15, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The immutable search index: postings plus per-document metadata.
+
+use shift_corpus::{PageId, SourceType, World};
+use shift_textkit::analyze;
+
+use crate::postings::{DocNum, PostingsStore};
+
+/// Per-document metadata kept alongside the postings.
+#[derive(Debug, Clone)]
+pub struct DocMeta {
+    /// The corpus page this document was built from.
+    pub page: PageId,
+    /// Canonical URL.
+    pub url: String,
+    /// Host (used for host-crowding limits).
+    pub host: String,
+    /// Domain authority in `[0, 1]`.
+    pub authority: f64,
+    /// Page age in days at the world's reference date.
+    pub age_days: f64,
+    /// Source typology of the hosting domain.
+    pub source_type: SourceType,
+    /// Total token count (title + body).
+    pub token_len: u32,
+    /// Title token count (positions below this are title positions).
+    pub title_len: u32,
+    /// Raw body text (for snippet extraction).
+    pub body: String,
+    /// Raw title.
+    pub title: String,
+}
+
+/// The inverted index over a generated world.
+#[derive(Debug)]
+pub struct SearchIndex {
+    postings: PostingsStore,
+    docs: Vec<DocMeta>,
+}
+
+impl SearchIndex {
+    /// Builds the index from every page of a world.
+    pub fn build(world: &World) -> SearchIndex {
+        let mut postings = PostingsStore::new();
+        let mut docs = Vec::with_capacity(world.pages().len());
+        for page in world.pages() {
+            let doc: DocNum = docs.len() as DocNum;
+            let title_terms = analyze(&page.title);
+            let body_terms = analyze(&page.body);
+            postings.add_document(doc, &title_terms, &body_terms);
+            let domain = world.domain(page.domain);
+            docs.push(DocMeta {
+                page: page.id,
+                url: page.url.clone(),
+                host: domain.host.clone(),
+                authority: domain.authority,
+                age_days: page.age_days(world.now_day()) as f64,
+                source_type: domain.source_type,
+                token_len: (title_terms.len() + body_terms.len()) as u32,
+                title_len: title_terms.len() as u32,
+                body: page.body.clone(),
+                title: page.title.clone(),
+            });
+        }
+        SearchIndex { postings, docs }
+    }
+
+    /// The postings store.
+    pub fn postings(&self) -> &PostingsStore {
+        &self.postings
+    }
+
+    /// Document metadata by dense document number.
+    pub fn doc(&self, doc: DocNum) -> &DocMeta {
+        &self.docs[doc as usize]
+    }
+
+    /// All documents.
+    pub fn docs(&self) -> &[DocMeta] {
+        &self.docs
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn index() -> SearchIndex {
+        let world = World::generate(&WorldConfig::small(), 99);
+        SearchIndex::build(&world)
+    }
+
+    #[test]
+    fn indexes_every_page() {
+        let world = World::generate(&WorldConfig::small(), 99);
+        let idx = SearchIndex::build(&world);
+        assert_eq!(idx.len(), world.pages().len());
+        assert_eq!(idx.postings().doc_count() as usize, world.pages().len());
+    }
+
+    #[test]
+    fn doc_meta_matches_world() {
+        let world = World::generate(&WorldConfig::small(), 99);
+        let idx = SearchIndex::build(&world);
+        for doc in idx.docs().iter().take(50) {
+            let page = world.page(doc.page);
+            assert_eq!(doc.url, page.url);
+            assert_eq!(doc.host, world.domain(page.domain).host);
+            assert!(doc.age_days >= 0.0);
+        }
+    }
+
+    #[test]
+    fn vocabulary_contains_topic_terms() {
+        let idx = index();
+        // Stemmed topic words must be indexed somewhere.
+        for term in ["laptop", "battery", "review"] {
+            assert!(
+                idx.postings().doc_freq(term) > 0,
+                "term {term} missing from vocabulary"
+            );
+        }
+    }
+
+    #[test]
+    fn title_positions_precede_body_positions() {
+        let idx = index();
+        let doc0 = idx.doc(0);
+        assert!(doc0.title_len <= doc0.token_len);
+    }
+
+    #[test]
+    fn is_empty_only_for_zero_docs() {
+        let idx = index();
+        assert!(!idx.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # shift-search
+//!
+//! A self-contained web search engine over the synthetic corpus — the
+//! study's stand-in for Google Search.
+//!
+//! Architecture (classic IR, nothing exotic):
+//!
+//! * [`postings`] — term dictionary and positional posting lists, built once
+//!   from a [`shift_corpus::World`].
+//! * [`index`] — the immutable [`SearchIndex`]: postings + per-document
+//!   metadata (length, host, authority, age).
+//! * [`bm25`] — Okapi BM25 with field weighting (title terms count extra)
+//!   and a proximity bonus from positional data.
+//! * [`serp`] — result assembly: score blending (relevance × authority ×
+//!   freshness), host-crowding limits, snippet extraction.
+//! * [`query`] — the user-facing [`SearchEngine`] handle.
+//!
+//! Two parameterizations matter for the study: [`RankingParams::google`]
+//! (authority-heavy, mild freshness — classic organic ranking) and
+//! [`RankingParams::ai_retrieval`] (freshness-heavy, authority-light — the
+//! retrieval stage the answer engines feed on). The contrast between these
+//! two is precisely what Figures 1–4 measure downstream.
+//!
+//! ```
+//! use shift_corpus::{World, WorldConfig};
+//! use shift_search::{RankingParams, SearchEngine};
+//!
+//! let world = World::generate(&WorldConfig::small(), 7);
+//! let engine = SearchEngine::build(&world, RankingParams::google());
+//! let serp = engine.search("best laptops", 10);
+//! assert!(!serp.results.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bm25;
+pub mod index;
+pub mod postings;
+pub mod query;
+pub mod serp;
+
+pub use bm25::Bm25Params;
+pub use index::SearchIndex;
+pub use query::{RankingParams, SearchEngine};
+pub use serp::{Serp, SerpResult};

@@ -1,0 +1,163 @@
+//! Term dictionary and positional posting lists.
+
+use std::collections::HashMap;
+
+/// Internal dense document number (index into the document-meta table).
+pub type DocNum = u32;
+
+/// One document's entry in a term's posting list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posting {
+    /// Dense document number.
+    pub doc: DocNum,
+    /// Occurrences in the title (weighted higher at score time).
+    pub title_tf: u32,
+    /// Occurrences in the body.
+    pub body_tf: u32,
+    /// Token positions (title tokens first, then body tokens offset by the
+    /// title length), for the proximity bonus.
+    pub positions: Vec<u32>,
+}
+
+/// The term dictionary: term → posting list, plus collection statistics.
+#[derive(Debug, Default)]
+pub struct PostingsStore {
+    terms: HashMap<String, Vec<Posting>>,
+    doc_count: u32,
+    total_tokens: u64,
+}
+
+impl PostingsStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PostingsStore::default()
+    }
+
+    /// Indexes one document given its analyzed title and body terms.
+    /// Documents must be added in increasing `doc` order.
+    pub fn add_document(&mut self, doc: DocNum, title_terms: &[String], body_terms: &[String]) {
+        debug_assert_eq!(doc, self.doc_count, "documents must be added densely");
+        self.doc_count += 1;
+        self.total_tokens += (title_terms.len() + body_terms.len()) as u64;
+
+        let mut local: HashMap<&str, Posting> = HashMap::new();
+        for (pos, term) in title_terms.iter().enumerate() {
+            let p = local.entry(term).or_insert_with(|| Posting {
+                doc,
+                title_tf: 0,
+                body_tf: 0,
+                positions: Vec::new(),
+            });
+            p.title_tf += 1;
+            p.positions.push(pos as u32);
+        }
+        let offset = title_terms.len() as u32;
+        for (pos, term) in body_terms.iter().enumerate() {
+            let p = local.entry(term).or_insert_with(|| Posting {
+                doc,
+                title_tf: 0,
+                body_tf: 0,
+                positions: Vec::new(),
+            });
+            p.body_tf += 1;
+            p.positions.push(offset + pos as u32);
+        }
+        for (term, posting) in local {
+            self.terms.entry(term.to_string()).or_default().push(posting);
+        }
+    }
+
+    /// Posting list of a term (empty slice when the term is unknown).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.terms.get(term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: &str) -> u32 {
+        self.postings(term).len() as u32
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// Average document length in tokens (title + body).
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_count == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.doc_count as f64
+        }
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn indexes_title_and_body_separately() {
+        let mut store = PostingsStore::new();
+        store.add_document(0, &terms(&["laptop", "review"]), &terms(&["laptop", "battery"]));
+        let p = &store.postings("laptop")[0];
+        assert_eq!(p.title_tf, 1);
+        assert_eq!(p.body_tf, 1);
+        assert_eq!(p.positions, vec![0, 2]);
+        let p = &store.postings("battery")[0];
+        assert_eq!(p.title_tf, 0);
+        assert_eq!(p.body_tf, 1);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let mut store = PostingsStore::new();
+        store.add_document(0, &terms(&["a", "a", "a"]), &[]);
+        store.add_document(1, &terms(&["a"]), &[]);
+        assert_eq!(store.doc_freq("a"), 2);
+        assert_eq!(store.postings("a")[0].title_tf, 3);
+    }
+
+    #[test]
+    fn unknown_terms_are_empty() {
+        let store = PostingsStore::new();
+        assert!(store.postings("nothing").is_empty());
+        assert_eq!(store.doc_freq("nothing"), 0);
+    }
+
+    #[test]
+    fn collection_statistics() {
+        let mut store = PostingsStore::new();
+        store.add_document(0, &terms(&["x"]), &terms(&["y", "z"]));
+        store.add_document(1, &terms(&["x"]), &[]);
+        assert_eq!(store.doc_count(), 2);
+        assert!((store.avg_doc_len() - 2.0).abs() < 1e-12);
+        assert_eq!(store.vocabulary_size(), 3);
+    }
+
+    #[test]
+    fn empty_store_statistics() {
+        let store = PostingsStore::new();
+        assert_eq!(store.doc_count(), 0);
+        assert_eq!(store.avg_doc_len(), 0.0);
+    }
+
+    #[test]
+    fn postings_are_in_doc_order() {
+        let mut store = PostingsStore::new();
+        for d in 0..5 {
+            store.add_document(d, &terms(&["common"]), &[]);
+        }
+        let docs: Vec<u32> = store.postings("common").iter().map(|p| p.doc).collect();
+        assert_eq!(docs, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Query execution: the user-facing [`SearchEngine`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use shift_corpus::World;
+use shift_textkit::analyze;
+
+use crate::bm25::{proximity_bonus, term_score, Bm25Params};
+use crate::index::SearchIndex;
+use crate::postings::DocNum;
+use crate::serp::{apply_host_crowding, extract_snippet, Serp, SerpResult};
+
+/// Full ranking parameterization: relevance + priors + result shaping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankingParams {
+    /// BM25 core parameters.
+    pub bm25: Bm25Params,
+    /// Maximum proximity bonus added to the relevance score.
+    pub proximity_bonus: f64,
+    /// Multiplicative weight of domain authority:
+    /// `score *= 1 + authority_weight * authority`.
+    pub authority_weight: f64,
+    /// Multiplicative weight of freshness:
+    /// `score *= 1 + freshness_weight * exp(-age / half_life)`.
+    pub freshness_weight: f64,
+    /// Freshness half-life in days.
+    pub freshness_half_life: f64,
+    /// Coordination exponent: scores are multiplied by
+    /// `(matched query terms / total query terms) ^ coordination`.
+    /// Penalizes documents matching only the generic words of a query
+    /// ("best … 2025" without the product noun). 0 disables.
+    pub coordination: f64,
+    /// Host-crowding limit (0 = unlimited).
+    pub max_per_host: usize,
+    /// Snippet width in bytes.
+    pub snippet_width: usize,
+}
+
+impl RankingParams {
+    /// Classic organic web ranking: authority-heavy, mildly fresh,
+    /// strong host-crowding. This parameterization plays the role of
+    /// Google Search in the study.
+    pub fn google() -> Self {
+        RankingParams {
+            bm25: Bm25Params::default(),
+            proximity_bonus: 1.0,
+            authority_weight: 2.2,
+            freshness_weight: 0.12,
+            freshness_half_life: 365.0,
+            coordination: 1.5,
+            max_per_host: 2,
+            snippet_width: 240,
+        }
+    }
+
+    /// The retrieval stage behind generative engines: recency-hungry,
+    /// authority-light, looser crowding. Answer engines re-filter this
+    /// pool with their own citation policies.
+    pub fn ai_retrieval() -> Self {
+        RankingParams {
+            bm25: Bm25Params::default(),
+            proximity_bonus: 1.0,
+            authority_weight: 0.5,
+            freshness_weight: 0.9,
+            freshness_half_life: 120.0,
+            coordination: 1.5,
+            max_per_host: 3,
+            // Wide windows: AI retrieval feeds whole passages to the
+            // model, so a "best of" snippet shows the head of the list.
+            snippet_width: 720,
+        }
+    }
+}
+
+impl Default for RankingParams {
+    fn default() -> Self {
+        RankingParams::google()
+    }
+}
+
+/// An executable search engine: a shared index + ranking parameters.
+///
+/// The index is behind an [`Arc`] so several parameterizations (Google's
+/// organic ranking, the AI retrieval stage, persona variants) can share one
+/// index build.
+#[derive(Debug)]
+pub struct SearchEngine {
+    index: Arc<SearchIndex>,
+    params: RankingParams,
+}
+
+impl SearchEngine {
+    /// Builds an index over `world` and wraps it with `params`.
+    pub fn build(world: &World, params: RankingParams) -> SearchEngine {
+        SearchEngine {
+            index: Arc::new(SearchIndex::build(world)),
+            params,
+        }
+    }
+
+    /// Wraps an existing shared index (lets several parameterizations share
+    /// one index build).
+    pub fn with_index(index: Arc<SearchIndex>, params: RankingParams) -> SearchEngine {
+        SearchEngine { index, params }
+    }
+
+    /// Clones the shared index handle.
+    pub fn index_handle(&self) -> Arc<SearchIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &RankingParams {
+        &self.params
+    }
+
+    /// Executes a query and returns the top-`k` SERP.
+    pub fn search(&self, query: &str, k: usize) -> Serp {
+        let terms = analyze(query);
+        let mut serp = Serp {
+            query: query.to_string(),
+            results: Vec::new(),
+        };
+        if terms.is_empty() || k == 0 || self.index.is_empty() {
+            return serp;
+        }
+
+        let store = self.index.postings();
+        let doc_count = store.doc_count();
+        let avg_len = store.avg_doc_len();
+
+        // Accumulate BM25 per document and remember per-term positions for
+        // the proximity pass.
+        let mut scores: HashMap<DocNum, f64> = HashMap::new();
+        let mut matched: HashMap<DocNum, u32> = HashMap::new();
+        let mut positions: HashMap<DocNum, Vec<&[u32]>> = HashMap::new();
+        for term in &terms {
+            let postings = store.postings(term);
+            let df = postings.len() as u32;
+            for posting in postings {
+                let meta = self.index.doc(posting.doc);
+                let s = term_score(
+                    &self.params.bm25,
+                    posting,
+                    df,
+                    doc_count,
+                    meta.token_len as f64,
+                    avg_len,
+                );
+                *scores.entry(posting.doc).or_insert(0.0) += s;
+                *matched.entry(posting.doc).or_insert(0) += 1;
+                positions
+                    .entry(posting.doc)
+                    .or_default()
+                    .push(&posting.positions);
+            }
+        }
+
+        // Blend with proximity, authority and freshness.
+        let mut ranked: Vec<(DocNum, f64)> = scores
+            .into_iter()
+            .map(|(doc, mut score)| {
+                if let Some(pos) = positions.get(&doc) {
+                    score += proximity_bonus(pos, self.params.proximity_bonus);
+                }
+                let meta = self.index.doc(doc);
+                let fresh = (-meta.age_days / self.params.freshness_half_life).exp();
+                score *= 1.0 + self.params.authority_weight * meta.authority;
+                score *= 1.0 + self.params.freshness_weight * fresh;
+                if self.params.coordination > 0.0 {
+                    let coverage =
+                        f64::from(matched[&doc]) / terms.len() as f64;
+                    score *= coverage.powf(self.params.coordination);
+                }
+                (doc, score)
+            })
+            .collect();
+        // Deterministic ordering: score desc, then doc id asc.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        // Over-fetch before crowding so the limit doesn't starve the SERP.
+        let overfetch = (k * 4).max(k + 8);
+        let results: Vec<SerpResult> = ranked
+            .into_iter()
+            .take(overfetch)
+            .map(|(doc, score)| {
+                let meta = self.index.doc(doc);
+                SerpResult {
+                    page: meta.page,
+                    url: meta.url.clone(),
+                    host: meta.host.clone(),
+                    score,
+                    title: meta.title.clone(),
+                    snippet: extract_snippet(&meta.body, &terms, self.params.snippet_width),
+                    source_type: meta.source_type,
+                    age_days: meta.age_days,
+                }
+            })
+            .collect();
+        let mut limited = apply_host_crowding(results, self.params.max_per_host);
+        limited.truncate(k);
+        serp.results = limited;
+        serp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::WorldConfig;
+
+    fn engine() -> (World, SearchEngine) {
+        let world = World::generate(&WorldConfig::small(), 31);
+        let engine = SearchEngine::build(&world, RankingParams::google());
+        (world, engine)
+    }
+
+    #[test]
+    fn returns_topically_relevant_results() {
+        let (world, engine) = engine();
+        let serp = engine.search("best laptops for students", 10);
+        assert!(!serp.results.is_empty());
+        // A majority of top results should come from the laptops topic.
+        let (laptop_topic, _) = shift_corpus::topics::topic_by_key("laptops").unwrap();
+        let on_topic = serp
+            .results
+            .iter()
+            .filter(|r| world.page(r.page).topic == laptop_topic)
+            .count();
+        assert!(
+            on_topic * 2 >= serp.results.len(),
+            "{on_topic}/{} on-topic",
+            serp.results.len()
+        );
+    }
+
+    #[test]
+    fn scores_are_descending_and_k_respected() {
+        let (_, engine) = engine();
+        let serp = engine.search("most reliable SUVs", 5);
+        assert!(serp.results.len() <= 5);
+        for pair in serp.results.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn empty_and_stopword_queries_return_nothing() {
+        let (_, engine) = engine();
+        assert!(engine.search("", 10).results.is_empty());
+        assert!(engine.search("the of and", 10).results.is_empty());
+        assert!(engine.search("best laptops", 0).results.is_empty());
+    }
+
+    #[test]
+    fn host_crowding_enforced() {
+        let (_, engine) = engine();
+        let serp = engine.search("best smartphones camera battery", 10);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in &serp.results {
+            *counts.entry(r.host.as_str()).or_insert(0) += 1;
+        }
+        for (host, n) in counts {
+            assert!(n <= 2, "host {host} appears {n} times");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let (_, engine) = engine();
+        let a = engine.search("best hotels rewards", 10);
+        let b = engine.search("best hotels rewards", 10);
+        assert_eq!(a.urls(), b.urls());
+    }
+
+    #[test]
+    fn google_params_rank_older_authority_higher_than_ai_params() {
+        let world = World::generate(&WorldConfig::small(), 31);
+        let google = SearchEngine::build(&world, RankingParams::google());
+        let ai = SearchEngine::build(&world, RankingParams::ai_retrieval());
+        let q = "best smartwatches gps battery";
+        let g_age: f64 = {
+            let r = google.search(q, 10).results;
+            r.iter().map(|x| x.age_days).sum::<f64>() / r.len().max(1) as f64
+        };
+        let a_age: f64 = {
+            let r = ai.search(q, 10).results;
+            r.iter().map(|x| x.age_days).sum::<f64>() / r.len().max(1) as f64
+        };
+        assert!(
+            a_age <= g_age,
+            "ai retrieval ({a_age:.0}d) should surface fresher pages than google ({g_age:.0}d)"
+        );
+    }
+
+    #[test]
+    fn entity_query_finds_entity_pages() {
+        let (world, engine) = engine();
+        let serp = engine.search("Toyota RAV4 review", 10);
+        assert!(!serp.results.is_empty());
+        let toyota = world.entity_by_name("Toyota RAV4").unwrap();
+        let mentions = serp
+            .results
+            .iter()
+            .filter(|r| world.page(r.page).mentions_entity(toyota))
+            .count();
+        assert!(mentions > 0, "no result mentions the queried entity");
+    }
+
+    #[test]
+    fn snippets_are_nonempty() {
+        let (_, engine) = engine();
+        let serp = engine.search("best credit cards cashback", 8);
+        for r in &serp.results {
+            assert!(!r.snippet.is_empty(), "empty snippet for {}", r.url);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! SERP assembly: blending, host crowding, snippets.
+
+use shift_corpus::{PageId, SourceType};
+
+/// One search result.
+#[derive(Debug, Clone)]
+pub struct SerpResult {
+    /// The result page.
+    pub page: PageId,
+    /// Result URL.
+    pub url: String,
+    /// Host of the result.
+    pub host: String,
+    /// Final blended score (descending over the SERP).
+    pub score: f64,
+    /// Page title.
+    pub title: String,
+    /// Query-biased snippet.
+    pub snippet: String,
+    /// Source typology of the hosting domain.
+    pub source_type: SourceType,
+    /// Page age in days at the reference date.
+    pub age_days: f64,
+}
+
+/// A search engine result page.
+#[derive(Debug, Clone)]
+pub struct Serp {
+    /// The raw query string.
+    pub query: String,
+    /// Ranked results, best first.
+    pub results: Vec<SerpResult>,
+}
+
+impl Serp {
+    /// The result URLs in rank order.
+    pub fn urls(&self) -> Vec<&str> {
+        self.results.iter().map(|r| r.url.as_str()).collect()
+    }
+
+    /// The result hosts in rank order (with duplicates).
+    pub fn hosts(&self) -> Vec<&str> {
+        self.results.iter().map(|r| r.host.as_str()).collect()
+    }
+}
+
+/// Applies a host-crowding limit: at most `max_per_host` results from any
+/// single host, preserving order. `0` disables the limit.
+pub fn apply_host_crowding(results: Vec<SerpResult>, max_per_host: usize) -> Vec<SerpResult> {
+    if max_per_host == 0 {
+        return results;
+    }
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    results
+        .into_iter()
+        .filter(|r| {
+            let c = counts.entry(r.host.clone()).or_insert(0);
+            *c += 1;
+            *c <= max_per_host
+        })
+        .collect()
+}
+
+/// Extracts a query-biased snippet: a window of `width` bytes around the
+/// first occurrence of any query term in the body (case-insensitive),
+/// falling back to the body prefix.
+pub fn extract_snippet(body: &str, query_terms: &[String], width: usize) -> String {
+    let lower = body.to_lowercase();
+    let hit = query_terms
+        .iter()
+        .filter_map(|t| lower.find(t.as_str()))
+        .min();
+    let center = hit.unwrap_or(0);
+    let half = width / 2;
+    let mut start = center.saturating_sub(half);
+    let mut end = (center + half).min(body.len());
+    // lower and body can differ in byte layout only for non-ASCII
+    // lowercasing; clamp into bounds and align to char boundaries.
+    start = start.min(body.len());
+    while start > 0 && !body.is_char_boundary(start) {
+        start -= 1;
+    }
+    while end < body.len() && !body.is_char_boundary(end) {
+        end += 1;
+    }
+    let mut snippet = String::new();
+    if start > 0 {
+        snippet.push('…');
+    }
+    snippet.push_str(body[start..end].trim());
+    if end < body.len() {
+        snippet.push('…');
+    }
+    snippet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::PageId;
+
+    fn result(host: &str, score: f64) -> SerpResult {
+        SerpResult {
+            page: PageId(0),
+            url: format!("https://{host}/x"),
+            host: host.to_string(),
+            score,
+            title: String::new(),
+            snippet: String::new(),
+            source_type: SourceType::Earned,
+            age_days: 0.0,
+        }
+    }
+
+    #[test]
+    fn host_crowding_limits_per_host() {
+        let results = vec![
+            result("a.com", 5.0),
+            result("a.com", 4.0),
+            result("a.com", 3.0),
+            result("b.com", 2.0),
+        ];
+        let limited = apply_host_crowding(results, 2);
+        let hosts: Vec<&str> = limited.iter().map(|r| r.host.as_str()).collect();
+        assert_eq!(hosts, vec!["a.com", "a.com", "b.com"]);
+    }
+
+    #[test]
+    fn host_crowding_zero_disables() {
+        let results = vec![result("a.com", 5.0); 4];
+        assert_eq!(apply_host_crowding(results, 0).len(), 4);
+    }
+
+    #[test]
+    fn snippet_centers_on_first_hit() {
+        let body = format!("{} battery life is great {}", "x ".repeat(100), "y ".repeat(100));
+        let s = extract_snippet(&body, &["battery".to_string()], 40);
+        assert!(s.contains("battery"));
+        assert!(s.starts_with('…'));
+        assert!(s.ends_with('…'));
+    }
+
+    #[test]
+    fn snippet_falls_back_to_prefix() {
+        let s = extract_snippet("plain text with nothing special", &["zzz".to_string()], 20);
+        assert!(s.starts_with("plain"));
+    }
+
+    #[test]
+    fn snippet_handles_short_bodies_and_unicode() {
+        let s = extract_snippet("très court", &["court".to_string()], 400);
+        assert_eq!(s, "très court");
+        // Term adjacent to multibyte characters must not panic, and the
+        // window must land on the hit.
+        let s2 = extract_snippet("ééééé battery ééééé", &["battery".to_string()], 8);
+        assert!(s2.contains("batt"), "got {s2:?}");
+    }
+
+    #[test]
+    fn serp_accessors() {
+        let serp = Serp {
+            query: "q".into(),
+            results: vec![result("a.com", 2.0), result("b.com", 1.0)],
+        };
+        assert_eq!(serp.hosts(), vec!["a.com", "b.com"]);
+        assert_eq!(serp.urls().len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the search engine: SERP invariants that must
+//! hold for any query string and any k.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use shift_corpus::{World, WorldConfig};
+use shift_search::{RankingParams, SearchEngine};
+
+fn engines() -> &'static (SearchEngine, SearchEngine) {
+    static ENGINES: OnceLock<(SearchEngine, SearchEngine)> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        let world = World::generate(&WorldConfig::small(), 4040);
+        let google = SearchEngine::build(&world, RankingParams::google());
+        let ai = SearchEngine::with_index(google.index_handle(), RankingParams::ai_retrieval());
+        (google, ai)
+    })
+}
+
+/// Query strings built from realistic tokens plus arbitrary junk.
+fn query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Realistic: template words + topic nouns.
+        (
+            prop_oneof![Just("best"), Just("top 10"), Just("most reliable"), Just("buy")],
+            prop_oneof![
+                Just("smartphones"),
+                Just("laptops"),
+                Just("SUVs"),
+                Just("hotels"),
+                Just("credit cards"),
+                Just("espresso machines"),
+            ],
+            prop_oneof![Just(""), Just(" 2025"), Just(" for students")],
+        )
+            .prop_map(|(a, b, c)| format!("{a} {b}{c}")),
+        // Arbitrary junk (must not panic, may return empty).
+        "\\PC{0,48}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Search never panics, respects k, and returns strictly ordered
+    /// scores with no duplicate URLs.
+    #[test]
+    fn serp_invariants(q in query(), k in 0usize..25) {
+        let (google, _) = engines();
+        let serp = google.search(&q, k);
+        prop_assert!(serp.results.len() <= k);
+        for pair in serp.results.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score, "scores out of order");
+        }
+        let mut urls: Vec<&str> = serp.results.iter().map(|r| r.url.as_str()).collect();
+        let n = urls.len();
+        urls.sort_unstable();
+        urls.dedup();
+        prop_assert_eq!(urls.len(), n, "duplicate URLs in SERP");
+    }
+
+    /// Growing k only extends the SERP; the prefix is stable.
+    #[test]
+    fn k_monotonicity(q in query()) {
+        let (google, _) = engines();
+        let small = google.search(&q, 5);
+        let large = google.search(&q, 10);
+        prop_assert!(large.results.len() >= small.results.len());
+        for (a, b) in small.results.iter().zip(&large.results) {
+            prop_assert_eq!(&a.url, &b.url, "prefix must be stable as k grows");
+        }
+    }
+
+    /// Host crowding holds for every query.
+    #[test]
+    fn host_crowding_invariant(q in query()) {
+        let (google, _) = engines();
+        let serp = google.search(&q, 20);
+        let mut counts = std::collections::HashMap::new();
+        for r in &serp.results {
+            *counts.entry(r.host.as_str()).or_insert(0usize) += 1;
+        }
+        for (host, n) in counts {
+            prop_assert!(n <= 2, "host {host} appears {n} times");
+        }
+    }
+
+    /// Determinism: identical query, identical SERP.
+    #[test]
+    fn search_is_deterministic(q in query()) {
+        let (google, ai) = engines();
+        let (g1, g2) = (google.search(&q, 10), google.search(&q, 10));
+        prop_assert_eq!(g1.urls(), g2.urls());
+        let (a1, a2) = (ai.search(&q, 10), ai.search(&q, 10));
+        prop_assert_eq!(a1.urls(), a2.urls());
+    }
+
+    /// For realistic queries, AI retrieval never returns *older* result
+    /// sets than Google on average (its freshness weight is higher).
+    #[test]
+    fn ai_retrieval_is_no_staler(
+        noun in prop_oneof![
+            Just("smartphones"), Just("laptops"), Just("smartwatches"), Just("hotels")
+        ]
+    ) {
+        let (google, ai) = engines();
+        let q = format!("top 10 best {noun} 2025");
+        let mean_age = |serp: &shift_search::Serp| {
+            if serp.results.is_empty() {
+                return 0.0;
+            }
+            serp.results.iter().map(|r| r.age_days).sum::<f64>() / serp.results.len() as f64
+        };
+        let g = google.search(&q, 10);
+        let a = ai.search(&q, 10);
+        prop_assume!(!g.results.is_empty() && !a.results.is_empty());
+        prop_assert!(
+            mean_age(&a) <= mean_age(&g) + 30.0,
+            "AI retrieval staler: {:.0} vs {:.0}",
+            mean_age(&a),
+            mean_age(&g)
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! String distances used for entity matching.
+//!
+//! Citation analysis (Table 3) must decide whether a ranked entity ("Cadillac
+//! Escalade") is *supported* by any retrieved snippet. Snippets mention
+//! entities with surface variation, so matching uses normalized Levenshtein
+//! and Jaro-Winkler similarity rather than exact equality.
+
+/// Levenshtein edit distance between two strings (by Unicode scalar values).
+///
+/// Classic two-row dynamic program: `O(|a|·|b|)` time, `O(min)` space.
+///
+/// ```
+/// use shift_textkit::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the shorter string in the inner dimension for less memory.
+    let (outer, inner) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur = vec![0usize; inner.len() + 1];
+
+    for (i, oc) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, ic) in inner.iter().enumerate() {
+            let sub = prev[j] + usize::from(oc != ic);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+/// Levenshtein similarity scaled to `[0, 1]`: `1 - dist / max_len`.
+/// Two empty strings are defined to have similarity 1.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, used)| **used)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity in `[0, 1]` with the standard prefix scale 0.1
+/// capped at a 4-character common prefix.
+///
+/// ```
+/// use shift_textkit::jaro_winkler;
+/// assert!(jaro_winkler("toyota", "toyota") == 1.0);
+/// assert!(jaro_winkler("martha", "marhta") > 0.95);
+/// assert!(jaro_winkler("cadillac", "infiniti") < 0.6);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("garmin", "coros"), levenshtein("coros", "garmin"));
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality_spot_check() {
+        let (a, b, c) = ("toyota", "honda", "kia");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let v = normalized_levenshtein("samsung", "samsunt");
+        assert!(v > 0.8 && v < 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_identity_and_disjoint() {
+        assert_eq!(jaro_winkler("apple", "apple"), 1.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro_winkler("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_rewards_common_prefix() {
+        let with_prefix = jaro_winkler("toyotas", "toyota");
+        let without = jaro_winkler("satoyot", "atoyots");
+        assert!(with_prefix > without);
+    }
+
+    #[test]
+    fn jaro_winkler_classic_example() {
+        let v = jaro_winkler("martha", "marhta");
+        assert!((v - 0.9611).abs() < 0.001, "got {v}");
+    }
+
+    #[test]
+    fn unicode_handled_by_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+}

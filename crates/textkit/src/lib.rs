@@ -1,0 +1,30 @@
+//! # shift-textkit
+//!
+//! Text-processing primitives shared by the search engine, the LLM simulator
+//! and the classifiers:
+//!
+//! * [`mod@tokenize`] — Unicode-tolerant word tokenizer with lowercasing.
+//! * [`mod@stem`] — a light suffix-stripping stemmer (a pragmatic Porter subset)
+//!   so that "laptops" and "laptop" index to the same term.
+//! * [`stopwords`] — the English stopword list applied at indexing time.
+//! * [`distance`] — Levenshtein and Jaro-Winkler string distances used for
+//!   entity matching in citation analysis.
+//! * [`ngram`] — word n-gram extraction for co-occurrence statistics.
+//!
+//! Everything here is pure and allocation-conscious: tokenization borrows
+//! from the input where possible, and the stemmer mutates in place.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distance;
+pub mod ngram;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+
+pub use distance::{jaro_winkler, levenshtein, normalized_levenshtein};
+pub use ngram::ngrams;
+pub use stem::stem;
+pub use stopwords::is_stopword;
+pub use tokenize::{analyze, tokenize, Token};

@@ -1,0 +1,84 @@
+//! Word n-gram extraction.
+//!
+//! The LLM simulator's pre-training pass builds co-occurrence statistics from
+//! word bigrams/trigrams of corpus pages; this module provides the shared
+//! extraction routine.
+
+/// Returns all contiguous `n`-grams of `tokens`, each joined with a single
+/// space. Returns an empty vector when `n == 0` or `n > tokens.len()`.
+///
+/// ```
+/// use shift_textkit::ngrams;
+/// let toks = ["best", "electric", "cars"];
+/// assert_eq!(ngrams(&toks, 2), vec!["best electric", "electric cars"]);
+/// ```
+pub fn ngrams<S: AsRef<str>>(tokens: &[S], n: usize) -> Vec<String> {
+    if n == 0 || n > tokens.len() {
+        return Vec::new();
+    }
+    tokens
+        .windows(n)
+        .map(|w| {
+            let mut out = String::with_capacity(w.iter().map(|s| s.as_ref().len() + 1).sum());
+            for (i, t) in w.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(t.as_ref());
+            }
+            out
+        })
+        .collect()
+}
+
+/// Returns all n-grams for every `n` in `1..=max_n` (unigrams first).
+pub fn all_ngrams<S: AsRef<str>>(tokens: &[S], max_n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        out.extend(ngrams(tokens, n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unigrams_are_the_tokens() {
+        assert_eq!(ngrams(&["a", "b"], 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bigrams_and_trigrams() {
+        let toks = ["w", "x", "y", "z"];
+        assert_eq!(ngrams(&toks, 2), vec!["w x", "x y", "y z"]);
+        assert_eq!(ngrams(&toks, 3), vec!["w x y", "x y z"]);
+    }
+
+    #[test]
+    fn n_equal_to_len_is_single_gram() {
+        assert_eq!(ngrams(&["a", "b", "c"], 3), vec!["a b c"]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ngrams(&["a", "b"], 0).is_empty());
+        assert!(ngrams(&["a"], 2).is_empty());
+        let empty: [&str; 0] = [];
+        assert!(ngrams(&empty, 1).is_empty());
+    }
+
+    #[test]
+    fn all_ngrams_counts() {
+        let toks = ["a", "b", "c"];
+        // 3 unigrams + 2 bigrams + 1 trigram
+        assert_eq!(all_ngrams(&toks, 3).len(), 6);
+    }
+
+    #[test]
+    fn works_with_string_slices_and_owned() {
+        let owned = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(ngrams(&owned, 2), vec!["a b"]);
+    }
+}

@@ -1,0 +1,178 @@
+//! A light suffix-stripping stemmer.
+//!
+//! This is a pragmatic Porter subset tuned for the consumer-web vocabulary of
+//! the study ("laptops" → "laptop", "reliable" → "reliabl", "electric" →
+//! "electr"). It is deliberately conservative: we only strip a suffix when
+//! enough stem remains for the result to stay distinctive, which keeps the
+//! index free of pathological collisions at the cost of occasionally missing
+//! a conflation.
+
+/// Stems a lowercase word. Words of three characters or fewer are returned
+/// unchanged.
+///
+/// ```
+/// use shift_textkit::stem;
+/// assert_eq!(stem("laptops"), "laptop");
+/// assert_eq!(stem("batteries"), "battery");
+/// assert_eq!(stem("training"), "train");
+/// assert_eq!(stem("reliable"), "reliabl");
+/// ```
+pub fn stem(word: &str) -> String {
+    let mut w = word.to_string();
+    if w.chars().count() <= 3 || !w.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '\'') {
+        return w;
+    }
+
+    // Step 1: plurals.
+    if let Some(base) = w.strip_suffix("ies") {
+        if base.len() >= 2 {
+            w = format!("{base}y");
+        }
+    } else if let Some(base) = w.strip_suffix("sses") {
+        w = format!("{base}ss");
+    } else if w.ends_with('s')
+        && !w.ends_with("ss")
+        && !w.ends_with("us")
+        && !w.ends_with("is")
+    {
+        w.truncate(w.len() - 1);
+    }
+
+    // Step 2: verbal inflections with consonant undoubling.
+    if let Some(base) = w.strip_suffix("ing") {
+        if base.len() >= 3 {
+            w = undouble(base);
+        }
+    } else if let Some(base) = w.strip_suffix("ed") {
+        if base.len() >= 3 {
+            w = undouble(base);
+        }
+    }
+
+    // Step 3: adverbs — conservative so "family" survives.
+    if let Some(base) = w.strip_suffix("ly") {
+        if base.len() >= 5 {
+            w = base.to_string();
+        }
+    }
+
+    // Step 4: derivational suffixes.
+    for (suffix, min_base) in [
+        ("ization", 3),
+        ("ational", 3),
+        ("fulness", 3),
+        ("iveness", 3),
+        ("ment", 4),
+        ("ness", 4),
+        ("able", 5),
+        ("ible", 5),
+        ("tion", 5),
+        ("ic", 5),
+    ] {
+        if let Some(base) = w.strip_suffix(suffix) {
+            if base.len() >= min_base {
+                w = base.to_string();
+                break;
+            }
+        }
+    }
+
+    // Step 5: trailing e.
+    if w.len() > 4 && w.ends_with('e') {
+        w.truncate(w.len() - 1);
+    }
+
+    w
+}
+
+/// Undoubles a final double consonant ("runn" → "run") except for the
+/// consonants where doubling is lexical ("ll", "ss", "zz").
+fn undouble(base: &str) -> String {
+    let bytes = base.as_bytes();
+    if bytes.len() >= 2 {
+        let last = bytes[bytes.len() - 1];
+        let prev = bytes[bytes.len() - 2];
+        if last == prev
+            && last.is_ascii_alphabetic()
+            && !matches!(last, b'l' | b's' | b'z')
+            && !is_vowel(last)
+        {
+            return base[..base.len() - 1].to_string();
+        }
+    }
+    base.to_string()
+}
+
+fn is_vowel(c: u8) -> bool {
+    matches!(c, b'a' | b'e' | b'i' | b'o' | b'u')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(stem("laptops"), "laptop");
+        assert_eq!(stem("cars"), "car");
+        assert_eq!(stem("batteries"), "battery");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("reviews"), "review");
+    }
+
+    #[test]
+    fn keeps_ss_us_is_endings() {
+        assert_eq!(stem("class"), "class");
+        assert_eq!(stem("bonus"), "bonus");
+        assert_eq!(stem("analysis"), "analysis");
+    }
+
+    #[test]
+    fn gerunds_and_past_tense() {
+        assert_eq!(stem("training"), "train");
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("reviewed"), "review");
+        assert_eq!(stem("rolling"), "roll", "ll is never undoubled");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("suv"), "suv");
+        assert_eq!(stem("the"), "the");
+    }
+
+    #[test]
+    fn numbers_untouched() {
+        assert_eq!(stem("2025"), "2025");
+    }
+
+    #[test]
+    fn derivational_suffixes() {
+        assert_eq!(stem("electric"), "electr");
+        assert_eq!(stem("affordable"), "afford");
+        assert_eq!(stem("government"), "govern");
+        assert_eq!(stem("reliable"), "reliabl", "base too short for -able, falls to e-removal");
+    }
+
+    #[test]
+    fn adverb_ly_is_conservative() {
+        assert_eq!(stem("family"), "family");
+        assert_eq!(stem("extremely"), "extrem");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_vocabulary() {
+        for w in [
+            "laptop", "smartphone", "airline", "hotel", "review", "train",
+            "car", "battery", "electr", "afford",
+        ] {
+            assert_eq!(stem(&stem(w)), stem(w), "idempotence failed for {w}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_words_pass_through() {
+        assert_eq!(stem("café"), "café");
+    }
+}

@@ -1,0 +1,77 @@
+//! English stopword list.
+//!
+//! Applied at indexing and analysis time. The list covers function words plus
+//! the handful of query-frame words ("best", "top") is *not* included —
+//! "best" is a content word for ranking queries and must stay searchable.
+
+/// Sorted stopword table (binary-searched; ordering enforced by a test).
+const STOPWORDS: &[&str] = &[
+    "a", "about", "after", "again", "all", "also", "am", "an", "and", "any",
+    "are", "as", "at", "be", "because", "been", "before", "being", "between",
+    "both", "but", "by", "can", "could", "did", "do", "does", "doing",
+    "down", "during", "each", "few", "for", "from", "further", "had", "has",
+    "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i",
+    "if", "in", "into", "is", "it", "its", "itself", "just", "me", "more",
+    "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "our", "ours", "out", "over", "own", "same",
+    "she", "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "very", "was", "we",
+    "were", "what", "when", "where", "which", "while", "who", "whom", "why",
+    "will", "with", "would", "you", "your", "yours",
+];
+
+/// Returns true when `word` (already lowercased) is an English stopword.
+///
+/// ```
+/// use shift_textkit::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(!is_stopword("best"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Number of stopwords in the embedded list (exposed for diagnostics).
+pub fn stopword_count() -> usize {
+    STOPWORDS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduped() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "of", "and", "in", "most", "for", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["best", "top", "laptop", "reliable", "smartphone", "2025"] {
+            assert!(!is_stopword(w), "{w} must stay searchable");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        // Callers must lowercase first; "The" is not matched by design.
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn count_is_stable() {
+        assert_eq!(stopword_count(), STOPWORDS.len());
+        assert!(stopword_count() > 100);
+    }
+}

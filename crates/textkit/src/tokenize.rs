@@ -1,0 +1,153 @@
+//! Word tokenization.
+//!
+//! The tokenizer splits on anything that is not alphanumeric, keeps internal
+//! apostrophes and hyphens ("wi-fi", "don't") as single tokens, lowercases,
+//! and records byte offsets so callers can map tokens back into the source
+//! (needed by snippet extraction in the search engine).
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+
+/// A token with its byte span in the original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased token text.
+    pub text: String,
+    /// Byte offset of the token start in the source.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// Tokenizes `text` into lowercase word tokens with byte spans.
+///
+/// ```
+/// use shift_textkit::tokenize;
+/// let toks = tokenize("Best Wi-Fi 7 routers!");
+/// let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(words, vec!["best", "wi-fi", "7", "routers"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut prev_end = 0usize;
+
+    let flush = |tokens: &mut Vec<Token>, text: &str, s: usize, e: usize| {
+        // Trim joiner characters that ended up at the edges ("-fi-" → "fi").
+        let raw = &text[s..e];
+        let trimmed = raw.trim_matches(|c| c == '-' || c == '\'');
+        if trimmed.is_empty() {
+            return;
+        }
+        let offset = raw.find(trimmed).unwrap_or(0);
+        tokens.push(Token {
+            text: trimmed.to_lowercase(),
+            start: s + offset,
+            end: s + offset + trimmed.len(),
+        });
+    };
+
+    for (i, c) in text.char_indices() {
+        let is_word = c.is_alphanumeric() || c == '-' || c == '\'';
+        match (start, is_word) {
+            (None, true) => start = Some(i),
+            (Some(s), false) => {
+                flush(&mut tokens, text, s, i);
+                start = None;
+            }
+            _ => {}
+        }
+        prev_end = i + c.len_utf8();
+    }
+    if let Some(s) = start {
+        flush(&mut tokens, text, s, prev_end);
+    }
+    tokens
+}
+
+/// Full analysis pipeline: tokenize → drop stopwords → stem.
+///
+/// Returns the stemmed terms in order; this is exactly what the search index
+/// and the LLM simulator's co-occurrence model consume.
+///
+/// ```
+/// use shift_textkit::analyze;
+/// assert_eq!(
+///     analyze("The best laptops for students"),
+///     vec!["best", "laptop", "student"]
+/// );
+/// ```
+pub fn analyze(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(&t.text))
+        .map(|t| stem(&t.text))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(words("hello, world!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(words("Apple VS Samsung"), vec!["apple", "vs", "samsung"]);
+    }
+
+    #[test]
+    fn keeps_internal_hyphens_and_apostrophes() {
+        assert_eq!(words("wi-fi don't"), vec!["wi-fi", "don't"]);
+    }
+
+    #[test]
+    fn trims_edge_joiners() {
+        assert_eq!(words("-dash- 'quote'"), vec!["dash", "quote"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(words("iPhone 15 Pro"), vec!["iphone", "15", "pro"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(words("").is_empty());
+        assert!(words("!!! ... ###").is_empty());
+        assert!(words("---").is_empty());
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let text = "Best SUVs 2025";
+        for t in tokenize(text) {
+            assert_eq!(text[t.start..t.end].to_lowercase(), t.text);
+        }
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(words("café naïve"), vec!["café", "naïve"]);
+    }
+
+    #[test]
+    fn analyze_removes_stopwords_and_stems() {
+        assert_eq!(
+            analyze("the most reliable electric cars in 2025"),
+            vec!["reliabl", "electr", "car", "2025"]
+        );
+    }
+
+    #[test]
+    fn analyze_of_stopwords_only_is_empty() {
+        assert!(analyze("the of and in a").is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Domain-set utilities used by the overlap experiments.
+//!
+//! The paper's Figure 1/2 overlap numbers are Jaccard coefficients over sets
+//! of registrable domains. [`DomainSet`] is a thin, order-insensitive wrapper
+//! that performs the URL → registrable-domain projection once at insertion.
+
+use std::collections::BTreeSet;
+
+use crate::parse::Url;
+use crate::psl::registrable_domain;
+
+/// Structural classification of a host string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostKind {
+    /// A DNS-style name with a recognizable registrable domain.
+    Registrable,
+    /// A bare public suffix (`com`, `co.uk`) — never a citable source.
+    PublicSuffix,
+    /// An IPv4 or IPv6 literal.
+    IpLiteral,
+    /// Anything else (single label, empty, malformed).
+    Other,
+}
+
+/// Classifies a host string.
+///
+/// ```
+/// use shift_urlkit::domain::{host_kind, HostKind};
+/// assert_eq!(host_kind("www.cnet.com"), HostKind::Registrable);
+/// assert_eq!(host_kind("co.uk"), HostKind::PublicSuffix);
+/// assert_eq!(host_kind("127.0.0.1"), HostKind::IpLiteral);
+/// assert_eq!(host_kind("localhost"), HostKind::Other);
+/// ```
+pub fn host_kind(host: &str) -> HostKind {
+    if host.starts_with('[') || is_ipv4(host) {
+        return HostKind::IpLiteral;
+    }
+    if registrable_domain(host).is_some() {
+        return HostKind::Registrable;
+    }
+    if crate::psl::public_suffix(host).is_some() {
+        return HostKind::PublicSuffix;
+    }
+    HostKind::Other
+}
+
+fn is_ipv4(host: &str) -> bool {
+    let parts: Vec<&str> = host.split('.').collect();
+    parts.len() == 4 && parts.iter().all(|p| p.parse::<u8>().is_ok())
+}
+
+/// An order-insensitive set of registrable domains.
+///
+/// Insertion projects each URL or host to its registrable domain; anything
+/// without one (IP literals, bare suffixes) is counted in
+/// [`rejected`](DomainSet::rejected) and otherwise ignored, mirroring how the
+/// study drops non-web citations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DomainSet {
+    domains: BTreeSet<String>,
+    rejected: usize,
+}
+
+impl DomainSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from an iterator of URL strings, skipping unparsable
+    /// entries.
+    pub fn from_urls<'a>(urls: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut set = DomainSet::new();
+        for u in urls {
+            set.insert_url_str(u);
+        }
+        set
+    }
+
+    /// Inserts the registrable domain of a parsed URL. Returns `true` when a
+    /// new domain was added.
+    pub fn insert_url(&mut self, url: &Url) -> bool {
+        self.insert_host(url.host())
+    }
+
+    /// Parses `s` as a URL and inserts its registrable domain.
+    pub fn insert_url_str(&mut self, s: &str) -> bool {
+        match Url::parse(s) {
+            Ok(u) => self.insert_url(&u),
+            Err(_) => {
+                self.rejected += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts the registrable domain of a bare host string.
+    pub fn insert_host(&mut self, host: &str) -> bool {
+        match registrable_domain(host) {
+            Some(d) => self.domains.insert(d),
+            None => {
+                self.rejected += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts a pre-normalized registrable domain verbatim.
+    pub fn insert_domain(&mut self, domain: &str) -> bool {
+        self.domains.insert(domain.to_ascii_lowercase())
+    }
+
+    /// Number of distinct registrable domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when no domain has been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// How many inserted values had no registrable domain.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Membership test for a registrable domain (case-insensitive).
+    pub fn contains(&self, domain: &str) -> bool {
+        self.domains.contains(&domain.to_ascii_lowercase())
+    }
+
+    /// Iterates the domains in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.domains.iter().map(|s| s.as_str())
+    }
+
+    /// |self ∩ other|.
+    pub fn intersection_size(&self, other: &DomainSet) -> usize {
+        if self.len() <= other.len() {
+            self.domains.iter().filter(|d| other.domains.contains(*d)).count()
+        } else {
+            other.intersection_size(self)
+        }
+    }
+
+    /// |self ∪ other|.
+    pub fn union_size(&self, other: &DomainSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Jaccard coefficient |∩| / |∪|; defined as 0.0 when both sets are
+    /// empty (a query for which neither system produced citations contributes
+    /// no overlap).
+    pub fn jaccard(&self, other: &DomainSet) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            0.0
+        } else {
+            self.intersection_size(other) as f64 / union as f64
+        }
+    }
+}
+
+impl<'a> FromIterator<&'a str> for DomainSet {
+    fn from_iter<T: IntoIterator<Item = &'a str>>(iter: T) -> Self {
+        let mut set = DomainSet::new();
+        for h in iter {
+            // Accept either full URLs or bare hosts.
+            if h.contains("://") {
+                set.insert_url_str(h);
+            } else {
+                set.insert_host(h);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedupes_across_subdomains_and_paths() {
+        let set = DomainSet::from_urls([
+            "https://www.rtings.com/tv",
+            "https://rtings.com/monitor",
+            "https://blog.rtings.com/about",
+        ]);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains("rtings.com"));
+    }
+
+    #[test]
+    fn rejects_ips_and_garbage() {
+        let mut set = DomainSet::new();
+        assert!(!set.insert_url_str("http://192.168.1.1/admin"));
+        assert!(!set.insert_url_str("not a url"));
+        assert!(!set.insert_host("localhost"));
+        assert_eq!(set.rejected(), 3);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn jaccard_of_identical_sets_is_one() {
+        let a: DomainSet = ["a.com", "b.com"].into_iter().collect();
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_sets_is_zero() {
+        let a: DomainSet = ["a.com"].into_iter().collect();
+        let b: DomainSet = ["b.com"].into_iter().collect();
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a: DomainSet = ["a.com", "b.com", "c.com"].into_iter().collect();
+        let b: DomainSet = ["b.com", "c.com", "d.com"].into_iter().collect();
+        // |∩| = 2, |∪| = 4
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_both_empty_is_zero() {
+        assert_eq!(DomainSet::new().jaccard(&DomainSet::new()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric() {
+        let a: DomainSet = ["a.com", "b.com"].into_iter().collect();
+        let b: DomainSet = ["b.com", "c.com", "d.com"].into_iter().collect();
+        assert_eq!(a.jaccard(&b), b.jaccard(&a));
+    }
+
+    #[test]
+    fn host_kind_classification() {
+        assert_eq!(host_kind("www.cnet.com"), HostKind::Registrable);
+        assert_eq!(host_kind("com"), HostKind::PublicSuffix);
+        assert_eq!(host_kind("co.uk"), HostKind::PublicSuffix);
+        assert_eq!(host_kind("10.0.0.1"), HostKind::IpLiteral);
+        assert_eq!(host_kind("[::1]"), HostKind::IpLiteral);
+        assert_eq!(host_kind("intranet"), HostKind::Other);
+    }
+
+    #[test]
+    fn insert_domain_is_case_insensitive() {
+        let mut set = DomainSet::new();
+        set.insert_domain("Example.COM");
+        assert!(set.contains("example.com"));
+        assert!(set.contains("EXAMPLE.com"));
+    }
+
+    #[test]
+    fn intersection_size_symmetric() {
+        let a: DomainSet = ["a.com", "b.com", "c.com", "d.com"].into_iter().collect();
+        let b: DomainSet = ["c.com", "d.com"].into_iter().collect();
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(b.intersection_size(&a), 2);
+        assert_eq!(a.union_size(&b), 4);
+    }
+}

@@ -1,0 +1,41 @@
+//! # shift-urlkit
+//!
+//! URL parsing, normalization and registrable-domain extraction.
+//!
+//! The study in *Navigating the Shift* compares cited sources at the level of
+//! **registrable domains** (also called eTLD+1): `https://www.rtings.com/tv/reviews`
+//! and `https://rtings.com/monitor` both map to `rtings.com`. This crate provides
+//! the machinery for that mapping:
+//!
+//! * [`Url`] — a small, allocation-conscious URL parser covering the subset of
+//!   RFC 3986 that appears in citation lists (scheme, authority, path, query,
+//!   fragment).
+//! * [`mod@normalize`] — canonicalization used before any domain comparison
+//!   (case-folding, default-port stripping, dot-segment resolution,
+//!   tracking-parameter removal).
+//! * [`psl`] — an embedded public-suffix subset and the
+//!   [`psl::registrable_domain`] function implementing the
+//!   eTLD+1 rule.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use shift_urlkit::{Url, registrable_domain};
+//!
+//! let url = Url::parse("https://WWW.Tomsguide.com:443/best-picks/laptops?utm_source=x#top").unwrap();
+//! assert_eq!(url.host(), "www.tomsguide.com");
+//! assert_eq!(registrable_domain(url.host()).as_deref(), Some("tomsguide.com"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod domain;
+pub mod normalize;
+pub mod parse;
+pub mod psl;
+
+pub use domain::{DomainSet, HostKind};
+pub use normalize::{normalize, NormalizeOptions};
+pub use parse::{ParseError, Url};
+pub use psl::{public_suffix, registrable_domain};

@@ -1,0 +1,252 @@
+//! URL canonicalization applied before any cross-engine comparison.
+//!
+//! Engines decorate links differently (tracking parameters, fragments,
+//! `www.` prefixes, redundant dot segments). Comparing raw strings would
+//! understate overlap, so every measured URL goes through [`normalize`]
+//! first.
+
+use crate::parse::Url;
+
+/// Tracking / attribution query parameters removed during normalization.
+const TRACKING_PARAMS: &[&str] = &[
+    "fbclid", "gclid", "igshid", "mc_cid", "mc_eid", "msclkid", "ref",
+    "ref_src", "soc_src", "utm_campaign", "utm_content", "utm_id",
+    "utm_medium", "utm_source", "utm_term",
+];
+
+/// Options controlling [`normalize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizeOptions {
+    /// Remove the fragment (`#…`). Fragments never change the fetched page.
+    pub strip_fragment: bool,
+    /// Remove known tracking parameters (`utm_*`, `fbclid`, …).
+    pub strip_tracking: bool,
+    /// Sort remaining query parameters lexicographically so parameter order
+    /// does not affect equality.
+    pub sort_query: bool,
+    /// Strip a leading `www.` label from the host.
+    pub strip_www: bool,
+    /// Collapse `.` and `..` path segments and duplicate slashes.
+    pub resolve_dot_segments: bool,
+    /// Remove a trailing slash from non-root paths.
+    pub strip_trailing_slash: bool,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        NormalizeOptions {
+            strip_fragment: true,
+            strip_tracking: true,
+            sort_query: true,
+            strip_www: true,
+            resolve_dot_segments: true,
+            strip_trailing_slash: true,
+        }
+    }
+}
+
+/// Canonicalizes a URL in place according to `opts`, returning it for
+/// chaining.
+///
+/// ```
+/// use shift_urlkit::{normalize, NormalizeOptions, Url};
+/// let u = Url::parse("https://www.example.com:443/a/./b/../c/?utm_source=x&z=1&a=2#frag").unwrap();
+/// let n = normalize(u, NormalizeOptions::default());
+/// assert_eq!(n.to_string(), "https://example.com/a/c?a=2&z=1");
+/// ```
+pub fn normalize(mut url: Url, opts: NormalizeOptions) -> Url {
+    url.strip_default_port();
+
+    if opts.strip_fragment {
+        url.clear_fragment();
+    }
+
+    if opts.strip_www {
+        if let Some(rest) = url.host().strip_prefix("www.") {
+            // Only strip when the remainder is still a registrable host —
+            // `www.co.uk` must not collapse to the bare suffix `co.uk`.
+            if crate::psl::registrable_domain(rest).is_some() {
+                url.set_host(rest.to_string());
+            }
+        }
+    }
+
+    if opts.resolve_dot_segments {
+        let resolved = resolve_dots(url.path());
+        url.set_path(resolved);
+    }
+
+    if opts.strip_trailing_slash {
+        let p = url.path();
+        if p.len() > 1 && p.ends_with('/') {
+            let trimmed = p.trim_end_matches('/');
+            let new = if trimmed.is_empty() { "/" } else { trimmed };
+            url.set_path(new.to_string());
+        }
+    }
+
+    if opts.strip_tracking || opts.sort_query {
+        let mut pairs: Vec<(String, String)> = url
+            .query_pairs()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if opts.strip_tracking {
+            pairs.retain(|(k, _)| {
+                let kl = k.to_ascii_lowercase();
+                !TRACKING_PARAMS.contains(&kl.as_str()) && !kl.starts_with("utm_")
+            });
+        }
+        if opts.sort_query {
+            pairs.sort();
+        }
+        if pairs.is_empty() {
+            url.set_query(None);
+        } else {
+            let q = pairs
+                .iter()
+                .map(|(k, v)| {
+                    if v.is_empty() && !k.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{k}={v}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("&");
+            url.set_query(Some(q));
+        }
+    }
+
+    url
+}
+
+/// Resolves `.` / `..` segments and collapses duplicate slashes.
+fn resolve_dots(path: &str) -> String {
+    let mut stack: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                stack.pop();
+            }
+            s => stack.push(s),
+        }
+    }
+    let mut out = String::with_capacity(path.len());
+    for seg in &stack {
+        out.push('/');
+        out.push_str(seg);
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    // Preserve a trailing slash for directory-style paths; the
+    // strip_trailing_slash option decides its final fate.
+    if path.ends_with('/') && out.len() > 1 {
+        out.push('/');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(s: &str) -> String {
+        normalize(Url::parse(s).unwrap(), NormalizeOptions::default()).to_string()
+    }
+
+    #[test]
+    fn strips_fragment_and_tracking() {
+        assert_eq!(
+            norm("https://example.com/a?utm_source=tw&x=1#top"),
+            "https://example.com/a?x=1"
+        );
+    }
+
+    #[test]
+    fn strips_all_utm_variants() {
+        assert_eq!(
+            norm("https://e.com/p?utm_source=a&utm_medium=b&utm_whatever=c"),
+            "https://e.com/p"
+        );
+    }
+
+    #[test]
+    fn sorts_query_parameters() {
+        assert_eq!(norm("https://e.com/p?z=1&a=2&m=3"), "https://e.com/p?a=2&m=3&z=1");
+    }
+
+    #[test]
+    fn strips_www_prefix() {
+        assert_eq!(norm("https://www.example.com/"), "https://example.com/");
+    }
+
+    #[test]
+    fn keeps_www_when_it_is_the_whole_name() {
+        // www.com: stripping would leave a bare TLD.
+        assert_eq!(norm("https://www.com/"), "https://www.com/");
+    }
+
+    #[test]
+    fn keeps_www_before_multilabel_public_suffix() {
+        // www.co.uk: the remainder is a bare public suffix, not a host.
+        assert_eq!(norm("https://www.co.uk/x"), "https://www.co.uk/x");
+        // …while a real host under co.uk still strips.
+        assert_eq!(norm("https://www.bbc.co.uk/x"), "https://bbc.co.uk/x");
+    }
+
+    #[test]
+    fn strips_default_ports() {
+        assert_eq!(norm("https://e.com:443/x"), "https://e.com/x");
+        assert_eq!(norm("http://e.com:80/x"), "http://e.com/x");
+        assert_eq!(norm("http://e.com:8080/x"), "http://e.com:8080/x");
+    }
+
+    #[test]
+    fn resolves_dot_segments() {
+        assert_eq!(norm("https://e.com/a/./b/../c"), "https://e.com/a/c");
+        assert_eq!(norm("https://e.com/../../x"), "https://e.com/x");
+        assert_eq!(norm("https://e.com/a//b"), "https://e.com/a/b");
+    }
+
+    #[test]
+    fn strips_trailing_slash_on_non_root() {
+        assert_eq!(norm("https://e.com/a/"), "https://e.com/a");
+        assert_eq!(norm("https://e.com/"), "https://e.com/");
+    }
+
+    #[test]
+    fn flag_only_params_survive() {
+        assert_eq!(norm("https://e.com/p?flag&a=1"), "https://e.com/p?a=1&flag");
+    }
+
+    #[test]
+    fn disabled_options_leave_url_alone() {
+        let opts = NormalizeOptions {
+            strip_fragment: false,
+            strip_tracking: false,
+            sort_query: false,
+            strip_www: false,
+            resolve_dot_segments: false,
+            strip_trailing_slash: false,
+        };
+        let u = Url::parse("https://www.e.com/a/?z=1&a=2#f").unwrap();
+        let n = normalize(u.clone(), opts);
+        assert_eq!(n.to_string(), "https://www.e.com/a/?z=1&a=2#f");
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for s in [
+            "https://www.example.com/a/./b/../c/?utm_source=x&z=1&a=2#frag",
+            "http://shop.example.co.uk:80//x//y/?b=2&a=1",
+            "https://e.com/",
+        ] {
+            let once = norm(s);
+            let twice = normalize(Url::parse(&once).unwrap(), NormalizeOptions::default())
+                .to_string();
+            assert_eq!(once, twice, "normalize must be idempotent for {s}");
+        }
+    }
+}

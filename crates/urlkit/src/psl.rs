@@ -1,0 +1,204 @@
+//! An embedded public-suffix subset and the eTLD+1 (registrable domain) rule.
+//!
+//! The real public-suffix list is ~10k entries; the study's corpus and the
+//! citation lists of the five engines only touch a far smaller surface. We
+//! embed the generic TLDs plus the multi-label country suffixes that actually
+//! occur in consumer-web citations (`co.uk`, `com.au`, …) and fall back to the
+//! last label for anything unknown — exactly the "registrable domain"
+//! normalization the paper applies before computing Jaccard overlap.
+
+/// Two-label public suffixes (checked before single-label ones).
+/// Sorted for binary search; see the unit test enforcing ordering.
+const TWO_LABEL_SUFFIXES: &[&str] = &[
+    "ac.jp", "ac.nz", "ac.uk", "co.il", "co.in", "co.jp", "co.kr", "co.nz",
+    "co.uk", "co.za", "com.ar", "com.au", "com.br", "com.cn", "com.hk",
+    "com.mx", "com.sg", "com.tr", "com.tw", "edu.au", "gc.ca", "gov.au",
+    "gov.cn", "gov.uk", "ne.jp", "net.au", "or.jp", "org.au", "org.nz",
+    "org.uk",
+];
+
+/// Single-label public suffixes (generic TLDs + ccTLDs seen in the corpus).
+/// Sorted for binary search.
+const ONE_LABEL_SUFFIXES: &[&str] = &[
+    "ai", "app", "at", "be", "biz", "blog", "ca", "ch", "cn", "co", "com",
+    "de", "dev", "edu", "es", "eu", "fr", "gov", "ie", "in", "info", "int",
+    "io", "it", "jp", "kr", "me", "mil", "net", "news", "nl", "no", "nz",
+    "org", "pl", "pro", "ru", "se", "shop", "site", "store", "tech", "tv",
+    "uk", "us", "xyz",
+];
+
+/// Returns the public suffix of `host`, if the host is a valid DNS-style name
+/// with a recognizable suffix.
+///
+/// IP literals (IPv4 dotted quads and bracketed IPv6) have no public suffix.
+///
+/// ```
+/// use shift_urlkit::psl::public_suffix;
+/// assert_eq!(public_suffix("www.bbc.co.uk"), Some("co.uk"));
+/// assert_eq!(public_suffix("example.com"), Some("com"));
+/// assert_eq!(public_suffix("localhost"), None);
+/// ```
+pub fn public_suffix(host: &str) -> Option<&'static str> {
+    if host.is_empty() || host.starts_with('[') || is_ipv4(host) {
+        return None;
+    }
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.iter().any(|l| l.is_empty()) {
+        return None;
+    }
+    if labels.len() >= 2 {
+        let two = format!("{}.{}", labels[labels.len() - 2], labels[labels.len() - 1]);
+        if let Ok(i) = TWO_LABEL_SUFFIXES.binary_search(&two.as_str()) {
+            return Some(TWO_LABEL_SUFFIXES[i]);
+        }
+    }
+    let last = labels[labels.len() - 1];
+    ONE_LABEL_SUFFIXES
+        .binary_search(&last)
+        .ok()
+        .map(|i| ONE_LABEL_SUFFIXES[i])
+}
+
+/// Returns the registrable domain (eTLD+1) of `host`, lowercased.
+///
+/// Returns `None` when the host *is* a bare public suffix, an IP literal, or
+/// structurally invalid. Unknown TLDs fall back to "last two labels", which
+/// matches how measurement studies treat long-tail ccTLDs.
+///
+/// ```
+/// use shift_urlkit::registrable_domain;
+/// assert_eq!(registrable_domain("www.theverge.com").as_deref(), Some("theverge.com"));
+/// assert_eq!(registrable_domain("news.bbc.co.uk").as_deref(), Some("bbc.co.uk"));
+/// assert_eq!(registrable_domain("com"), None);
+/// ```
+pub fn registrable_domain(host: &str) -> Option<String> {
+    let host = host.to_ascii_lowercase();
+    let host = host.strip_suffix('.').unwrap_or(&host); // trailing-dot FQDN
+    if host.is_empty() || host.starts_with('[') || is_ipv4(host) {
+        return None;
+    }
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() < 2 || labels.iter().any(|l| l.is_empty() || !valid_label(l)) {
+        return None;
+    }
+    let suffix_labels = match public_suffix(host) {
+        Some(s) => s.split('.').count(),
+        // Unknown TLD: treat the last label as the suffix.
+        None => 1,
+    };
+    if labels.len() <= suffix_labels {
+        return None; // the host is itself a public suffix
+    }
+    Some(labels[labels.len() - suffix_labels - 1..].join("."))
+}
+
+fn valid_label(label: &str) -> bool {
+    !label.is_empty()
+        && label.len() <= 63
+        && label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        && !label.starts_with('-')
+        && !label.ends_with('-')
+}
+
+fn is_ipv4(host: &str) -> bool {
+    let parts: Vec<&str> = host.split('.').collect();
+    parts.len() == 4 && parts.iter().all(|p| p.parse::<u8>().is_ok() && !p.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_tables_are_sorted_for_binary_search() {
+        let mut one = ONE_LABEL_SUFFIXES.to_vec();
+        one.sort_unstable();
+        assert_eq!(one, ONE_LABEL_SUFFIXES, "one-label table must stay sorted");
+        let mut two = TWO_LABEL_SUFFIXES.to_vec();
+        two.sort_unstable();
+        assert_eq!(two, TWO_LABEL_SUFFIXES, "two-label table must stay sorted");
+    }
+
+    #[test]
+    fn generic_tld_suffixes() {
+        assert_eq!(public_suffix("example.com"), Some("com"));
+        assert_eq!(public_suffix("a.b.c.example.org"), Some("org"));
+    }
+
+    #[test]
+    fn two_label_suffix_beats_one_label() {
+        assert_eq!(public_suffix("bbc.co.uk"), Some("co.uk"));
+        assert_eq!(public_suffix("shop.example.com.au"), Some("com.au"));
+    }
+
+    #[test]
+    fn registrable_domain_basic() {
+        assert_eq!(
+            registrable_domain("www.rtings.com").as_deref(),
+            Some("rtings.com")
+        );
+        assert_eq!(
+            registrable_domain("rtings.com").as_deref(),
+            Some("rtings.com")
+        );
+    }
+
+    #[test]
+    fn registrable_domain_multilabel_suffix() {
+        assert_eq!(
+            registrable_domain("news.bbc.co.uk").as_deref(),
+            Some("bbc.co.uk")
+        );
+        assert_eq!(registrable_domain("bbc.co.uk").as_deref(), Some("bbc.co.uk"));
+        assert_eq!(registrable_domain("co.uk"), None);
+    }
+
+    #[test]
+    fn bare_suffix_has_no_registrable_domain() {
+        assert_eq!(registrable_domain("com"), None);
+        assert_eq!(registrable_domain("io"), None);
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_last_two_labels() {
+        assert_eq!(
+            registrable_domain("www.example.zz").as_deref(),
+            Some("example.zz")
+        );
+    }
+
+    #[test]
+    fn ip_literals_are_rejected() {
+        assert_eq!(registrable_domain("192.168.0.1"), None);
+        assert_eq!(registrable_domain("[2001:db8::1]"), None);
+        assert_eq!(public_suffix("10.0.0.1"), None);
+    }
+
+    #[test]
+    fn case_folding_and_trailing_dot() {
+        assert_eq!(
+            registrable_domain("WWW.Example.COM").as_deref(),
+            Some("example.com")
+        );
+        assert_eq!(
+            registrable_domain("example.com.").as_deref(),
+            Some("example.com")
+        );
+    }
+
+    #[test]
+    fn invalid_hosts_are_rejected() {
+        assert_eq!(registrable_domain(""), None);
+        assert_eq!(registrable_domain("localhost"), None);
+        assert_eq!(registrable_domain("bad..dots.com"), None);
+        assert_eq!(registrable_domain("-leading.com"), None);
+        assert_eq!(registrable_domain("trailing-.com"), None);
+    }
+
+    #[test]
+    fn single_label_host_has_no_registrable_domain() {
+        assert_eq!(registrable_domain("intranet"), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for URL parsing, normalization and domain projection.
+
+use proptest::prelude::*;
+use shift_urlkit::{normalize, registrable_domain, NormalizeOptions, Url};
+
+/// Strategy producing syntactically valid DNS labels.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
+}
+
+/// Strategy producing hosts of 2–4 labels ending in a known TLD.
+fn host() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(label(), 1..3),
+        prop_oneof![Just("com"), Just("org"), Just("net"), Just("io"), Just("co.uk")],
+    )
+        .prop_map(|(labels, tld)| format!("{}.{}", labels.join("."), tld))
+}
+
+fn url_string() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just("http"), Just("https")],
+        host(),
+        prop::collection::vec("[a-zA-Z0-9_-]{1,6}", 0..4),
+        prop::collection::vec(("[a-z]{1,5}", "[a-z0-9]{0,4}"), 0..3),
+    )
+        .prop_map(|(scheme, host, segs, query)| {
+            let mut s = format!("{scheme}://{host}/{}", segs.join("/"));
+            if !query.is_empty() {
+                s.push('?');
+                s.push_str(
+                    &query
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join("&"),
+                );
+            }
+            s
+        })
+}
+
+proptest! {
+    /// Parsing a generated URL always succeeds and round-trips through
+    /// Display → parse to an equal value.
+    #[test]
+    fn parse_roundtrip(s in url_string()) {
+        let u = Url::parse(&s).unwrap();
+        let reparsed = Url::parse(&u.to_string()).unwrap();
+        prop_assert_eq!(u, reparsed);
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(s in url_string()) {
+        let once = normalize(Url::parse(&s).unwrap(), NormalizeOptions::default());
+        let twice = normalize(once.clone(), NormalizeOptions::default());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Normalization never changes the registrable domain.
+    #[test]
+    fn normalize_preserves_registrable_domain(s in url_string()) {
+        let u = Url::parse(&s).unwrap();
+        let before = registrable_domain(u.host());
+        let after = registrable_domain(
+            normalize(u, NormalizeOptions::default()).host(),
+        );
+        prop_assert_eq!(before, after);
+    }
+
+    /// The registrable domain of a valid host is a suffix of the host and
+    /// itself maps to itself (projection is idempotent).
+    #[test]
+    fn registrable_domain_is_idempotent_suffix(h in host()) {
+        let d = registrable_domain(&h).unwrap();
+        prop_assert!(h.ends_with(&d));
+        prop_assert_eq!(registrable_domain(&d), Some(d.clone()));
+    }
+
+    /// Parser never panics on arbitrary input.
+    #[test]
+    fn parse_never_panics(s in "\\PC{0,64}") {
+        let _ = Url::parse(&s);
+    }
+
+    /// registrable_domain never panics on arbitrary input.
+    #[test]
+    fn registrable_domain_never_panics(s in "\\PC{0,64}") {
+        let _ = registrable_domain(&s);
+    }
+}

@@ -1,0 +1,77 @@
+//! Overlap study: the Figure 1 measurement built directly from the public
+//! API — per-query Jaccard and rank-biased overlap between each AI
+//! engine's cited domains and Google's top-10, with a per-topic breakdown.
+//!
+//! ```sh
+//! cargo run --release --example overlap_study -- 120
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use navigating_shift::corpus::{topic_specs, World, WorldConfig};
+use navigating_shift::engines::{AnswerEngines, EngineKind};
+use navigating_shift::metrics::rbo::rbo;
+use navigating_shift::metrics::{jaccard, mean};
+use navigating_shift::queries::ranking_queries;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+
+    let world = Arc::new(World::generate(&WorldConfig::default_scale(), 42));
+    let stack = AnswerEngines::build(Arc::clone(&world));
+    let queries = ranking_queries(&world, n, 7);
+    println!("measuring {} ranking queries across 10 consumer topics…\n", queries.len());
+
+    // per engine: all jaccards; per (engine, topic): jaccards
+    let mut jac: BTreeMap<EngineKind, Vec<f64>> = BTreeMap::new();
+    let mut rbo_scores: BTreeMap<EngineKind, Vec<f64>> = BTreeMap::new();
+    let mut by_topic: BTreeMap<(EngineKind, &str), Vec<f64>> = BTreeMap::new();
+
+    for q in &queries {
+        let google = stack.answer(EngineKind::Google, &q.text, 10, 0).domains();
+        let topic_key = topic_specs()[q.topic.index()].key;
+        for kind in EngineKind::GENERATIVE {
+            let domains = stack.answer(kind, &q.text, 10, 1).domains();
+            let j = jaccard(&google, &domains);
+            jac.entry(kind).or_default().push(j);
+            rbo_scores
+                .entry(kind)
+                .or_default()
+                .push(rbo(&google, &domains, 0.9));
+            by_topic.entry((kind, topic_key)).or_default().push(j);
+        }
+    }
+
+    println!("{:<14} {:>10} {:>10}", "engine", "Jaccard", "RBO@0.9");
+    for kind in EngineKind::GENERATIVE {
+        println!(
+            "{:<14} {:>9.1}% {:>9.1}%",
+            kind.name(),
+            100.0 * mean(&jac[&kind]),
+            100.0 * mean(&rbo_scores[&kind]),
+        );
+    }
+
+    // Which topics diverge most for the most divergent engine?
+    let most_divergent = EngineKind::GENERATIVE
+        .into_iter()
+        .min_by(|a, b| mean(&jac[a]).total_cmp(&mean(&jac[b])))
+        .unwrap();
+    println!(
+        "\nper-topic overlap for the most divergent engine ({}):",
+        most_divergent.name()
+    );
+    let mut rows: Vec<(&str, f64)> = by_topic
+        .iter()
+        .filter(|((k, _), _)| *k == most_divergent)
+        .map(|((_, t), v)| (*t, mean(v)))
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (topic, overlap) in rows {
+        println!("  {:<22} {:>5.1}%", topic, 100.0 * overlap);
+    }
+}

@@ -1,0 +1,39 @@
+//! # navigating-shift
+//!
+//! Facade crate for the reproduction of *Navigating the Shift: A Comparative
+//! Analysis of Web Search and Generative AI Response Generation* (EDBT 2026).
+//!
+//! Each subsystem lives in its own crate; this crate re-exports them under
+//! short module names so examples and downstream users need a single
+//! dependency:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`urlkit`] | `shift-urlkit` | URL parsing, registrable domains |
+//! | [`textkit`] | `shift-textkit` | tokenization, stemming, distances |
+//! | [`corpus`] | `shift-corpus` | synthetic web corpus |
+//! | [`freshness`] | `shift-freshness` | page-date extraction |
+//! | [`search`] | `shift-search` | BM25 web search engine |
+//! | [`llm`] | `shift-llm` | LLM simulator |
+//! | [`engines`] | `shift-engines` | the five answer-engine personas |
+//! | [`classify`] | `shift-classify` | typology & intent classifiers |
+//! | [`queries`] | `shift-queries` | workload generators |
+//! | [`metrics`] | `shift-metrics` | overlap & rank statistics |
+//! | [`core`] | `shift-core` | experiment runners (figures & tables) |
+//! | [`aeo`] | `shift-aeo` | AEO toolkit: visibility + content plans (§3.4) |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use shift_aeo as aeo;
+pub use shift_classify as classify;
+pub use shift_core as core;
+pub use shift_corpus as corpus;
+pub use shift_engines as engines;
+pub use shift_freshness as freshness;
+pub use shift_llm as llm;
+pub use shift_metrics as metrics;
+pub use shift_queries as queries;
+pub use shift_search as search;
+pub use shift_textkit as textkit;
+pub use shift_urlkit as urlkit;

@@ -1,0 +1,84 @@
+//! Cross-crate classifier evaluation: the intent classifier
+//! (`shift-classify`) must recover the intent labels the query generator
+//! (`shift-queries`) wrote, and the typology classifier must agree with
+//! corpus ground truth — the two measurement instruments the Figure 3
+//! experiment depends on.
+
+use navigating_shift::classify::intent::QueryIntentLabel;
+use navigating_shift::classify::{classify_intent, eval::evaluate_typology};
+use navigating_shift::corpus::{World, WorldConfig};
+use navigating_shift::queries::{intent_queries, QueryIntent};
+
+fn label_of(intent: QueryIntent) -> QueryIntentLabel {
+    match intent {
+        QueryIntent::Informational => QueryIntentLabel::Informational,
+        QueryIntent::Consideration => QueryIntentLabel::Consideration,
+        QueryIntent::Transactional => QueryIntentLabel::Transactional,
+    }
+}
+
+#[test]
+fn intent_classifier_recovers_generated_intents() {
+    let world = World::generate(&WorldConfig::small(), 616);
+    let queries = intent_queries(&world, 80, 9);
+    let mut correct = 0usize;
+    let mut confusion: Vec<(String, QueryIntent, QueryIntentLabel)> = Vec::new();
+    for q in &queries {
+        let predicted = classify_intent(&q.text);
+        if predicted == label_of(q.intent) {
+            correct += 1;
+        } else {
+            confusion.push((q.text.clone(), q.intent, predicted));
+        }
+    }
+    let accuracy = correct as f64 / queries.len() as f64;
+    assert!(
+        accuracy > 0.9,
+        "intent accuracy {accuracy:.3}; first confusions: {:?}",
+        &confusion[..confusion.len().min(5)]
+    );
+}
+
+#[test]
+fn intent_classifier_is_consistent_per_class() {
+    let world = World::generate(&WorldConfig::small(), 616);
+    let queries = intent_queries(&world, 60, 10);
+    // Per-class recall must be reasonable for each intent, not just in
+    // aggregate (Figure 3 slices by intent).
+    for intent in QueryIntent::ALL {
+        let of_class: Vec<_> = queries.iter().filter(|q| q.intent == intent).collect();
+        let hits = of_class
+            .iter()
+            .filter(|q| classify_intent(&q.text) == label_of(intent))
+            .count();
+        let recall = hits as f64 / of_class.len().max(1) as f64;
+        assert!(
+            recall > 0.8,
+            "{} recall {recall:.2}",
+            intent.label()
+        );
+    }
+}
+
+#[test]
+fn typology_classifier_accuracy_holds_at_default_scale() {
+    let world = World::generate(&WorldConfig::default_scale(), 616);
+    let cm = evaluate_typology(&world);
+    assert!(cm.total() > 2000);
+    assert!(
+        cm.accuracy() > 0.9,
+        "typology accuracy {:.3}\n{}",
+        cm.accuracy(),
+        cm.render()
+    );
+    // No class may collapse: recall over 0.75 for each of the three types.
+    for st in navigating_shift::corpus::SourceType::ALL {
+        assert!(
+            cm.recall(st) > 0.75,
+            "{} recall {:.2}\n{}",
+            st.label(),
+            cm.recall(st),
+            cm.render()
+        );
+    }
+}

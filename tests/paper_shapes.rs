@@ -1,0 +1,105 @@
+//! Shape tests: the qualitative claims of the paper must hold on the
+//! synthetic substrate at quick scale. These are the "does the
+//! reproduction reproduce?" gates; exact magnitudes live in
+//! EXPERIMENTS.md.
+
+use navigating_shift::core::study::{Study, StudyConfig};
+use navigating_shift::core::{fig1, fig3, fig4, tab1, tab2, tab3};
+use navigating_shift::corpus::Vertical;
+use navigating_shift::engines::EngineKind;
+use navigating_shift::queries::QueryIntent;
+
+fn study() -> Study {
+    Study::generate(&StudyConfig::quick(), 20251101)
+}
+
+/// §2.1: uniformly low AI-vs-Google domain overlap, GPT-4o lowest,
+/// Perplexity highest.
+#[test]
+fn headline_overlap_ordering() {
+    let r = fig1::run(&study());
+    let asc = r.ascending();
+    assert_eq!(asc[0], EngineKind::Gpt4o, "order: {asc:?}");
+    assert_eq!(*asc.last().unwrap(), EngineKind::Perplexity, "order: {asc:?}");
+    for (kind, overlap, _) in &r.per_engine {
+        assert!(*overlap < 0.5, "{kind:?} overlap {overlap:.2} not 'low'");
+    }
+}
+
+/// §2.2: Claude concentrates on earned media with near-zero social;
+/// Google is the most balanced / most social.
+#[test]
+fn typology_shapes() {
+    let r = fig3::run(&study());
+    let claude = r.mix(EngineKind::Claude).unwrap();
+    let google = r.mix(EngineKind::Google).unwrap();
+    assert!(claude[1] > 0.5, "Claude earned share {:.2}", claude[1]);
+    assert!(claude[2] < 0.05, "Claude social share {:.2}", claude[2]);
+    assert!(google[2] > 0.1, "Google social share {:.2}", google[2]);
+    // Transactional queries swing every AI engine toward brand.
+    for kind in EngineKind::GENERATIVE {
+        let trans = r.mix_at(QueryIntent::Transactional, kind).unwrap();
+        if trans.iter().sum::<f64>() > 0.0 {
+            assert!(
+                trans[0] > 0.35,
+                "{kind:?} transactional brand share {:.2}",
+                trans[0]
+            );
+        }
+    }
+}
+
+/// §2.3: AI engines cite newer content than Google in both verticals, and
+/// automotive runs older than consumer electronics.
+#[test]
+fn freshness_shapes() {
+    let r = fig4::run(&study());
+    for vertical in [Vertical::ConsumerElectronics, Vertical::Automotive] {
+        let google = r.median(vertical, EngineKind::Google).unwrap();
+        let claude = r.median(vertical, EngineKind::Claude).unwrap();
+        let gpt = r.median(vertical, EngineKind::Gpt4o).unwrap();
+        assert!(claude < google, "{}: Claude {claude} vs Google {google}", vertical.label());
+        assert!(gpt < google, "{}: GPT {gpt} vs Google {google}", vertical.label());
+    }
+    let ce = r.median(Vertical::ConsumerElectronics, EngineKind::Claude).unwrap();
+    let auto = r.median(Vertical::Automotive, EngineKind::Claude).unwrap();
+    assert!(auto > 1.5 * ce, "vertical gap too small: {auto} vs {ce}");
+}
+
+/// §3.2/§3.3 (Table 1): niche rankings are far more perturbation-sensitive
+/// than popular ones; strict grounding stabilizes, dramatically so for
+/// niche.
+#[test]
+fn perturbation_shapes() {
+    let r = tab1::run(&study());
+    assert!(r.niche.ss_normal > 1.5 * r.popular.ss_normal,
+        "niche/popular SS gap too small: {:.2} vs {:.2}", r.niche.ss_normal, r.popular.ss_normal);
+    assert!(r.popular.ss_strict < r.popular.ss_normal);
+    assert!(r.niche.ss_strict < 0.5 * r.niche.ss_normal);
+    assert!(r.popular.esi >= r.popular.ss_normal * 0.8);
+    assert!(r.niche.esi >= r.niche.ss_normal * 0.8);
+}
+
+/// §3.2/§3.3 (Table 2): pairwise consistency is near-perfect for popular
+/// entities (especially strict) and degraded for niche.
+#[test]
+fn consistency_shapes() {
+    let r = tab2::run(&study());
+    assert!(r.popular.0 > r.niche.0, "normal: {:?} vs {:?}", r.popular, r.niche);
+    assert!(r.popular.1 > 0.82);
+    assert!(r.niche.1 > r.niche.0, "strict must help niche");
+    assert!(r.popular.1 >= r.niche.1 - 0.02);
+    // The paper's "16% of ranked entities lacked snippet support".
+    assert!(r.popular_unsupported_rate > 0.03 && r.popular_unsupported_rate < 0.45);
+}
+
+/// §3.2.2 (Table 3): citation misses concentrate on the tail of the brand
+/// roster.
+#[test]
+fn missrate_shapes() {
+    let r = tab3::run(&study());
+    let head = (r.rate("Toyota").unwrap() + r.rate("Honda").unwrap()) / 2.0;
+    let tail = (r.rate("Cadillac").unwrap() + r.rate("Infiniti").unwrap()) / 2.0;
+    assert!(head < 0.3, "head miss {head:.2}");
+    assert!(tail > head, "no popularity gradient: head {head:.2} tail {tail:.2}");
+}
