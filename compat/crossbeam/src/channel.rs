@@ -1,0 +1,373 @@
+//! MPMC channels: bounded (with backpressure) and unbounded.
+//!
+//! Semantics follow `crossbeam-channel`:
+//!
+//! * `Sender` and `Receiver` are both cloneable.
+//! * `send` blocks while the buffer is full; `try_send` fails fast with
+//!   [`TrySendError::Full`].
+//! * `recv` blocks while empty; once every sender is dropped the buffer
+//!   drains and further receives report disconnection.
+//! * Dropping the last receiver makes every send fail with
+//!   [`SendError`] / [`TrySendError::Disconnected`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`]: channel empty and disconnected.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently buffered.
+    Empty,
+    /// Channel empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline elapsed with no message.
+    Timeout,
+    /// Channel empty and every sender is gone.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel with capacity `cap`.
+///
+/// A zero capacity is rounded up to one (upstream's rendezvous semantics
+/// are not needed in this workspace).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(cap.max(1))
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+fn with_capacity<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is buffered or all receivers are gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if state.buf.len() < state.cap {
+                state.buf.push_back(msg);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Attempts to buffer the message without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.buf.len() >= state.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        state.buf.push_back(msg);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().buf.len()
+    }
+
+    /// True when no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or the channel disconnects empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Attempts to take a buffered message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(msg) = state.buf.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = guard;
+            if res.timed_out() && state.buf.is_empty() {
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().buf.len()
+    }
+
+    /// True when no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_send_full_then_drain() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop_drains_first() {
+        let (tx, rx) = bounded(4);
+        tx.send(10).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(10));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_on_receiver_drop() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u8>(1);
+        let err = rx.recv_timeout(Duration::from_millis(20));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_all_items_delivered_exactly_once() {
+        let (tx, rx) = bounded(4);
+        let n_producers = 4;
+        let n_consumers = 3;
+        let per_producer = 250usize;
+        let mut received: Vec<usize> = thread::scope(|s| {
+            let consumers: Vec<_> = (0..n_consumers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for p in 0..n_producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        tx.send(p * per_producer + i).unwrap();
+                    }
+                });
+            }
+            drop((tx, rx));
+            consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect()
+        });
+        received.sort_unstable();
+        let expected: Vec<usize> = (0..n_producers * per_producer).collect();
+        assert_eq!(received, expected);
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+}

@@ -1,0 +1,89 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for vectors whose elements come from `element` and whose
+/// length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.size_in(self.size.lo, self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let strat = vec(0u8..5, 2..7);
+        let mut rng = TestRng::for_test("vec-bounds");
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() >= 4, "lengths explored: {lens:?}");
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let strat = vec(0u8..2, 3usize);
+        let mut rng = TestRng::for_test("vec-exact");
+        assert_eq!(strat.generate(&mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! String strategies from regex-like patterns.
+//!
+//! Supports exactly the pattern language the workspace's tests use:
+//! literal characters, character classes (`[a-z0-9_-]`), the printable
+//! class `\PC`, and `{m}` / `{m,n}` quantifiers.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Token {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    token: Token,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let token = match chars[i] {
+            '\\' => {
+                let class = chars.get(i + 1).copied().unwrap_or('\\');
+                match class {
+                    'P' | 'p' => {
+                        // `\PC` (printable) is the only category in use.
+                        i += 3;
+                        Token::AnyPrintable
+                    }
+                    other => {
+                        i += 2;
+                        Token::Literal(other)
+                    }
+                }
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                Token::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Token::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { token, min, max });
+    }
+    pieces
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, with an occasional multi-byte character so
+    // byte-offset bugs in consumers still get exercised.
+    const EXOTIC: [char; 8] = ['é', 'ß', 'λ', 'Ж', '中', '日', '✓', '€'];
+    if rng.index(10) == 0 {
+        EXOTIC[rng.index(EXOTIC.len())]
+    } else {
+        char::from_u32(0x20 + rng.index(0x7F - 0x20) as u32).unwrap()
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.size_in(piece.min, piece.max);
+        for _ in 0..count {
+            match &piece.token {
+                Token::Literal(c) => out.push(*c),
+                Token::AnyPrintable => out.push(printable(rng)),
+                Token::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                        .sum();
+                    let mut pick = rng.index(total as usize) as u32;
+                    for &(lo, hi) in ranges {
+                        let width = hi as u32 - lo as u32 + 1;
+                        if pick < width {
+                            out.push(char::from_u32(lo as u32 + pick).unwrap());
+                            break;
+                        }
+                        pick -= width;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(name: &str) -> TestRng {
+        TestRng::for_test(name)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng("class");
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9]{0,8}", &mut r);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            let head = s.chars().next().unwrap();
+            assert!(head.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_dash() {
+        let mut r = rng("dash");
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9_-]{1,6}", &mut r);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_category_lengths() {
+        let mut r = rng("pc");
+        let mut max_seen = 0;
+        for _ in 0..100 {
+            let s = generate_matching("\\PC{0,64}", &mut r);
+            let n = s.chars().count();
+            assert!(n <= 64);
+            assert!(s.chars().all(|c| !c.is_control()));
+            max_seen = max_seen.max(n);
+        }
+        assert!(max_seen > 32, "quantifier range unexplored: {max_seen}");
+    }
+
+    #[test]
+    fn literal_pattern_round_trips() {
+        let mut r = rng("lit");
+        assert_eq!(generate_matching("abc", &mut r), "abc");
+    }
+}

@@ -160,8 +160,14 @@ mod tests {
         let w = world();
         let e = w.entity_by_name("Toyota RAV4").unwrap();
         for intervention in [
-            Intervention::FreshEarnedReviews { count: 3, sentiment: 0.9 },
-            Intervention::SocialBuzz { count: 2, sentiment: 0.7 },
+            Intervention::FreshEarnedReviews {
+                count: 3,
+                sentiment: 0.9,
+            },
+            Intervention::SocialBuzz {
+                count: 2,
+                sentiment: 0.7,
+            },
             Intervention::BrandRefresh,
         ] {
             let specs = intervention.page_specs(&w, e, 9);
@@ -173,7 +179,11 @@ mod tests {
     #[test]
     fn labels_are_descriptive() {
         assert_eq!(
-            Intervention::FreshEarnedReviews { count: 5, sentiment: 0.9 }.label(),
+            Intervention::FreshEarnedReviews {
+                count: 5,
+                sentiment: 0.9
+            }
+            .label(),
             "5 fresh earned reviews"
         );
         assert_eq!(Intervention::BrandRefresh.label(), "brand page refresh");

@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
+use shift_corpus::EntityId;
 use shift_corpus::World;
 use shift_engines::{AnswerEngines, EngineKind};
-use shift_corpus::EntityId;
 
 use crate::intervention::Intervention;
 use crate::visibility::{measure_visibility, topic_query_sweep, VisibilityReport};
@@ -59,16 +59,32 @@ pub struct PlanOutcome {
 impl PlanOutcome {
     /// Mention-share delta per engine, `after - before`.
     pub fn mention_delta(&self, kind: EngineKind) -> f64 {
-        let b = self.before.engine(kind).map(|v| v.mention_share).unwrap_or(0.0);
-        let a = self.after.engine(kind).map(|v| v.mention_share).unwrap_or(0.0);
+        let b = self
+            .before
+            .engine(kind)
+            .map(|v| v.mention_share)
+            .unwrap_or(0.0);
+        let a = self
+            .after
+            .engine(kind)
+            .map(|v| v.mention_share)
+            .unwrap_or(0.0);
         a - b
     }
 
     /// Support-rate delta per engine (did the plan convert prior-carried
     /// mentions into evidence-backed ones?).
     pub fn support_delta(&self, kind: EngineKind) -> f64 {
-        let b = self.before.engine(kind).map(|v| v.support_rate).unwrap_or(0.0);
-        let a = self.after.engine(kind).map(|v| v.support_rate).unwrap_or(0.0);
+        let b = self
+            .before
+            .engine(kind)
+            .map(|v| v.support_rate)
+            .unwrap_or(0.0);
+        let a = self
+            .after
+            .engine(kind)
+            .map(|v| v.support_rate)
+            .unwrap_or(0.0);
         a - b
     }
 

@@ -110,11 +110,7 @@ pub fn measure_visibility(
 
         for (qi, q) in queries.iter().enumerate() {
             let answer = stack.answer(kind, q, k, seed.wrapping_add(qi as u64));
-            if answer
-                .citations
-                .iter()
-                .any(|c| c.domain == e.brand_domain)
-            {
+            if answer.citations.iter().any(|c| c.domain == e.brand_domain) {
                 cited += 1;
             }
             // Position in the synthesized "top picks" sentence: the names
@@ -210,8 +206,16 @@ mod tests {
             p.quality * p.strength
         };
         let ids = world.entities_of_topic(suv);
-        let strongest = ids.iter().copied().max_by(|a, b| score(*a).total_cmp(&score(*b))).unwrap();
-        let weakest = ids.iter().copied().min_by(|a, b| score(*a).total_cmp(&score(*b))).unwrap();
+        let strongest = ids
+            .iter()
+            .copied()
+            .max_by(|a, b| score(*a).total_cmp(&score(*b)))
+            .unwrap();
+        let weakest = ids
+            .iter()
+            .copied()
+            .min_by(|a, b| score(*a).total_cmp(&score(*b)))
+            .unwrap();
         let queries = topic_query_sweep(world, strongest);
         let a = measure_visibility(&stack, strongest, &queries, 10, 7);
         let b = measure_visibility(&stack, weakest, &queries, 10, 7);

@@ -58,8 +58,7 @@ fn ablate_llm(c: &mut Criterion) {
             .ranking;
         let mut deltas = Vec::new();
         for run in 1..=10u64 {
-            let shuffled =
-                shift_core::perturb::snippet_shuffle(&answer.snippets, run);
+            let shuffled = shift_core::perturb::snippet_shuffle(&answer.snippets, run);
             let perturbed = llm
                 .rank_entities(&candidates, &shuffled, GroundingMode::Normal, run)
                 .ranking;
@@ -69,7 +68,10 @@ fn ablate_llm(c: &mut Criterion) {
     }
 
     println!("\nAblation: pre-training cutoff vs mean prior strength");
-    println!("{:>14} {:>16} {:>16}", "cutoff (days)", "popular strength", "niche strength");
+    println!(
+        "{:>14} {:>16} {:>16}",
+        "cutoff (days)", "popular strength", "niche strength"
+    );
     for cutoff in [0, 200, 500, 900, 100_000] {
         let cfg = LlmConfig {
             pretrain_cutoff_days: cutoff,
@@ -118,7 +120,10 @@ fn ablate_freshness_boost(c: &mut Criterion) {
         "best electric cars to buy",
     ];
     println!("\nAblation: AI-retrieval freshness boost (top-10 mean age / Google-overlap)");
-    println!("{:>12} {:>12} {:>14}", "variant", "mean age (d)", "overlap vs G");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "variant", "mean age (d)", "overlap vs G"
+    );
     for (label, engine) in [("boosted", &with_boost), ("no-boost", &no_boost)] {
         let mut ages = Vec::new();
         let mut overlaps = Vec::new();
@@ -134,7 +139,11 @@ fn ablate_freshness_boost(c: &mut Criterion) {
             let a: Vec<String> = serp.results.iter().map(|r| r.host.clone()).collect();
             overlaps.push(jaccard(&g, &a));
         }
-        println!("{label:>12} {:>12.1} {:>14.3}", mean(&ages), mean(&overlaps));
+        println!(
+            "{label:>12} {:>12.1} {:>14.3}",
+            mean(&ages),
+            mean(&overlaps)
+        );
     }
 
     let mut group = c.benchmark_group("ablation_freshness");
@@ -157,7 +166,13 @@ fn ablate_bm25(c: &mut Criterion) {
 
     println!("\nAblation: BM25 parameters vs SERP overlap with default (k1=1.2, b=0.75)");
     println!("{:>6} {:>6} {:>16}", "k1", "b", "top-10 overlap");
-    for (k1, b_param) in [(0.6, 0.75), (1.2, 0.0), (1.2, 0.75), (1.2, 1.0), (2.0, 0.75)] {
+    for (k1, b_param) in [
+        (0.6, 0.75),
+        (1.2, 0.0),
+        (1.2, 0.75),
+        (1.2, 1.0),
+        (2.0, 0.75),
+    ] {
         let mut params = RankingParams::google();
         params.bm25 = Bm25Params {
             k1,
@@ -218,16 +233,28 @@ fn ablate_gemini_grounding(c: &mut Criterion) {
         }
         total / queries.len() as f64
     };
-    println!("
-Ablation: Gemini grounding (overlap with Google top-10)");
+    println!(
+        "
+Ablation: Gemini grounding (overlap with Google top-10)"
+    );
     println!("{:>24} {:>10}", "variant", "overlap");
-    println!("{:>24} {:>9.1}%", "grounded (Gemini)", 100.0 * mean_overlap(EngineKind::Gemini));
-    println!("{:>24} {:>9.1}%", "ungrounded (GPT-4o)", 100.0 * mean_overlap(EngineKind::Gpt4o));
+    println!(
+        "{:>24} {:>9.1}%",
+        "grounded (Gemini)",
+        100.0 * mean_overlap(EngineKind::Gemini)
+    );
+    println!(
+        "{:>24} {:>9.1}%",
+        "ungrounded (GPT-4o)",
+        100.0 * mean_overlap(EngineKind::Gpt4o)
+    );
 
     let mut group = c.benchmark_group("ablation_grounding");
     group.sample_size(10);
     group.bench_function("gemini_answer", |b| {
-        b.iter(|| black_box(stack.answer(EngineKind::Gemini, black_box("best smartwatches"), 10, 1)))
+        b.iter(|| {
+            black_box(stack.answer(EngineKind::Gemini, black_box("best smartwatches"), 10, 1))
+        })
     });
     group.finish();
 }

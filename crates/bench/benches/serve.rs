@@ -1,0 +1,107 @@
+//! Serving-layer benchmarks: cache hit vs. engine compute latency, and
+//! closed-loop throughput of the worker pool at several client counts.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_bench::STUDY_SEED;
+use shift_corpus::{World, WorldConfig};
+use shift_engines::{AnswerEngines, EngineKind};
+use shift_serve::{run_load, AnswerService, LoadConfig, LoadMode, Request, ServeConfig, Workload};
+use std::hint::black_box;
+
+fn engines() -> Arc<AnswerEngines> {
+    let world = Arc::new(World::generate(&WorldConfig::small(), STUDY_SEED));
+    Arc::new(AnswerEngines::build(world))
+}
+
+fn bench_single_request(c: &mut Criterion) {
+    let engines = engines();
+    let mut group = c.benchmark_group("serve_request");
+    group.sample_size(10);
+
+    let uncached = AnswerService::start(
+        Arc::clone(&engines),
+        ServeConfig::with_workers(1).without_cache(),
+    );
+    group.bench_function("uncached_gpt4o", |b| {
+        b.iter(|| {
+            black_box(
+                uncached
+                    .answer(Request::new(
+                        EngineKind::Gpt4o,
+                        "best phone camera low light",
+                        10,
+                        7,
+                    ))
+                    .unwrap(),
+            )
+        })
+    });
+
+    let cached = AnswerService::start(Arc::clone(&engines), ServeConfig::with_workers(1));
+    // Warm the single entry, then measure pure hit latency.
+    cached
+        .answer(Request::new(
+            EngineKind::Gpt4o,
+            "best phone camera low light",
+            10,
+            7,
+        ))
+        .unwrap();
+    group.bench_function("cache_hit_gpt4o", |b| {
+        b.iter(|| {
+            black_box(
+                cached
+                    .answer(Request::new(
+                        EngineKind::Gpt4o,
+                        "best phone camera low light",
+                        10,
+                        7,
+                    ))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+    uncached.shutdown();
+    cached.shutdown();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let engines = engines();
+    let workload = Workload::mixed(&engines.world_handle(), 77);
+    let mut group = c.benchmark_group("serve_closed_loop_200req");
+    group.sample_size(10);
+    for clients in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    // A fresh service per iteration: the measurement is a
+                    // full cold run, admission through drain.
+                    let service =
+                        AnswerService::start(Arc::clone(&engines), ServeConfig::with_workers(4));
+                    let outcome = run_load(
+                        &service,
+                        &workload,
+                        &LoadConfig {
+                            requests: 200,
+                            engines: EngineKind::ALL.to_vec(),
+                            top_k: 10,
+                            mode: LoadMode::Closed { clients },
+                            seed: 4242,
+                        },
+                    );
+                    assert_eq!(outcome.succeeded, 200);
+                    black_box(service.shutdown())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_request, bench_closed_loop);
+criterion_main!(benches);

@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("tab1");
     group.sample_size(10);
-    group.bench_function("run", |b| {
-        b.iter(|| black_box(tab1::run(black_box(study))))
-    });
+    group.bench_function("run", |b| b.iter(|| black_box(tab1::run(black_box(study)))));
     group.finish();
 }
 

@@ -80,10 +80,7 @@ impl ConfusionMatrix {
         for truth in SourceType::ALL {
             out.push_str(&format!("{:<11}", truth.label()));
             for pred in SourceType::ALL {
-                out.push_str(&format!(
-                    "{:>8}",
-                    self.counts[truth.index()][pred.index()]
-                ));
+                out.push_str(&format!("{:>8}", self.counts[truth.index()][pred.index()]));
             }
             out.push('\n');
         }

@@ -33,15 +33,28 @@ mod shift_queries_intent {
 }
 
 const TRANSACTIONAL_MARKERS: &[&str] = &[
-    "buy", "price", "prices", "deal", "deals", "discount", "coupon", "order",
-    "purchase", "stock", "shipping", "cheapest", "sale",
+    "buy", "price", "prices", "deal", "deals", "discount", "coupon", "order", "purchase", "stock",
+    "shipping", "cheapest", "sale",
 ];
 
-const INFORMATIONAL_STARTERS: &[&str] = &["how", "what", "why", "when", "where", "who", "is", "are", "does", "do", "can"];
+const INFORMATIONAL_STARTERS: &[&str] = &[
+    "how", "what", "why", "when", "where", "who", "is", "are", "does", "do", "can",
+];
 
 const CONSIDERATION_MARKERS: &[&str] = &[
-    "best", "top", "vs", "versus", "compare", "comparison", "recommended",
-    "alternatives", "better", "reliable", "rated", "review", "reviews",
+    "best",
+    "top",
+    "vs",
+    "versus",
+    "compare",
+    "comparison",
+    "recommended",
+    "alternatives",
+    "better",
+    "reliable",
+    "rated",
+    "review",
+    "reviews",
 ];
 
 /// Classifies a query string into an intent label.

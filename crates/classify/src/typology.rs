@@ -16,8 +16,8 @@ use shift_corpus::SourceType;
 use shift_urlkit::{registrable_domain, Url};
 
 use crate::features::{
-    host_contains, BRAND_PATH_HINTS, EARNED_HOST_HINTS, EARNED_MEDIA, RETAILERS,
-    SOCIAL_HOST_HINTS, SOCIAL_PATH_HINTS, SOCIAL_PLATFORMS,
+    host_contains, BRAND_PATH_HINTS, EARNED_HOST_HINTS, EARNED_MEDIA, RETAILERS, SOCIAL_HOST_HINTS,
+    SOCIAL_PATH_HINTS, SOCIAL_PLATFORMS,
 };
 
 /// A classification with provenance.
@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn forum_hosts() {
-        assert_eq!(st("https://laptopsforum.com/thread/best-1"), SourceType::Social);
+        assert_eq!(
+            st("https://laptopsforum.com/thread/best-1"),
+            SourceType::Social
+        );
         assert_eq!(st("https://talksuvs.net/thread/2"), SourceType::Social);
     }
 
@@ -163,7 +166,10 @@ mod tests {
 
     #[test]
     fn retailers_are_brand() {
-        assert_eq!(st("https://www.bestbuy.com/site/laptops"), SourceType::Brand);
+        assert_eq!(
+            st("https://www.bestbuy.com/site/laptops"),
+            SourceType::Brand
+        );
         assert_eq!(st("https://cars.com/shopping/"), SourceType::Brand);
     }
 
@@ -183,7 +189,10 @@ mod tests {
 
     #[test]
     fn synthetic_blogs_are_earned() {
-        assert_eq!(st("https://dailylaptops.com/best/top-10"), SourceType::Earned);
+        assert_eq!(
+            st("https://dailylaptops.com/best/top-10"),
+            SourceType::Earned
+        );
         assert_eq!(st("https://thesuvsreview.com/best/x"), SourceType::Earned);
     }
 
@@ -202,9 +211,6 @@ mod tests {
 
     #[test]
     fn deep_unknown_hosts_fall_back_to_earned() {
-        assert_eq!(
-            st("https://blog.example.com/a/b/c/d/e"),
-            SourceType::Earned
-        );
+        assert_eq!(st("https://blog.example.com/a/b/c/d/e"), SourceType::Earned);
     }
 }

@@ -76,7 +76,11 @@ fn main() {
         }
     };
 
-    let wanted = |name: &str| only.as_ref().map(|o| o.iter().any(|x| x == name)).unwrap_or(true);
+    let wanted = |name: &str| {
+        only.as_ref()
+            .map(|o| o.iter().any(|x| x == name))
+            .unwrap_or(true)
+    };
 
     eprintln!("generating world + engines (scale={scale}, seed={seed})…");
     let t0 = Instant::now();
@@ -192,7 +196,9 @@ fn main() {
     });
 
     if robustness_seeds > 0 {
-        let seeds: Vec<u64> = (0..robustness_seeds as u64).map(|i| seed ^ (i + 1)).collect();
+        let seeds: Vec<u64> = (0..robustness_seeds as u64)
+            .map(|i| seed ^ (i + 1))
+            .collect();
         eprintln!("robustness sweep over {} seeds…", seeds.len());
         let result = shift_core::robustness::run(&config, &seeds);
         if as_json {

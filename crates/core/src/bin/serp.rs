@@ -18,7 +18,9 @@ use shift_engines::{AnswerEngines, EngineKind};
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(query) = args.next() else {
-        eprintln!("Usage: serp <query> [--engine NAME|all] [--seed N] [--k N] [--scale S] [--stats]");
+        eprintln!(
+            "Usage: serp <query> [--engine NAME|all] [--seed N] [--k N] [--scale S] [--stats]"
+        );
         std::process::exit(2);
     };
     let mut engine = "all".to_string();
@@ -29,8 +31,20 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--engine" => engine = args.next().expect("--engine needs a value"),
-            "--seed" => seed = args.next().expect("--seed needs a value").parse().expect("u64"),
-            "--k" => k = args.next().expect("--k needs a value").parse().expect("usize"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("u64")
+            }
+            "--k" => {
+                k = args
+                    .next()
+                    .expect("--k needs a value")
+                    .parse()
+                    .expect("usize")
+            }
             "--scale" => scale = args.next().expect("--scale needs a value"),
             "--stats" => show_stats = true,
             other => {

@@ -40,11 +40,8 @@ impl Fig1Result {
     /// Engines sorted by ascending overlap (the paper's headline ordering:
     /// GPT-4o < Gemini < Claude < Perplexity).
     pub fn ascending(&self) -> Vec<EngineKind> {
-        let mut v: Vec<(EngineKind, f64)> = self
-            .per_engine
-            .iter()
-            .map(|(k, o, _)| (*k, *o))
-            .collect();
+        let mut v: Vec<(EngineKind, f64)> =
+            self.per_engine.iter().map(|(k, o, _)| (*k, *o)).collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(k, _)| k).collect()
     }

@@ -115,9 +115,7 @@ pub fn run(study: &Study) -> Fig2Result {
     for q in &queries {
         let tier = usize::from(!(q.popular.unwrap_or(true))); // 0 popular, 1 niche
         let google = stack.answer(EngineKind::Google, &q.text, k, 0).domains();
-        let gemini = stack
-            .answer(EngineKind::Gemini, &q.text, k, seed)
-            .domains();
+        let gemini = stack.answer(EngineKind::Gemini, &q.text, k, seed).domains();
 
         let mut ai_sets: Vec<Vec<String>> = Vec::new();
         for (i, kind) in measured.iter().enumerate() {

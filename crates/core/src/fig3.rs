@@ -258,7 +258,11 @@ mod tests {
                 .unwrap()
                 .1
         };
-        for kind in [EngineKind::Google, EngineKind::Gpt4o, EngineKind::Perplexity] {
+        for kind in [
+            EngineKind::Google,
+            EngineKind::Gpt4o,
+            EngineKind::Perplexity,
+        ] {
             assert!(
                 rate(EngineKind::Claude) >= rate(kind),
                 "Claude no-cite rate must top {kind:?}"

@@ -31,9 +31,11 @@ pub mod fig4;
 pub mod perturb;
 pub mod report;
 pub mod robustness;
+pub mod run;
 pub mod study;
 pub mod tab1;
 pub mod tab2;
 pub mod tab3;
 
+pub use run::StudyResults;
 pub use study::{Study, StudyConfig};

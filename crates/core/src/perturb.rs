@@ -160,8 +160,14 @@ mod tests {
             .count();
         assert!(moved >= 2, "only {moved} snippets changed attribution");
         // Entity ids are conserved as a multiset (swapped, not rewritten)…
-        let mut ids_a: Vec<u32> = ev.iter().flat_map(|s| s.entities.iter().map(|(e, _)| e.0)).collect();
-        let mut ids_b: Vec<u32> = swapped.iter().flat_map(|s| s.entities.iter().map(|(e, _)| e.0)).collect();
+        let mut ids_a: Vec<u32> = ev
+            .iter()
+            .flat_map(|s| s.entities.iter().map(|(e, _)| e.0))
+            .collect();
+        let mut ids_b: Vec<u32> = swapped
+            .iter()
+            .flat_map(|s| s.entities.iter().map(|(e, _)| e.0))
+            .collect();
         ids_a.sort_unstable();
         ids_b.sort_unstable();
         assert_eq!(ids_a, ids_b);
@@ -173,7 +179,10 @@ mod tests {
         }
         // Some snippet must now claim a different entity with its old score.
         let reattributed = ev.iter().zip(&swapped).any(|(a, b)| {
-            a.entities.iter().zip(&b.entities).any(|((ea, sa), (eb, sb))| ea != eb && sa == sb)
+            a.entities
+                .iter()
+                .zip(&b.entities)
+                .any(|((ea, sa), (eb, sb))| ea != eb && sa == sb)
         });
         assert!(reattributed);
     }

@@ -84,7 +84,12 @@ pub fn run(study: &Study) -> Tab2Result {
     let niche = niche_trials(study, n);
 
     let mut support_acc = (0u64, 0u64); // (ranked, unsupported)
-    let popular_normal = tier_tau(study, &popular, GroundingMode::Normal, Some(&mut support_acc));
+    let popular_normal = tier_tau(
+        study,
+        &popular,
+        GroundingMode::Normal,
+        Some(&mut support_acc),
+    );
     let popular_strict = tier_tau(study, &popular, GroundingMode::Strict, None);
     let niche_normal = tier_tau(study, &niche, GroundingMode::Normal, None);
     let niche_strict = tier_tau(study, &niche, GroundingMode::Strict, None);

@@ -29,10 +29,7 @@ pub struct Tab3Result {
 impl Tab3Result {
     /// Miss rate for one brand.
     pub fn rate(&self, brand: &str) -> Option<f64> {
-        self.rates
-            .iter()
-            .find(|(b, _)| b == brand)
-            .map(|(_, r)| *r)
+        self.rates.iter().find(|(b, _)| b == brand).map(|(_, r)| *r)
     }
 
     /// Renders the table in the paper's layout (entities as columns).
@@ -120,7 +117,10 @@ pub fn run(study: &Study) -> Tab3Result {
             let entity = candidates
                 .iter()
                 .find(|e| world.entity(**e).brand == *brand)?;
-            Some(((*brand).to_string(), audit.miss_rate(*entity).unwrap_or(0.0)))
+            Some((
+                (*brand).to_string(),
+                audit.miss_rate(*entity).unwrap_or(0.0),
+            ))
         })
         .collect();
 
@@ -144,7 +144,14 @@ mod tests {
     #[test]
     fn covers_the_paper_roster() {
         let r = result();
-        for brand in ["Toyota", "Honda", "Kia", "Chevrolet", "Cadillac", "Infiniti"] {
+        for brand in [
+            "Toyota",
+            "Honda",
+            "Kia",
+            "Chevrolet",
+            "Cadillac",
+            "Infiniti",
+        ] {
             assert!(r.rate(brand).is_some(), "missing {brand}");
         }
     }

@@ -22,7 +22,15 @@ fn run_study_json_output_parses() {
     let bin = env!("CARGO_BIN_EXE_run_study");
     let (stdout, stderr, ok) = run(
         bin,
-        &["--scale", "quick", "--seed", "99", "--only", "fig1,tab3", "--json"],
+        &[
+            "--scale",
+            "quick",
+            "--seed",
+            "99",
+            "--only",
+            "fig1,tab3",
+            "--json",
+        ],
     );
     assert!(ok, "run_study failed: {stderr}");
     let doc = json::parse(stdout.trim()).expect("stdout is valid JSON");
@@ -78,11 +86,22 @@ fn serp_prints_citations_for_one_engine() {
     let bin = env!("CARGO_BIN_EXE_serp");
     let (stdout, stderr, ok) = run(
         bin,
-        &["best laptops", "--engine", "google", "--scale", "small", "--k", "5"],
+        &[
+            "best laptops",
+            "--engine",
+            "google",
+            "--scale",
+            "small",
+            "--k",
+            "5",
+        ],
     );
     assert!(ok, "serp failed: {stderr}");
     assert!(stdout.contains("Google Search"));
-    assert!(stdout.contains("https://"), "no citations printed:\n{stdout}");
+    assert!(
+        stdout.contains("https://"),
+        "no citations printed:\n{stdout}"
+    );
     assert!(!stdout.contains("GPT-4o"), "--engine must filter");
 }
 

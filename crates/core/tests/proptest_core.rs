@@ -2,8 +2,8 @@
 //! invariants over arbitrary evidence, and stage-seed behaviour.
 
 use proptest::prelude::*;
-use shift_corpus::EntityId;
 use shift_core::perturb::{entity_swap_injection, snippet_shuffle, Perturbation};
+use shift_corpus::EntityId;
 use shift_llm::Snippet;
 
 fn snippet_strategy() -> impl Strategy<Value = Snippet> {

@@ -63,13 +63,7 @@ impl Domain {
 }
 
 /// (host, type, authority, verticals, age_scale)
-type GlobalSpec = (
-    &'static str,
-    SourceType,
-    f64,
-    &'static [Vertical],
-    f64,
-);
+type GlobalSpec = (&'static str, SourceType, f64, &'static [Vertical], f64);
 
 use Vertical::{
     Automotive as AU, ConsumerElectronics as CE, Finance as FI, Lifestyle as LS,
@@ -78,10 +72,28 @@ use Vertical::{
 
 /// The global earned-media roster (paper §2.3 names most of these).
 const EARNED: &[GlobalSpec] = &[
-    ("wikipedia.org", SourceType::Earned, 0.96, &[CE, AU, TR, FI, LS, SV, LO], 1.6),
-    ("consumerreports.org", SourceType::Earned, 0.94, &[AU, CE, LS], 0.9),
+    (
+        "wikipedia.org",
+        SourceType::Earned,
+        0.96,
+        &[CE, AU, TR, FI, LS, SV, LO],
+        1.6,
+    ),
+    (
+        "consumerreports.org",
+        SourceType::Earned,
+        0.94,
+        &[AU, CE, LS],
+        0.9,
+    ),
     ("techradar.com", SourceType::Earned, 0.93, &[CE, SV], 0.7),
-    ("nytimes.com", SourceType::Earned, 0.93, &[CE, AU, TR, FI, LS, SV], 0.8),
+    (
+        "nytimes.com",
+        SourceType::Earned,
+        0.93,
+        &[CE, AU, TR, FI, LS, SV],
+        0.8,
+    ),
     ("caranddriver.com", SourceType::Earned, 0.92, &[AU], 0.9),
     ("tomsguide.com", SourceType::Earned, 0.92, &[CE, SV], 0.7),
     ("nerdwallet.com", SourceType::Earned, 0.92, &[FI], 0.8),
@@ -99,13 +111,31 @@ const EARNED: &[GlobalSpec] = &[
     ("pcmag.com", SourceType::Earned, 0.87, &[CE, SV], 0.7),
     ("engadget.com", SourceType::Earned, 0.85, &[CE], 0.7),
     ("cntraveler.com", SourceType::Earned, 0.85, &[TR], 0.9),
-    ("usatoday.com", SourceType::Earned, 0.85, &[CE, AU, TR, FI, LS, SV], 0.8),
-    ("digitaltrends.com", SourceType::Earned, 0.82, &[CE, SV], 0.8),
+    (
+        "usatoday.com",
+        SourceType::Earned,
+        0.85,
+        &[CE, AU, TR, FI, LS, SV],
+        0.8,
+    ),
+    (
+        "digitaltrends.com",
+        SourceType::Earned,
+        0.82,
+        &[CE, SV],
+        0.8,
+    ),
     ("allure.com", SourceType::Earned, 0.82, &[LS], 0.8),
     ("bicycling.com", SourceType::Earned, 0.82, &[LS], 0.9),
     ("variety.com", SourceType::Earned, 0.82, &[SV], 0.7),
     ("onemileatatime.com", SourceType::Earned, 0.82, &[TR], 0.7),
-    ("businessinsider.com", SourceType::Earned, 0.82, &[CE, FI, TR, SV], 0.7),
+    (
+        "businessinsider.com",
+        SourceType::Earned,
+        0.82,
+        &[CE, FI, TR, SV],
+        0.7,
+    ),
     ("zdnet.com", SourceType::Earned, 0.80, &[CE], 0.8),
     ("byrdie.com", SourceType::Earned, 0.80, &[LS], 0.8),
     ("outsideonline.com", SourceType::Earned, 0.80, &[LS], 0.9),
@@ -116,7 +146,13 @@ const EARNED: &[GlobalSpec] = &[
     ("cyclingweekly.com", SourceType::Earned, 0.78, &[LS], 0.8),
     ("notebookcheck.net", SourceType::Earned, 0.75, &[CE], 0.8),
     ("afar.com", SourceType::Earned, 0.75, &[TR], 1.0),
-    ("canadianlawyermag.com", SourceType::Earned, 0.75, &[LO], 1.1),
+    (
+        "canadianlawyermag.com",
+        SourceType::Earned,
+        0.75,
+        &[LO],
+        1.1,
+    ),
     ("dcrainmaker.com", SourceType::Earned, 0.74, &[CE, LS], 0.8),
     ("greencarreports.com", SourceType::Earned, 0.72, &[AU], 0.9),
     ("viewfromthewing.com", SourceType::Earned, 0.72, &[TR], 0.7),
@@ -127,17 +163,41 @@ const EARNED: &[GlobalSpec] = &[
 
 /// The global social / UGC roster.
 const SOCIAL: &[GlobalSpec] = &[
-    ("youtube.com", SourceType::Social, 0.95, &[CE, AU, TR, FI, LS, SV, LO], 0.9),
-    ("reddit.com", SourceType::Social, 0.93, &[CE, AU, TR, FI, LS, SV, LO], 0.8),
+    (
+        "youtube.com",
+        SourceType::Social,
+        0.95,
+        &[CE, AU, TR, FI, LS, SV, LO],
+        0.9,
+    ),
+    (
+        "reddit.com",
+        SourceType::Social,
+        0.93,
+        &[CE, AU, TR, FI, LS, SV, LO],
+        0.8,
+    ),
     ("tripadvisor.com", SourceType::Social, 0.85, &[TR], 1.1),
-    ("quora.com", SourceType::Social, 0.80, &[CE, AU, TR, FI, LS, SV, LO], 1.3),
+    (
+        "quora.com",
+        SourceType::Social,
+        0.80,
+        &[CE, AU, TR, FI, LS, SV, LO],
+        1.3,
+    ),
     ("tiktok.com", SourceType::Social, 0.78, &[CE, LS, SV], 0.6),
     ("x.com", SourceType::Social, 0.75, &[CE, AU, SV, FI], 0.5),
     ("yelp.com", SourceType::Social, 0.75, &[LO, LS, TR], 1.2),
     ("flyertalk.com", SourceType::Social, 0.72, &[TR], 1.0),
     ("facebook.com", SourceType::Social, 0.72, &[LS, LO, TR], 1.1),
     ("stackexchange.com", SourceType::Social, 0.70, &[CE], 1.4),
-    ("trustpilot.com", SourceType::Social, 0.68, &[FI, SV, LS], 1.0),
+    (
+        "trustpilot.com",
+        SourceType::Social,
+        0.68,
+        &[FI, SV, LS],
+        1.0,
+    ),
     ("avvo.com", SourceType::Social, 0.65, &[LO], 1.4),
     ("medium.com", SourceType::Social, 0.65, &[CE, FI, SV], 1.0),
 ];
@@ -154,7 +214,13 @@ const RETAIL: &[GlobalSpec] = &[
     ("rei.com", SourceType::Brand, 0.80, &[LS], 1.3),
     ("ulta.com", SourceType::Brand, 0.78, &[LS], 1.3),
     ("carvana.com", SourceType::Brand, 0.70, &[AU], 1.2),
-    ("competitivecyclist.com", SourceType::Brand, 0.68, &[LS], 1.3),
+    (
+        "competitivecyclist.com",
+        SourceType::Brand,
+        0.68,
+        &[LS],
+        1.3,
+    ),
 ];
 
 /// Suffix pools for synthetic per-topic hosts.
@@ -186,7 +252,12 @@ const FORUM_PATTERNS: &[(&str, &str)] = &[
 pub fn generate_domains(entities: &[Entity]) -> Vec<Domain> {
     let mut out: Vec<Domain> = Vec::new();
     let mut next = 0u32;
-    let mut push = |out: &mut Vec<Domain>, host: String, st: SourceType, auth: f64, cov: Coverage, age: f64| {
+    let mut push = |out: &mut Vec<Domain>,
+                    host: String,
+                    st: SourceType,
+                    auth: f64,
+                    cov: Coverage,
+                    age: f64| {
         out.push(Domain {
             id: DomainId(next),
             host,
@@ -243,8 +314,7 @@ pub fn generate_domains(entities: &[Entity]) -> Vec<Domain> {
     // Brand domains, deduplicated by host (Apple spans several topics) and
     // skipping hosts that already exist as global properties (amazon.com is
     // the retail entry; youtube.com is the social platform).
-    let existing: std::collections::BTreeSet<String> =
-        out.iter().map(|d| d.host.clone()).collect();
+    let existing: std::collections::BTreeSet<String> = out.iter().map(|d| d.host.clone()).collect();
     let mut brand_best: BTreeMap<&str, f64> = BTreeMap::new();
     for e in entities {
         if existing.contains(&e.brand_domain) {
@@ -280,7 +350,12 @@ mod tests {
         let mut next = 0;
         let mut out = Vec::new();
         for (i, spec) in topic_specs().iter().enumerate() {
-            out.extend(generate_topic_entities(TopicId::from(i), spec, &mut next, &mut rng));
+            out.extend(generate_topic_entities(
+                TopicId::from(i),
+                spec,
+                &mut next,
+                &mut rng,
+            ));
         }
         out
     }
@@ -321,7 +396,10 @@ mod tests {
         let entities = all_entities();
         let domains = generate_domains(&entities);
         for host in ["toyota.com", "apple.com", "garmin.com"] {
-            let d = domains.iter().find(|d| d.host == host).unwrap_or_else(|| panic!("{host} missing"));
+            let d = domains
+                .iter()
+                .find(|d| d.host == host)
+                .unwrap_or_else(|| panic!("{host} missing"));
             assert_eq!(d.source_type, SourceType::Brand);
             assert!(matches!(d.coverage, Coverage::Brand(_)));
         }
@@ -342,11 +420,15 @@ mod tests {
             let tid = TopicId::from(ti);
             let blogs = domains
                 .iter()
-                .filter(|d| d.coverage == Coverage::Topic(tid) && d.source_type == SourceType::Earned)
+                .filter(|d| {
+                    d.coverage == Coverage::Topic(tid) && d.source_type == SourceType::Earned
+                })
                 .count();
             let forums = domains
                 .iter()
-                .filter(|d| d.coverage == Coverage::Topic(tid) && d.source_type == SourceType::Social)
+                .filter(|d| {
+                    d.coverage == Coverage::Topic(tid) && d.source_type == SourceType::Social
+                })
                 .count();
             assert_eq!(blogs, BLOG_PATTERNS.len());
             assert_eq!(forums, FORUM_PATTERNS.len());

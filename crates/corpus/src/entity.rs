@@ -126,7 +126,12 @@ mod tests {
         let mut next = 0;
         let mut out = Vec::new();
         for (i, spec) in topic_specs().iter().enumerate() {
-            out.extend(generate_topic_entities(TopicId::from(i), spec, &mut next, &mut rng));
+            out.extend(generate_topic_entities(
+                TopicId::from(i),
+                spec,
+                &mut next,
+                &mut rng,
+            ));
         }
         out
     }
@@ -151,7 +156,10 @@ mod tests {
     #[test]
     fn popular_roster_is_popular_and_ordered() {
         let entities = generate_all();
-        let suvs: Vec<&Entity> = entities.iter().filter(|e| e.name.contains("RAV4") || e.name.contains("QX60")).collect();
+        let suvs: Vec<&Entity> = entities
+            .iter()
+            .filter(|e| e.name.contains("RAV4") || e.name.contains("QX60"))
+            .collect();
         let rav4 = suvs.iter().find(|e| e.name.contains("RAV4")).unwrap();
         let qx60 = suvs.iter().find(|e| e.name.contains("QX60")).unwrap();
         assert!(rav4.popularity > qx60.popularity);
@@ -189,11 +197,19 @@ mod tests {
     fn quality_correlates_with_popularity_in_aggregate() {
         let entities = generate_all();
         let popular_mean: f64 = {
-            let v: Vec<f64> = entities.iter().filter(|e| e.is_popular()).map(|e| e.quality).collect();
+            let v: Vec<f64> = entities
+                .iter()
+                .filter(|e| e.is_popular())
+                .map(|e| e.quality)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let niche_mean: f64 = {
-            let v: Vec<f64> = entities.iter().filter(|e| !e.is_popular()).map(|e| e.quality).collect();
+            let v: Vec<f64> = entities
+                .iter()
+                .filter(|e| !e.is_popular())
+                .map(|e| e.quality)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(

@@ -77,7 +77,9 @@ fn escape(s: &str) -> String {
     if !s.contains(['&', '<', '>']) {
         return s.to_string();
     }
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

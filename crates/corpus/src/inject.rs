@@ -108,7 +108,12 @@ pub fn social_thread_spec(
             "Best {} recommendations? Which should I buy ({})",
             spec.unit, spec.display
         ),
-        body: text_gen::forum_body(&[(name.as_str(), score)], spec.display, spec.vocab, &mut rng),
+        body: text_gen::forum_body(
+            &[(name.as_str(), score)],
+            spec.display,
+            spec.vocab,
+            &mut rng,
+        ),
         mentions: vec![Mention {
             entity,
             score,
@@ -145,10 +150,7 @@ impl World {
     /// Returns a new world containing every page of `self` plus the
     /// injected pages (appended with fresh ids and URLs). The original is
     /// untouched.
-    pub fn with_injected_pages(
-        &self,
-        specs: &[InjectedPageSpec],
-    ) -> Result<World, InjectError> {
+    pub fn with_injected_pages(&self, specs: &[InjectedPageSpec]) -> Result<World, InjectError> {
         // Validate first so a failed injection has no partial effects.
         for spec in specs {
             if self.domain_by_host(&spec.host).is_none() {
@@ -164,9 +166,7 @@ impl World {
         let mut pages: Vec<Page> = self.pages().to_vec();
         for spec in specs {
             let id = PageId::from(pages.len());
-            let domain = self
-                .domain_by_host(&spec.host)
-                .expect("validated above");
+            let domain = self.domain_by_host(&spec.host).expect("validated above");
             // Injected pages default to the topic of their first mention;
             // mention-less pages attach to topic 0 (they are inert anyway).
             let topic = spec

@@ -47,10 +47,7 @@ impl WorldStats {
         let mut dated = 0usize;
         for p in world.pages() {
             pages_by_type[world.page_source_type(p.id).index()] += 1;
-            kind_counts
-                .entry(p.kind.label())
-                .or_insert((p.kind, 0))
-                .1 += 1;
+            kind_counts.entry(p.kind.label()).or_insert((p.kind, 0)).1 += 1;
             let vertical = topic_specs()[p.topic.index()].vertical;
             *pages_by_vertical.entry(vertical.label()).or_insert(0) += 1;
             ages.push(p.age_days(world.now_day()) as f64);
@@ -148,10 +145,7 @@ mod tests {
             s.pages_by_kind.iter().map(|(_, n)| n).sum::<usize>(),
             s.pages
         );
-        assert_eq!(
-            s.pages_by_vertical.values().sum::<usize>(),
-            s.pages
-        );
+        assert_eq!(s.pages_by_vertical.values().sum::<usize>(), s.pages);
         assert!(s.popular_entities < s.entities);
     }
 

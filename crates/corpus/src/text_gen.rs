@@ -56,7 +56,10 @@ pub fn review_body(
          We rate the {entity} {:.1} out of 10 overall. \
          Compared with rival {topic_display}, the {entity} remains a {} choice for most buyers \
          and one of the best {topic_display} you can buy right now.",
-        pick(rng, &["competitive", "serviceable", "class-leading", "adequate"]),
+        pick(
+            rng,
+            &["competitive", "serviceable", "class-leading", "adequate"]
+        ),
         score * 10.0,
         pick(rng, &["strong", "reasonable", "situational", "safe"]),
     )
@@ -103,7 +106,9 @@ pub fn comparison_body(
         "{} or {}? Both are popular {topic_display}, and the choice comes down to {v1} and {v2}. \
          The {} edges ahead with {} {v1}, scoring {:.1}/10 against {:.1}/10 for the {}. \
          Budget-minded buyers may still prefer the {} when {v2} matters most.",
-        a.0, b.0, winner.0,
+        a.0,
+        b.0,
+        winner.0,
         pick(rng, &["noticeably better", "more consistent", "stronger"]),
         winner.1 * 10.0,
         loser.1 * 10.0,
@@ -121,8 +126,14 @@ pub fn news_body(entity: &str, topic_display: &str, vocab: &[&str], rng: &mut St
          Analysts called the move {} for the {topic_display} market, \
          with availability expected {}.",
         entity.split(' ').next().unwrap_or(entity),
-        pick(rng, &["an update", "a refresh", "new options", "a price change"]),
-        pick(rng, &["significant", "incremental", "overdue", "surprising"]),
+        pick(
+            rng,
+            &["an update", "a refresh", "new options", "a price change"]
+        ),
+        pick(
+            rng,
+            &["significant", "incremental", "overdue", "surprising"]
+        ),
         pick(rng, &["this quarter", "next month", "later this year"]),
     )
 }

@@ -164,8 +164,8 @@ static TOPICS: [TopicSpec; 16] = [
             ("Cat", "S75"),
         ],
         vocab: &[
-            "camera", "battery", "display", "chipset", "refresh", "zoom",
-            "charging", "android", "screen", "photo", "storage", "signal",
+            "camera", "battery", "display", "chipset", "refresh", "zoom", "charging", "android",
+            "screen", "photo", "storage", "signal",
         ],
     },
     TopicSpec {
@@ -197,8 +197,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Mount to Coast", "R1"),
         ],
         vocab: &[
-            "cushioning", "midsole", "stability", "foam", "heel", "stack",
-            "outsole", "marathon", "tempo", "trail", "durability", "fit",
+            "cushioning",
+            "midsole",
+            "stability",
+            "foam",
+            "heel",
+            "stack",
+            "outsole",
+            "marathon",
+            "tempo",
+            "trail",
+            "durability",
+            "fit",
         ],
     },
     TopicSpec {
@@ -230,8 +240,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Geek & Gorgeous", "Calm Down"),
         ],
         vocab: &[
-            "hydration", "ceramide", "retinol", "serum", "spf", "barrier",
-            "sensitive", "fragrance", "acne", "texture", "ingredient", "dermatologist",
+            "hydration",
+            "ceramide",
+            "retinol",
+            "serum",
+            "spf",
+            "barrier",
+            "sensitive",
+            "fragrance",
+            "acne",
+            "texture",
+            "ingredient",
+            "dermatologist",
         ],
     },
     TopicSpec {
@@ -263,8 +283,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Canoo", "Lifestyle Vehicle"),
         ],
         vocab: &[
-            "range", "charging", "battery", "efficiency", "torque", "autopilot",
-            "warranty", "interior", "infotainment", "towing", "mileage", "incentive",
+            "range",
+            "charging",
+            "battery",
+            "efficiency",
+            "torque",
+            "autopilot",
+            "warranty",
+            "interior",
+            "infotainment",
+            "towing",
+            "mileage",
+            "incentive",
         ],
     },
     TopicSpec {
@@ -296,8 +326,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Curiosity", "Stream"),
         ],
         vocab: &[
-            "catalog", "originals", "bundle", "ads", "subscription", "stream",
-            "library", "price", "documentary", "series", "movie", "account",
+            "catalog",
+            "originals",
+            "bundle",
+            "ads",
+            "subscription",
+            "stream",
+            "library",
+            "price",
+            "documentary",
+            "series",
+            "movie",
+            "account",
         ],
     },
     TopicSpec {
@@ -329,8 +369,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("MNT", "Reform"),
         ],
         vocab: &[
-            "keyboard", "battery", "display", "thermals", "processor", "ram",
-            "portability", "trackpad", "webcam", "port", "chassis", "performance",
+            "keyboard",
+            "battery",
+            "display",
+            "thermals",
+            "processor",
+            "ram",
+            "portability",
+            "trackpad",
+            "webcam",
+            "port",
+            "chassis",
+            "performance",
         ],
     },
     TopicSpec {
@@ -362,8 +412,8 @@ static TOPICS: [TopicSpec; 16] = [
             ("Norse", "Atlantic"),
         ],
         vocab: &[
-            "legroom", "cabin", "loyalty", "delay", "baggage", "lounge",
-            "routes", "upgrade", "boarding", "seat", "service", "miles",
+            "legroom", "cabin", "loyalty", "delay", "baggage", "lounge", "routes", "upgrade",
+            "boarding", "seat", "service", "miles",
         ],
     },
     TopicSpec {
@@ -395,8 +445,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Bunkhouse", ""),
         ],
         vocab: &[
-            "amenities", "suite", "points", "location", "breakfast", "spa",
-            "checkin", "concierge", "room", "resort", "elite", "redemption",
+            "amenities",
+            "suite",
+            "points",
+            "location",
+            "breakfast",
+            "spa",
+            "checkin",
+            "concierge",
+            "room",
+            "resort",
+            "elite",
+            "redemption",
         ],
     },
     TopicSpec {
@@ -428,8 +488,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Atmos", "Card"),
         ],
         vocab: &[
-            "cashback", "apr", "rewards", "annual", "fee", "points",
-            "signup", "bonus", "credit", "transfer", "lounge", "redemption",
+            "cashback",
+            "apr",
+            "rewards",
+            "annual",
+            "fee",
+            "points",
+            "signup",
+            "bonus",
+            "credit",
+            "transfer",
+            "lounge",
+            "redemption",
         ],
     },
     TopicSpec {
@@ -461,8 +531,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Timex", "Ironman R300"),
         ],
         vocab: &[
-            "battery", "gps", "heart", "sleep", "tracking", "workout",
-            "strap", "sensor", "notification", "altimeter", "recovery", "display",
+            "battery",
+            "gps",
+            "heart",
+            "sleep",
+            "tracking",
+            "workout",
+            "strap",
+            "sensor",
+            "notification",
+            "altimeter",
+            "recovery",
+            "display",
         ],
     },
     TopicSpec {
@@ -494,8 +574,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Jaguar", "F-Pace"),
         ],
         vocab: &[
-            "reliability", "cargo", "towing", "awd", "safety", "hybrid",
-            "fuel", "seating", "resale", "suspension", "trim", "warranty",
+            "reliability",
+            "cargo",
+            "towing",
+            "awd",
+            "safety",
+            "hybrid",
+            "fuel",
+            "seating",
+            "resale",
+            "suspension",
+            "trim",
+            "warranty",
         ],
     },
     TopicSpec {
@@ -521,8 +611,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Wahoo", "Elemnt Rival"),
         ],
         vocab: &[
-            "ultramarathon", "battery", "navigation", "elevation", "maps",
-            "durability", "solar", "tracking", "route", "vertical", "pacing", "aid",
+            "ultramarathon",
+            "battery",
+            "navigation",
+            "elevation",
+            "maps",
+            "durability",
+            "solar",
+            "tracking",
+            "route",
+            "vertical",
+            "pacing",
+            "aid",
         ],
     },
     TopicSpec {
@@ -549,9 +649,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Steinberg", "Family Law"),
         ],
         vocab: &[
-            "custody", "divorce", "separation", "mediation", "support",
-            "settlement", "consultation", "retainer", "litigation", "agreement",
-            "property", "parenting",
+            "custody",
+            "divorce",
+            "separation",
+            "mediation",
+            "support",
+            "settlement",
+            "consultation",
+            "retainer",
+            "litigation",
+            "agreement",
+            "property",
+            "parenting",
         ],
     },
     TopicSpec {
@@ -577,8 +686,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Decent", "DE1PRO"),
         ],
         vocab: &[
-            "pressure", "grinder", "portafilter", "steam", "shot", "crema",
-            "temperature", "boiler", "tamping", "extraction", "milk", "dose",
+            "pressure",
+            "grinder",
+            "portafilter",
+            "steam",
+            "shot",
+            "crema",
+            "temperature",
+            "boiler",
+            "tamping",
+            "extraction",
+            "milk",
+            "dose",
         ],
     },
     TopicSpec {
@@ -604,8 +723,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("Otso", "Waheela C"),
         ],
         vocab: &[
-            "tire", "clearance", "groupset", "frame", "carbon", "geometry",
-            "mounts", "gearing", "comfort", "bikepacking", "drivetrain", "wheels",
+            "tire",
+            "clearance",
+            "groupset",
+            "frame",
+            "carbon",
+            "geometry",
+            "mounts",
+            "gearing",
+            "comfort",
+            "bikepacking",
+            "drivetrain",
+            "wheels",
         ],
     },
     TopicSpec {
@@ -631,8 +760,18 @@ static TOPICS: [TopicSpec; 16] = [
             ("NuPhy", "Air75"),
         ],
         vocab: &[
-            "switches", "keycaps", "hotswap", "latency", "gasket", "stabilizer",
-            "layout", "firmware", "acoustics", "tactile", "linear", "rgb",
+            "switches",
+            "keycaps",
+            "hotswap",
+            "latency",
+            "gasket",
+            "stabilizer",
+            "layout",
+            "firmware",
+            "acoustics",
+            "tactile",
+            "linear",
+            "rgb",
         ],
     },
 ];
@@ -667,7 +806,14 @@ mod tests {
     fn suv_topic_carries_table3_roster() {
         let (_, suvs) = topic_by_key("suvs").unwrap();
         let brands: Vec<&str> = suvs.popular.iter().map(|(b, _)| *b).collect();
-        for expected in ["Toyota", "Honda", "Kia", "Chevrolet", "Cadillac", "Infiniti"] {
+        for expected in [
+            "Toyota",
+            "Honda",
+            "Kia",
+            "Chevrolet",
+            "Cadillac",
+            "Infiniti",
+        ] {
             assert!(brands.contains(&expected), "missing {expected}");
         }
         // Popularity must decrease left-to-right: Toyota before Cadillac.

@@ -125,7 +125,8 @@ impl World {
         let mut entities_by_topic = vec![Vec::new(); specs.len()];
         let mut next_entity = 0u32;
         for (ti, spec) in specs.iter().enumerate() {
-            let batch = generate_topic_entities(TopicId::from(ti), spec, &mut next_entity, &mut rng);
+            let batch =
+                generate_topic_entities(TopicId::from(ti), spec, &mut next_entity, &mut rng);
             for e in &batch {
                 entities_by_topic[ti].push(e.id);
             }
@@ -371,8 +372,7 @@ impl<'a> PageBuilder<'a> {
         for e in topic_entities {
             // Superlinear in popularity: household names have years of
             // archives, the long tail has essentially none.
-            let count = (e.popularity * e.popularity
-                * self.config.archive_pages_per_entity as f64)
+            let count = (e.popularity * e.popularity * self.config.archive_pages_per_entity as f64)
                 .round() as usize;
             for i in 0..count {
                 let pool = if e.is_popular() { &earned } else { &niche_pool };
@@ -572,7 +572,15 @@ impl<'a> PageBuilder<'a> {
                 prominence: 1.0 - i as f64 / (take.max(2) as f64),
             })
             .collect();
-        self.push_page(topic, domain, PageKind::RankingList, title, body, mentions, spec);
+        self.push_page(
+            topic,
+            domain,
+            PageKind::RankingList,
+            title,
+            body,
+            mentions,
+            spec,
+        );
     }
 
     fn review(&mut self, topic: TopicId, spec: &TopicSpec, e: &Entity, pool: &[DomainId]) {
@@ -613,7 +621,11 @@ impl<'a> PageBuilder<'a> {
         };
         let title = format!("{} long-term report, part {}", e.name, series + 1);
         let body = text_gen::review_body(&e.name, spec.display, spec.vocab, score, self.rng);
-        let mentions = vec![Mention { entity: e.id, score, prominence: 1.0 }];
+        let mentions = vec![Mention {
+            entity: e.id,
+            score,
+            prominence: 1.0,
+        }];
         // Age: uniformly old — 260 days up to the cap.
         let id = PageId::from(self.pages.len());
         let lo = 260.0;
@@ -699,10 +711,26 @@ impl<'a> PageBuilder<'a> {
             self.rng,
         );
         let mentions = vec![
-            Mention { entity: a.id, score: sa, prominence: 1.0 },
-            Mention { entity: b.id, score: sb, prominence: 0.9 },
+            Mention {
+                entity: a.id,
+                score: sa,
+                prominence: 1.0,
+            },
+            Mention {
+                entity: b.id,
+                score: sb,
+                prominence: 0.9,
+            },
         ];
-        self.push_page(topic, domain, PageKind::Comparison, title, body, mentions, spec);
+        self.push_page(
+            topic,
+            domain,
+            PageKind::Comparison,
+            title,
+            body,
+            mentions,
+            spec,
+        );
     }
 
     fn guide(&mut self, topic: TopicId, spec: &TopicSpec, earned: &[DomainId]) {
@@ -713,7 +741,15 @@ impl<'a> PageBuilder<'a> {
         let vocab_word = spec.vocab[self.rng.gen_range(0..spec.vocab.len())];
         let title = format!("How {} {} works: a buyer's guide", spec.unit, vocab_word);
         let body = text_gen::guide_body(spec.display, spec.vocab, self.rng);
-        self.push_page(topic, domain, PageKind::Guide, title, body, Vec::new(), spec);
+        self.push_page(
+            topic,
+            domain,
+            PageKind::Guide,
+            title,
+            body,
+            Vec::new(),
+            spec,
+        );
     }
 
     fn forum_thread(
@@ -759,7 +795,15 @@ impl<'a> PageBuilder<'a> {
                 prominence: 0.7,
             })
             .collect();
-        self.push_page(topic, domain, PageKind::ForumThread, title, body, mentions, spec);
+        self.push_page(
+            topic,
+            domain,
+            PageKind::ForumThread,
+            title,
+            body,
+            mentions,
+            spec,
+        );
     }
 
     fn video(&mut self, topic: TopicId, spec: &TopicSpec, topic_entities: &[&Entity]) {
@@ -773,7 +817,11 @@ impl<'a> PageBuilder<'a> {
         let score = self.observe(e.quality, 0.18);
         let title = format!("{} long-term review (watch this before buying)", e.name);
         let body = text_gen::video_body(&e.name, spec.display, spec.vocab, self.rng);
-        let mentions = vec![Mention { entity: e.id, score, prominence: 1.0 }];
+        let mentions = vec![Mention {
+            entity: e.id,
+            score,
+            prominence: 1.0,
+        }];
         self.push_page(topic, youtube, PageKind::Video, title, body, mentions, spec);
     }
 
@@ -784,14 +832,30 @@ impl<'a> PageBuilder<'a> {
         let score = (e.quality + 0.15).clamp(0.02, 0.98); // self-promotion
         let title = format!("Buy {} — official site", e.name);
         let body = text_gen::product_body(&e.name, spec.display, spec.vocab, self.rng);
-        let mentions = vec![Mention { entity: e.id, score, prominence: 1.0 }];
-        self.push_page(topic, brand, PageKind::ProductPage, title, body, mentions, spec);
+        let mentions = vec![Mention {
+            entity: e.id,
+            score,
+            prominence: 1.0,
+        }];
+        self.push_page(
+            topic,
+            brand,
+            PageKind::ProductPage,
+            title,
+            body,
+            mentions,
+            spec,
+        );
 
         if e.popularity > 0.7 {
             let score = self.observe(e.quality, 0.1);
             let title = format!("{} newsroom: announcing the latest {}", e.brand, spec.unit);
             let body = text_gen::news_body(&e.name, spec.display, spec.vocab, self.rng);
-            let mentions = vec![Mention { entity: e.id, score, prominence: 1.0 }];
+            let mentions = vec![Mention {
+                entity: e.id,
+                score,
+                prominence: 1.0,
+            }];
             self.push_page(topic, brand, PageKind::News, title, body, mentions, spec);
         }
     }
@@ -800,8 +864,20 @@ impl<'a> PageBuilder<'a> {
         let score = (e.quality + 0.10).clamp(0.02, 0.98);
         let title = format!("Buy {} — deals and availability", e.name);
         let body = text_gen::product_body(&e.name, spec.display, spec.vocab, self.rng);
-        let mentions = vec![Mention { entity: e.id, score, prominence: 1.0 }];
-        self.push_page(topic, domain, PageKind::ProductPage, title, body, mentions, spec);
+        let mentions = vec![Mention {
+            entity: e.id,
+            score,
+            prominence: 1.0,
+        }];
+        self.push_page(
+            topic,
+            domain,
+            PageKind::ProductPage,
+            title,
+            body,
+            mentions,
+            spec,
+        );
     }
 
     /// Samples an entity weighted by popularity (plus a floor so niche
@@ -1001,7 +1077,10 @@ mod tests {
 
     #[test]
     fn slugify_behaves() {
-        assert_eq!(slugify("The 10 best SUVs of 2025!"), "the-10-best-suvs-of-2025");
+        assert_eq!(
+            slugify("The 10 best SUVs of 2025!"),
+            "the-10-best-suvs-of-2025"
+        );
         assert_eq!(slugify("***"), "page");
         assert!(slugify(&"x".repeat(100)).len() <= 48);
     }

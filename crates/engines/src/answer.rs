@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn from_url_rejects_undomained() {
-        assert!(Citation::from_url("https://192.168.0.1/x", PageId(0), SourceType::Brand, 0.0).is_none());
+        assert!(
+            Citation::from_url("https://192.168.0.1/x", PageId(0), SourceType::Brand, 0.0)
+                .is_none()
+        );
         assert!(Citation::from_url("garbage", PageId(0), SourceType::Brand, 0.0).is_none());
     }
 

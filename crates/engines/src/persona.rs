@@ -48,6 +48,17 @@ impl EngineKind {
         }
     }
 
+    /// Dense index in [`EngineKind::ALL`] order (for per-engine arrays).
+    pub fn index(self) -> usize {
+        match self {
+            EngineKind::Google => 0,
+            EngineKind::Gpt4o => 1,
+            EngineKind::Claude => 2,
+            EngineKind::Gemini => 3,
+            EngineKind::Perplexity => 4,
+        }
+    }
+
     /// Stable slug for reports.
     pub fn slug(self) -> &'static str {
         match self {
@@ -250,7 +261,10 @@ mod tests {
                 p.affinity_transactional,
             ] {
                 let sum: f64 = aff.iter().sum();
-                assert!((0.9..=1.1).contains(&sum), "{kind:?} affinity sums to {sum}");
+                assert!(
+                    (0.9..=1.1).contains(&sum),
+                    "{kind:?} affinity sums to {sum}"
+                );
                 assert!(aff.iter().all(|&a| a > 0.0));
             }
         }
@@ -280,15 +294,9 @@ mod tests {
             .iter()
             .map(|&k| (k, Persona::for_kind(k).domain_jitter))
             .collect();
-        let max = jitters
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let max = jitters.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(max.0, EngineKind::Gpt4o);
-        let min = jitters
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let min = jitters.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(min.0, EngineKind::Perplexity);
     }
 

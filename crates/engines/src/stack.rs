@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use shift_classify::intent::QueryIntentLabel;
 use shift_classify::classify_intent;
+use shift_classify::intent::QueryIntentLabel;
 use shift_corpus::World;
 use shift_llm::{GroundingMode, Llm, LlmConfig, Snippet};
 use shift_metrics::bootstrap::SplitMix64;
@@ -23,6 +23,17 @@ pub struct AnswerEngines {
     personas: HashMap<EngineKind, Persona>,
     llm: Llm,
 }
+
+// The serving layer (`shift-serve`) and the parallel study runner share
+// one stack across worker threads behind an `Arc`, so the whole engine
+// stack must stay `Send + Sync`: no interior mutability anywhere in the
+// tree — decision noise is derived from per-request seeds instead of
+// shared RNG state. This assertion turns any regression into a compile
+// error at the source rather than a trait-bound error at a use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnswerEngines>();
+};
 
 impl AnswerEngines {
     /// Builds the stack: one shared index, Google's organic parameters,
@@ -170,11 +181,9 @@ impl AnswerEngines {
         let cites = if intent == QueryIntentLabel::Consideration {
             true
         } else {
-            let mut rng = SplitMix64::new(
-                persona.seed_salt ^ hash_str(query) ^ seed.wrapping_mul(0x9E37),
-            );
-            ((rng.next_u64() % 1000) as f64)
-                < persona.off_consideration_citation_rate * 1000.0
+            let mut rng =
+                SplitMix64::new(persona.seed_salt ^ hash_str(query) ^ seed.wrapping_mul(0x9E37));
+            ((rng.next_u64() % 1000) as f64) < persona.off_consideration_citation_rate * 1000.0
         };
 
         let citations = if cites {
@@ -221,9 +230,8 @@ impl AnswerEngines {
                 // Idiosyncratic fingerprint: mostly a stable per-domain
                 // preference, partly query-specific.
                 let u_dom = unit_noise(persona.seed_salt ^ hash_str(&citation.domain));
-                let u_query = unit_noise(
-                    persona.seed_salt ^ hash_str(&citation.domain) ^ query_hash ^ seed,
-                );
+                let u_query =
+                    unit_noise(persona.seed_salt ^ hash_str(&citation.domain) ^ query_hash ^ seed);
                 let jitter = 1.0 + persona.domain_jitter * (0.7 * u_dom + 0.3 * u_query);
                 let score = rank_w
                     * aff

@@ -19,8 +19,18 @@ pub struct CivilDate {
 
 /// English month names, index 0 = January.
 pub const MONTH_NAMES: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July",
-    "August", "September", "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 impl CivilDate {
@@ -137,7 +147,10 @@ mod tests {
     #[test]
     fn epoch_is_day_zero() {
         assert_eq!(CivilDate::new(1970, 1, 1).unwrap().to_day_number(), 0);
-        assert_eq!(CivilDate::from_day_number(0), CivilDate::new(1970, 1, 1).unwrap());
+        assert_eq!(
+            CivilDate::from_day_number(0),
+            CivilDate::new(1970, 1, 1).unwrap()
+        );
     }
 
     #[test]

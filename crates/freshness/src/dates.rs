@@ -45,10 +45,7 @@ pub fn parse_date(input: &str) -> Option<CivilDate> {
 
 /// `YYYY-MM-DD` with optional `T…`/` …` time suffix, or `YYYY/MM/DD`.
 fn parse_iso(s: &str) -> Option<CivilDate> {
-    let date_part = s
-        .split(['T', ' '])
-        .next()
-        .unwrap_or(s);
+    let date_part = s.split(['T', ' ']).next().unwrap_or(s);
     let sep = if date_part.contains('-') {
         '-'
     } else if date_part.contains('/') {
@@ -136,10 +133,13 @@ pub fn month_from_name(name: &str) -> Option<u8> {
     if !lower.is_char_boundary(3.min(lower.len())) {
         return None;
     }
-    MONTH_NAMES.iter().position(|m| {
-        let ml = m.to_ascii_lowercase();
-        ml == lower || (lower.len() == 3 && ml.starts_with(&lower[..3]))
-    }).map(|i| (i + 1) as u8)
+    MONTH_NAMES
+        .iter()
+        .position(|m| {
+            let ml = m.to_ascii_lowercase();
+            ml == lower || (lower.len() == 3 && ml.starts_with(&lower[..3]))
+        })
+        .map(|i| (i + 1) as u8)
 }
 
 /// Scans free text for the first parseable date, preferring dates adjacent
@@ -153,7 +153,13 @@ pub fn scan_text_for_date(text: &str) -> Option<CivilDate> {
     // case-insensitive) so byte offsets stay consistent even when Unicode
     // lowercasing changes lengths.
     let lower = text.to_lowercase();
-    for marker in ["published", "updated", "posted", "last modified", "reviewed"] {
+    for marker in [
+        "published",
+        "updated",
+        "posted",
+        "last modified",
+        "reviewed",
+    ] {
         let mut from = 0;
         while let Some(i) = lower[from..].find(marker) {
             let start = from + i + marker.len();

@@ -111,23 +111,22 @@ pub fn extract_page_date(html: &str) -> Option<ExtractedDate> {
                     .or_else(|| tag.attr("itemprop"))
                     .map(|k| k.to_ascii_lowercase());
                 let Some(key) = key else { continue };
-                let Some(content) = tag.attr("content") else { continue };
+                let Some(content) = tag.attr("content") else {
+                    continue;
+                };
                 if META_PUBLISHED_KEYS.contains(&key.as_str()) {
                     if meta_published.is_none() {
                         meta_published = parse_date(content);
                     }
-                } else if META_MODIFIED_KEYS.contains(&key.as_str())
-                    && meta_modified.is_none()
-                {
+                } else if META_MODIFIED_KEYS.contains(&key.as_str()) && meta_modified.is_none() {
                     meta_modified = parse_date(content);
                 }
             }
-            Event::Open(tag) if tag.name == "time"
-                && time_tag.is_none() => {
-                    if let Some(dt) = tag.attr("datetime") {
-                        time_tag = parse_date(dt);
-                    }
+            Event::Open(tag) if tag.name == "time" && time_tag.is_none() => {
+                if let Some(dt) = tag.attr("datetime") {
+                    time_tag = parse_date(dt);
                 }
+            }
             Event::Script { kind, body } if kind == "application/ld+json" => {
                 if jsonld_published.is_some() {
                     continue;
@@ -139,11 +138,10 @@ pub fn extract_page_date(html: &str) -> Option<ExtractedDate> {
                     jsonld_modified = doc.find_string(&["dateModified"]).and_then(parse_date);
                 }
             }
-            Event::Text(t)
-                if body_text.len() < 8192 => {
-                    body_text.push(' ');
-                    body_text.push_str(t);
-                }
+            Event::Text(t) if body_text.len() < 8192 => {
+                body_text.push(' ');
+                body_text.push_str(t);
+            }
             _ => {}
         }
     }

@@ -343,7 +343,9 @@ mod tests {
         let html = "<script>var x = 1;</SCRIPT><p>after</p>";
         let events = scan(html);
         assert!(matches!(&events[0], Event::Script { body, .. } if body.contains("var x")));
-        assert!(events.iter().any(|e| matches!(e, Event::Text(t) if t == "after")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Text(t) if t == "after")));
     }
 
     #[test]
@@ -374,7 +376,9 @@ mod tests {
     #[test]
     fn unterminated_tag_degrades_gracefully() {
         let events = scan("<p>ok</p><meta content=\"2025");
-        assert!(events.iter().any(|e| matches!(e, Event::Text(t) if t == "ok")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Text(t) if t == "ok")));
     }
 
     #[test]

@@ -243,9 +243,8 @@ impl<'a> Parser<'a> {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
                                     if (0xDC00..0xE000).contains(&lo) {
-                                        let combined = 0x10000
-                                            + ((cp - 0xD800) << 10)
-                                            + (lo - 0xDC00);
+                                        let combined =
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                         char::from_u32(combined)
                                     } else {
                                         None
@@ -266,8 +265,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 character.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
                     let ch = s.chars().next().unwrap();
                     out.push(ch);
                     self.pos += ch.len_utf8();
@@ -420,7 +418,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_documents() {
-        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1 2", "{'a':1}", "\"unterminated"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1 2",
+            "{'a':1}",
+            "\"unterminated",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
     }
@@ -445,7 +452,10 @@ mod tests {
     #[test]
     fn find_string_prefers_listed_key_order_at_same_level() {
         let doc = parse(r#"{"dateModified": "b", "datePublished": "a"}"#).unwrap();
-        assert_eq!(doc.find_string(&["datePublished", "dateModified"]), Some("a"));
+        assert_eq!(
+            doc.find_string(&["datePublished", "dateModified"]),
+            Some("a")
+        );
     }
 
     #[test]

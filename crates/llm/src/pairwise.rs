@@ -67,7 +67,11 @@ impl Llm {
                 (false, true) => return b,
                 (false, false) => {
                     let mut rng = SplitMix64::new(pair_seed ^ 0x6a75_6467_0e31);
-                    return if rng.next_u64().is_multiple_of(2) { a } else { b };
+                    return if rng.next_u64().is_multiple_of(2) {
+                        a
+                    } else {
+                        b
+                    };
                 }
                 (true, true) => {}
             }
@@ -92,9 +96,8 @@ impl Llm {
             }
             GroundingMode::Strict => 0.0,
         };
-        let mut rng = SplitMix64::new(
-            seed ^ (u64::from(entity.0).wrapping_mul(0x94D0_49BB_1331_11EB)),
-        );
+        let mut rng =
+            SplitMix64::new(seed ^ (u64::from(entity.0).wrapping_mul(0x94D0_49BB_1331_11EB)));
         let u = rng.next_u64() as f64 / u64::MAX as f64;
         (2.0 * u - 1.0) * scale
     }
@@ -109,20 +112,14 @@ impl Llm {
         mode: GroundingMode,
         seed: u64,
     ) -> Vec<EntityId> {
-        let mut wins: HashMap<EntityId, usize> =
-            candidates.iter().map(|&e| (e, 0)).collect();
+        let mut wins: HashMap<EntityId, usize> = candidates.iter().map(|&e| (e, 0)).collect();
         for i in 0..candidates.len() {
             for j in i + 1..candidates.len() {
                 let pair_seed = seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((i as u64) << 32 | j as u64);
-                let winner = self.pairwise_judgment(
-                    candidates[i],
-                    candidates[j],
-                    evidence,
-                    mode,
-                    pair_seed,
-                );
+                let winner =
+                    self.pairwise_judgment(candidates[i], candidates[j], evidence, mode, pair_seed);
                 *wins.entry(winner).or_insert(0) += 1;
             }
         }

@@ -166,5 +166,9 @@ fn unsupported_popular_entities_still_get_ranked_in_normal_mode() {
     let answer = llm.rank_entities(&ids, &evidence, GroundingMode::Normal, 5);
     assert_eq!(answer.ranking.len(), ids.len());
     let misses = answer.support.iter().filter(|s| **s == 0.0).count();
-    assert_eq!(misses, ids.len() - half.len(), "unsupported slots must be flagged");
+    assert_eq!(
+        misses,
+        ids.len() - half.len(),
+        "unsupported slots must be flagged"
+    );
 }

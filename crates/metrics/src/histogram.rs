@@ -75,7 +75,13 @@ impl Histogram {
         self.counts
             .iter()
             .enumerate()
-            .map(|(i, &c)| (self.min + i as f64 * width, self.min + (i + 1) as f64 * width, c))
+            .map(|(i, &c)| {
+                (
+                    self.min + i as f64 * width,
+                    self.min + (i + 1) as f64 * width,
+                    c,
+                )
+            })
             .collect()
     }
 

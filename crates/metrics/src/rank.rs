@@ -89,7 +89,11 @@ pub fn mean_abs_rank_deviation<T: Eq + Hash>(r: &[T], r_perturbed: &[T]) -> f64 
     if r.is_empty() {
         return 0.0;
     }
-    let pos: HashMap<&T, usize> = r_perturbed.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let pos: HashMap<&T, usize> = r_perturbed
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (x, i))
+        .collect();
     let missing_rank = r_perturbed.len();
     let total: f64 = r
         .iter()
@@ -135,20 +139,15 @@ pub fn spearman_rho<T: Eq + Hash>(a: &[T], b: &[T]) -> Option<f64> {
 /// the provided tiebreak order (earlier in `tiebreak` wins the tie). This is
 /// the paper's pairwise-derived ranking R′: "each entity's final score equals
 /// the number of pairwise wins".
-pub fn ranking_from_wins<T: Eq + Hash + Clone>(
-    wins: &HashMap<T, usize>,
-    tiebreak: &[T],
-) -> Vec<T> {
+pub fn ranking_from_wins<T: Eq + Hash + Clone>(wins: &HashMap<T, usize>, tiebreak: &[T]) -> Vec<T> {
     let order: HashMap<&T, usize> = tiebreak.iter().enumerate().map(|(i, x)| (x, i)).collect();
     let mut items: Vec<&T> = wins.keys().collect();
     items.sort_by(|a, b| {
-        wins[*b]
-            .cmp(&wins[*a])
-            .then_with(|| {
-                let oa = order.get(*a).copied().unwrap_or(usize::MAX);
-                let ob = order.get(*b).copied().unwrap_or(usize::MAX);
-                oa.cmp(&ob)
-            })
+        wins[*b].cmp(&wins[*a]).then_with(|| {
+            let oa = order.get(*a).copied().unwrap_or(usize::MAX);
+            let ob = order.get(*b).copied().unwrap_or(usize::MAX);
+            oa.cmp(&ob)
+        })
     });
     items.into_iter().cloned().collect()
 }

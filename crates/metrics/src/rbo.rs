@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn mean_rbo_averages() {
-        let pairs = vec![
-            (vec![1, 2], vec![1, 2]),
-            (vec![1, 2], vec![3, 4]),
-        ];
+        let pairs = vec![(vec![1, 2], vec![1, 2]), (vec![1, 2], vec![3, 4])];
         assert!((mean_rbo(&pairs, 0.9) - 0.5).abs() < 1e-9);
         let empty: Vec<(Vec<u32>, Vec<u32>)> = vec![];
         assert_eq!(mean_rbo(&empty, 0.9), 0.0);

@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn percentile_input_order_irrelevant() {
-        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), percentile(&[1.0, 2.0, 3.0], 50.0));
+        assert_eq!(
+            percentile(&[3.0, 1.0, 2.0], 50.0),
+            percentile(&[1.0, 2.0, 3.0], 50.0)
+        );
     }
 
     #[test]

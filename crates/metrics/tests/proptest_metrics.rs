@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use shift_metrics::overlap::{cross_system_jaccard, unique_domain_ratio};
 use shift_metrics::rank::kendall_tau_from_rank_pairs;
 use shift_metrics::{
-    jaccard, kendall_tau, mean, mean_abs_rank_deviation, median, percentile, spearman_rho,
-    stddev, Histogram,
+    jaccard, kendall_tau, mean, mean_abs_rank_deviation, median, percentile, spearman_rho, stddev,
+    Histogram,
 };
 
 fn small_vec() -> impl Strategy<Value = Vec<f64>> {
@@ -16,7 +16,10 @@ fn permutation() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
     (2usize..12).prop_flat_map(|n| {
         let base: Vec<u32> = (0..n as u32).collect();
         (Just(base.clone()), Just(base)).prop_flat_map(|(a, b)| {
-            (Just(a), proptest::sample::subsequence(b.clone(), b.len()).prop_shuffle())
+            (
+                Just(a),
+                proptest::sample::subsequence(b.clone(), b.len()).prop_shuffle(),
+            )
         })
     })
 }

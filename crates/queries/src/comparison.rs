@@ -38,11 +38,7 @@ pub fn comparison_queries(
         .enumerate()
         .map(|(i, s)| (TopicId::from(i), s.consumer_topic))
         .collect();
-    let consumer: Vec<TopicId> = topics
-        .iter()
-        .filter(|(_, c)| *c)
-        .map(|(t, _)| *t)
-        .collect();
+    let consumer: Vec<TopicId> = topics.iter().filter(|(_, c)| *c).map(|(t, _)| *t).collect();
     let all: Vec<TopicId> = topics.iter().map(|(t, _)| *t).collect();
 
     let make = |id: usize, popular: bool, rng: &mut StdRng| -> Option<Query> {

@@ -8,8 +8,14 @@ use crate::{Query, QueryIntent, QueryKind};
 
 /// Audiences for consideration templates.
 const AUDIENCES: &[&str] = &[
-    "students", "gamers", "travelers", "creators", "professionals",
-    "seniors", "kids", "commuters",
+    "students",
+    "gamers",
+    "travelers",
+    "creators",
+    "professionals",
+    "seniors",
+    "kids",
+    "commuters",
 ];
 
 /// Generates `per_intent` queries for each of the three intents, all within

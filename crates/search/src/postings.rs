@@ -63,7 +63,10 @@ impl PostingsStore {
             p.positions.push(offset + pos as u32);
         }
         for (term, posting) in local {
-            self.terms.entry(term.to_string()).or_default().push(posting);
+            self.terms
+                .entry(term.to_string())
+                .or_default()
+                .push(posting);
         }
     }
 
@@ -108,7 +111,11 @@ mod tests {
     #[test]
     fn indexes_title_and_body_separately() {
         let mut store = PostingsStore::new();
-        store.add_document(0, &terms(&["laptop", "review"]), &terms(&["laptop", "battery"]));
+        store.add_document(
+            0,
+            &terms(&["laptop", "review"]),
+            &terms(&["laptop", "battery"]),
+        );
         let p = &store.postings("laptop")[0];
         assert_eq!(p.title_tf, 1);
         assert_eq!(p.body_tf, 1);

@@ -174,8 +174,7 @@ impl SearchEngine {
                 score *= 1.0 + self.params.authority_weight * meta.authority;
                 score *= 1.0 + self.params.freshness_weight * fresh;
                 if self.params.coordination > 0.0 {
-                    let coverage =
-                        f64::from(matched[&doc]) / terms.len() as f64;
+                    let coverage = f64::from(matched[&doc]) / terms.len() as f64;
                     score *= coverage.powf(self.params.coordination);
                 }
                 (doc, score)

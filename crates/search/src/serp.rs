@@ -133,7 +133,11 @@ mod tests {
 
     #[test]
     fn snippet_centers_on_first_hit() {
-        let body = format!("{} battery life is great {}", "x ".repeat(100), "y ".repeat(100));
+        let body = format!(
+            "{} battery life is great {}",
+            "x ".repeat(100),
+            "y ".repeat(100)
+        );
         let s = extract_snippet(&body, &["battery".to_string()], 40);
         assert!(s.contains("battery"));
         assert!(s.starts_with('…'));

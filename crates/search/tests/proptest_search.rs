@@ -22,7 +22,12 @@ fn query() -> impl Strategy<Value = String> {
     prop_oneof![
         // Realistic: template words + topic nouns.
         (
-            prop_oneof![Just("best"), Just("top 10"), Just("most reliable"), Just("buy")],
+            prop_oneof![
+                Just("best"),
+                Just("top 10"),
+                Just("most reliable"),
+                Just("buy")
+            ],
             prop_oneof![
                 Just("smartphones"),
                 Just("laptops"),

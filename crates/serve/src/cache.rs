@@ -1,0 +1,473 @@
+//! Sharded, TTL-aware LRU answer cache.
+//!
+//! Keys normalize the query through [`shift_textkit::tokenize`], so
+//! `"Best Laptops  2025?"` and `"best laptops 2025"` share an entry. Each
+//! shard is an independent `parking_lot::Mutex` around a slab-backed
+//! intrusive LRU list, so concurrent lookups on different shards never
+//! contend. Expiry is lazy: an entry past its TTL is treated as a miss
+//! (and reclaimed) the next time it is touched.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use shift_engines::{EngineAnswer, EngineKind};
+use shift_textkit::tokenize;
+
+/// Geometry and policy of one [`AnswerCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Number of independent shards (rounded up to at least 1).
+    pub shards: usize,
+    /// LRU capacity of each shard; 0 disables the cache entirely.
+    pub capacity_per_shard: usize,
+    /// Time-to-live of an entry; `None` means entries never expire.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            shards: 8,
+            capacity_per_shard: 512,
+            ttl: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration that caches nothing.
+    pub fn disabled() -> CacheConfig {
+        CacheConfig {
+            shards: 1,
+            capacity_per_shard: 0,
+            ttl: None,
+        }
+    }
+}
+
+/// Identity of a cacheable answer: engine, answer depth, seed, and the
+/// token-normalized query text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Which engine answered.
+    pub engine: EngineKind,
+    /// Requested answer depth (top-k).
+    pub top_k: usize,
+    /// Decode/persona seed the answer was produced with.
+    pub seed: u64,
+    /// Query text after tokenization (lowercased, punctuation and
+    /// whitespace collapsed).
+    pub normalized: String,
+}
+
+impl CacheKey {
+    /// Build a key, normalizing `query` through the shared tokenizer.
+    pub fn new(engine: EngineKind, query: &str, top_k: usize, seed: u64) -> CacheKey {
+        let normalized = tokenize(query)
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        CacheKey {
+            engine,
+            top_k,
+            seed,
+            normalized,
+        }
+    }
+
+    /// FNV-1a hash of the key, used for shard routing.
+    pub fn route_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(self.engine.index() as u8);
+        for b in (self.top_k as u64).to_le_bytes() {
+            eat(b);
+        }
+        for b in self.seed.to_le_bytes() {
+            eat(b);
+        }
+        for b in self.normalized.as_bytes() {
+            eat(*b);
+        }
+        h
+    }
+}
+
+/// Monotonic counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries reclaimed because their TTL elapsed.
+    pub expirations: u64,
+    /// Successful inserts (including overwrites of an existing key).
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    answer: EngineAnswer,
+    inserted: Instant,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a slab of entries threaded onto an intrusive MRU→LRU list,
+/// plus a key→slot map. All list surgery is O(1).
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        self.unlink(slot);
+        self.map.remove(&self.slab[slot].key);
+        self.free.push(slot);
+    }
+}
+
+/// A sharded TTL LRU mapping [`CacheKey`]s to [`EngineAnswer`]s.
+pub struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    ttl: Option<Duration>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl AnswerCache {
+    /// Build a cache with the given geometry.
+    pub fn new(config: &CacheConfig) -> AnswerCache {
+        let shards = config.shards.max(1);
+        AnswerCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(config.capacity_per_shard)))
+                .collect(),
+            capacity_per_shard: config.capacity_per_shard,
+            ttl: config.ttl,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the cache stores nothing (capacity 0).
+    pub fn is_disabled(&self) -> bool {
+        self.capacity_per_shard == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key routes to.
+    pub fn shard_for(&self, key: &CacheKey) -> usize {
+        (key.route_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Live entries across all shards (expired-but-unreclaimed entries
+    /// still count; they are reclaimed lazily on touch).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<EngineAnswer> {
+        if self.is_disabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shards[self.shard_for(key)].lock();
+        let Some(&slot) = shard.map.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if let Some(ttl) = self.ttl {
+            if shard.slab[slot].inserted.elapsed() >= ttl {
+                shard.remove_slot(slot);
+                self.expirations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        shard.unlink(slot);
+        shard.push_front(slot);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(shard.slab[slot].answer.clone())
+    }
+
+    /// Insert (or overwrite) an answer, evicting the least-recently-used
+    /// entry of the target shard if it is full.
+    pub fn insert(&self, key: CacheKey, answer: EngineAnswer) {
+        if self.is_disabled() {
+            return;
+        }
+        let shard_idx = self.shard_for(&key);
+        let mut shard = self.shards[shard_idx].lock();
+        if let Some(&slot) = shard.map.get(&key) {
+            shard.slab[slot].answer = answer;
+            shard.slab[slot].inserted = Instant::now();
+            shard.unlink(slot);
+            shard.push_front(slot);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if shard.map.len() >= self.capacity_per_shard {
+            let victim = shard.tail;
+            debug_assert_ne!(victim, NIL);
+            shard.remove_slot(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = Entry {
+            key: key.clone(),
+            answer,
+            inserted: Instant::now(),
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match shard.free.pop() {
+            Some(slot) => {
+                shard.slab[slot] = entry;
+                slot
+            }
+            None => {
+                shard.slab.push(entry);
+                shard.slab.len() - 1
+            }
+        };
+        shard.map.insert(key, slot);
+        shard.push_front(slot);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Keys currently resident in one shard, MRU first (test support).
+    pub fn shard_keys(&self, shard: usize) -> Vec<CacheKey> {
+        let shard = self.shards[shard].lock();
+        let mut keys = Vec::with_capacity(shard.map.len());
+        let mut slot = shard.head;
+        while slot != NIL {
+            keys.push(shard.slab[slot].key.clone());
+            slot = shard.slab[slot].next;
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(text: &str) -> EngineAnswer {
+        EngineAnswer {
+            engine: EngineKind::Google,
+            query: text.to_string(),
+            citations: Vec::new(),
+            snippets: Vec::new(),
+            text: text.to_string(),
+        }
+    }
+
+    fn single_shard(capacity: usize) -> AnswerCache {
+        AnswerCache::new(&CacheConfig {
+            shards: 1,
+            capacity_per_shard: capacity,
+            ttl: None,
+        })
+    }
+
+    #[test]
+    fn key_normalizes_case_and_punctuation() {
+        let a = CacheKey::new(EngineKind::Gpt4o, "Best Laptops,  2025!?", 10, 1);
+        let b = CacheKey::new(EngineKind::Gpt4o, "best laptops 2025", 10, 1);
+        assert_eq!(a, b);
+        let c = CacheKey::new(EngineKind::Claude, "best laptops 2025", 10, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let cache = single_shard(2);
+        let k1 = CacheKey::new(EngineKind::Google, "alpha", 10, 0);
+        let k2 = CacheKey::new(EngineKind::Google, "beta", 10, 0);
+        let k3 = CacheKey::new(EngineKind::Google, "gamma", 10, 0);
+        cache.insert(k1.clone(), answer("a"));
+        cache.insert(k2.clone(), answer("b"));
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(k3.clone(), answer("c"));
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k2).is_none(), "k2 should have been evicted");
+        assert!(cache.get(&k3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let cache = single_shard(4);
+        let k = CacheKey::new(EngineKind::Gemini, "same query", 10, 7);
+        cache.insert(k.clone(), answer("v1"));
+        cache.insert(k.clone(), answer("v2"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&k).unwrap().text, "v2");
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = AnswerCache::new(&CacheConfig::disabled());
+        let k = CacheKey::new(EngineKind::Google, "anything", 10, 0);
+        cache.insert(k.clone(), answer("x"));
+        assert!(cache.get(&k).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = AnswerCache::new(&CacheConfig {
+            shards: 1,
+            capacity_per_shard: 8,
+            ttl: Some(Duration::from_millis(20)),
+        });
+        let k = CacheKey::new(EngineKind::Perplexity, "ephemeral", 10, 3);
+        cache.insert(k.clone(), answer("x"));
+        assert!(cache.get(&k).is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get(&k).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.expirations, 1);
+        assert!(cache.is_empty(), "expired entry must be reclaimed");
+    }
+
+    #[test]
+    fn keys_route_to_stable_shards() {
+        let cache = AnswerCache::new(&CacheConfig {
+            shards: 8,
+            capacity_per_shard: 64,
+            ttl: None,
+        });
+        assert_eq!(cache.shard_count(), 8);
+        let keys: Vec<CacheKey> = (0..64)
+            .map(|i| CacheKey::new(EngineKind::Gpt4o, &format!("query number {i}"), 10, 0))
+            .collect();
+        for k in &keys {
+            cache.insert(k.clone(), answer("x"));
+        }
+        let mut used = std::collections::HashSet::new();
+        for k in &keys {
+            let shard = cache.shard_for(k);
+            assert_eq!(shard, cache.shard_for(k), "routing must be stable");
+            assert!(
+                cache.shard_keys(shard).contains(k),
+                "key must live in the shard it routes to"
+            );
+            used.insert(shard);
+        }
+        assert!(
+            used.len() > 1,
+            "64 distinct keys must spread over more than one of 8 shards"
+        );
+        let resident: usize = (0..8).map(|s| cache.shard_keys(s).len()).sum();
+        assert_eq!(resident, 64);
+    }
+
+    #[test]
+    fn hit_rate_counts() {
+        let cache = single_shard(8);
+        let k = CacheKey::new(EngineKind::Google, "q", 10, 0);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), answer("x"));
+        assert!(cache.get(&k).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Service configuration.
+
+use std::time::Duration;
+
+use crate::cache::CacheConfig;
+
+/// Tunables for one [`crate::AnswerService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing answers.
+    pub workers: usize,
+    /// Bounded depth of the admission queue; a full queue rejects with
+    /// [`crate::ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from admission.
+    pub deadline: Duration,
+    /// Answer-cache geometry; `CacheConfig::disabled()` turns caching off.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(5),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Default configuration with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Same configuration with the cache turned off (every request is
+    /// computed; used for cold-path baselines and identity tests).
+    pub fn without_cache(mut self) -> ServeConfig {
+        self.cache = CacheConfig::disabled();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ServeConfig;
+
+    #[test]
+    fn default_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= c.workers);
+        assert!(c.cache.capacity_per_shard > 0);
+    }
+
+    #[test]
+    fn without_cache_disables() {
+        let c = ServeConfig::with_workers(2).without_cache();
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.cache.capacity_per_shard, 0);
+    }
+}

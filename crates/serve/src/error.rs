@@ -1,0 +1,50 @@
+//! Typed service errors — the admission-control surface.
+
+use std::fmt;
+
+/// Why a request was not answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeError {
+    /// The bounded request queue was full at admission time. Clients
+    /// should back off and retry; the service sheds load instead of
+    /// growing an unbounded backlog.
+    Overloaded,
+    /// The request's deadline elapsed before a worker produced (or the
+    /// caller collected) an answer.
+    TimedOut,
+    /// The service is draining and no longer admits requests.
+    ShuttingDown,
+    /// The assigned worker disappeared without replying (a worker panic).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ServeError::Overloaded => "request queue full (overloaded)",
+            ServeError::TimedOut => "deadline elapsed before completion",
+            ServeError::ShuttingDown => "service is shutting down",
+            ServeError::WorkerLost => "worker vanished before replying",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::ServeError;
+
+    #[test]
+    fn errors_display_distinctly() {
+        let all = [
+            ServeError::Overloaded,
+            ServeError::TimedOut,
+            ServeError::ShuttingDown,
+            ServeError::WorkerLost,
+        ];
+        let texts: std::collections::HashSet<String> = all.iter().map(|e| e.to_string()).collect();
+        assert_eq!(texts.len(), all.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! # shift-serve
+//!
+//! The online serving layer over the [`shift_engines`] answer stack: the
+//! batch study asks "how do the engines differ?", this crate asks "how
+//! fast can one box answer live traffic from all five of them?".
+//!
+//! * [`service`] — [`AnswerService`]: a fixed-size worker pool fed by a
+//!   bounded crossbeam channel with admission control (typed
+//!   [`ServeError::Overloaded`] / [`ServeError::TimedOut`] rejections),
+//!   per-request deadlines, and graceful drain-then-join shutdown.
+//! * [`cache`] — [`AnswerCache`]: a sharded, TTL-aware LRU keyed by
+//!   token-normalized query text ([`shift_textkit::tokenize`]) + engine
+//!   + depth + seed, with per-shard `parking_lot` locks and hit / miss /
+//!   eviction counters.
+//! * [`metrics`] — [`ServiceMetrics`]: per-engine latency recording with
+//!   p50/p95/p99 via [`shift_metrics::percentile`], throughput, and a
+//!   renderable [`report::MetricsSnapshot`].
+//! * [`loadgen`] — deterministic closed- and open-loop load generation
+//!   over [`shift_queries`] workloads with a Zipfian repeat distribution,
+//!   so cache hit rates look like real traffic.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use shift_corpus::{World, WorldConfig};
+//! use shift_engines::{AnswerEngines, EngineKind};
+//! use shift_serve::{AnswerService, Request, ServeConfig};
+//!
+//! let world = Arc::new(World::generate(&WorldConfig::small(), 7));
+//! let engines = Arc::new(AnswerEngines::build(world));
+//! let service = AnswerService::start(engines, ServeConfig::default());
+//! let served = service
+//!     .answer(Request::new(EngineKind::Gpt4o, "best laptops for students", 10, 1))
+//!     .unwrap();
+//! println!("{} citations", served.answer.citations.len());
+//! let report = service.shutdown();
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod loadgen;
+pub mod metrics;
+pub mod report;
+pub mod service;
+
+pub use cache::{AnswerCache, CacheConfig, CacheKey, CacheStats};
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use loadgen::{run_load, LoadConfig, LoadMode, LoadOutcome, Workload};
+pub use metrics::ServiceMetrics;
+pub use report::MetricsSnapshot;
+pub use service::{AnswerService, PendingAnswer, Request, ServedAnswer};

@@ -1,0 +1,186 @@
+//! Service-side metrics: per-engine latencies, outcome counters, and a
+//! latency histogram, all snapshotted into a [`MetricsSnapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use shift_engines::EngineKind;
+use shift_metrics::{mean, percentile, Histogram};
+
+use crate::cache::CacheStats;
+use crate::report::{EngineLatency, MetricsSnapshot};
+
+/// Upper bound of the latency histogram, in milliseconds. Latencies above
+/// it land in the overflow bucket.
+pub const HISTOGRAM_MAX_MS: f64 = 20.0;
+/// Bin count of the latency histogram.
+pub const HISTOGRAM_BINS: usize = 50;
+
+/// Shared metrics sink for one [`crate::AnswerService`].
+///
+/// Latency samples are appended under a short per-engine lock; counters
+/// are relaxed atomics. `snapshot` does the expensive percentile work.
+pub struct ServiceMetrics {
+    started: Instant,
+    latencies_ms: [Mutex<Vec<f64>>; 5],
+    completed: AtomicU64,
+    cache_hits_served: AtomicU64,
+    overloaded: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics; the throughput clock starts now.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            started: Instant::now(),
+            latencies_ms: [
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+            ],
+            completed: AtomicU64::new(0),
+            cache_hits_served: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a successfully served answer and its end-to-end latency.
+    pub fn record_served(&self, engine: EngineKind, latency: Duration, from_cache: bool) {
+        let ms = latency.as_secs_f64() * 1e3;
+        self.latencies_ms[engine.index()].lock().push(ms);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if from_cache {
+            self.cache_hits_served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record an admission-control rejection.
+    pub fn record_overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a deadline miss.
+    pub fn record_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since construction.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Materialize percentiles, throughput, and the histogram.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let mut histogram = Histogram::new(0.0, HISTOGRAM_MAX_MS, HISTOGRAM_BINS);
+        let mut engines = Vec::with_capacity(EngineKind::ALL.len());
+        let mut all: Vec<f64> = Vec::new();
+        for kind in EngineKind::ALL {
+            let samples = self.latencies_ms[kind.index()].lock().clone();
+            for &ms in &samples {
+                histogram.record(ms);
+            }
+            all.extend_from_slice(&samples);
+            engines.push(EngineLatency::from_samples(kind, &samples));
+        }
+        let elapsed = self.elapsed_secs();
+        let completed = self.completed();
+        MetricsSnapshot {
+            elapsed_secs: elapsed,
+            completed,
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            cache_hits_served: self.cache_hits_served.load(Ordering::Relaxed),
+            throughput_rps: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            overall: EngineLatencySummary::of(&all),
+            engines,
+            histogram,
+            cache,
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::new()
+    }
+}
+
+/// Percentile summary of a latency sample set, in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineLatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
+impl EngineLatencySummary {
+    /// Summarize a sample set (all zeros when empty).
+    pub fn of(samples: &[f64]) -> EngineLatencySummary {
+        if samples.is_empty() {
+            return EngineLatencySummary::default();
+        }
+        EngineLatencySummary {
+            count: samples.len(),
+            mean_ms: mean(samples),
+            p50_ms: percentile(samples, 50.0),
+            p95_ms: percentile(samples, 95.0),
+            p99_ms: percentile(samples, 99.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_order() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = EngineLatencySummary::of(&samples);
+        assert_eq!(s.count, 100);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        assert!(s.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn snapshot_counts_per_engine() {
+        let m = ServiceMetrics::new();
+        m.record_served(EngineKind::Google, Duration::from_millis(2), false);
+        m.record_served(EngineKind::Google, Duration::from_millis(4), true);
+        m.record_served(EngineKind::Claude, Duration::from_millis(8), false);
+        m.record_overloaded();
+        m.record_timed_out();
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.cache_hits_served, 1);
+        assert_eq!(snap.overloaded, 1);
+        assert_eq!(snap.timed_out, 1);
+        let google = &snap.engines[EngineKind::Google.index()];
+        assert_eq!(google.summary.count, 2);
+        let gemini = &snap.engines[EngineKind::Gemini.index()];
+        assert_eq!(gemini.summary.count, 0);
+        assert_eq!(snap.histogram.total(), 3);
+        assert!(snap.throughput_rps > 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Rendering of service metrics: a fixed-width text report and a JSON
+//! document for `BENCH_serve.json`.
+
+use std::collections::BTreeMap;
+
+use shift_engines::EngineKind;
+use shift_freshness::json::{to_string as json_to_string, Value};
+use shift_metrics::Histogram;
+
+use crate::cache::CacheStats;
+use crate::metrics::EngineLatencySummary;
+
+/// Latency summary for one engine.
+#[derive(Debug, Clone)]
+pub struct EngineLatency {
+    /// The engine.
+    pub kind: EngineKind,
+    /// Percentile summary of its served latencies.
+    pub summary: EngineLatencySummary,
+}
+
+impl EngineLatency {
+    /// Summarize an engine's sample set (milliseconds).
+    pub fn from_samples(kind: EngineKind, samples_ms: &[f64]) -> EngineLatency {
+        EngineLatency {
+            kind,
+            summary: EngineLatencySummary::of(samples_ms),
+        }
+    }
+}
+
+/// A point-in-time view of a service's metrics, renderable as text or JSON.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Wall-clock seconds the service has been running.
+    pub elapsed_secs: f64,
+    /// Requests answered (cache hits included).
+    pub completed: u64,
+    /// Requests rejected at admission ([`crate::ServeError::Overloaded`]).
+    pub overloaded: u64,
+    /// Requests that missed their deadline.
+    pub timed_out: u64,
+    /// Completed requests served straight from the cache.
+    pub cache_hits_served: u64,
+    /// Completed requests per second since the service started.
+    pub throughput_rps: f64,
+    /// Latency summary across all engines.
+    pub overall: EngineLatencySummary,
+    /// Per-engine latency summaries, in [`EngineKind::ALL`] order.
+    pub engines: Vec<EngineLatency>,
+    /// Latency histogram (milliseconds) across all served requests.
+    pub histogram: Histogram,
+    /// Answer-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Fixed-width text report, one engine per row.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== shift-serve metrics ==\n");
+        out.push_str(&format!(
+            "completed {}  overloaded {}  timed-out {}  elapsed {:.2}s  throughput {:.1} req/s\n",
+            self.completed, self.overloaded, self.timed_out, self.elapsed_secs, self.throughput_rps,
+        ));
+        out.push_str(&format!(
+            "cache: {} hits / {} misses (hit rate {:.1}%), {} evictions, {} expirations\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions,
+            self.cache.expirations,
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
+            "engine", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms"
+        ));
+        for row in &self.engines {
+            let s = row.summary;
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                row.kind.name(),
+                s.count,
+                s.mean_ms,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+            ));
+        }
+        let o = self.overall;
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+            "(all)", o.count, o.mean_ms, o.p50_ms, o.p95_ms, o.p99_ms,
+        ));
+        out.push_str(&format!(
+            "latency histogram [0, {:.0} ms): {}  (+{} overflow)\n",
+            self.histogram.bins().last().map(|b| b.1).unwrap_or(0.0),
+            self.histogram.ascii_sparkline(),
+            self.histogram.overflow(),
+        ));
+        out
+    }
+
+    /// JSON document (the schema of `BENCH_serve.json`).
+    pub fn to_json(&self) -> Value {
+        fn num(v: f64) -> Value {
+            Value::Number(v)
+        }
+        fn summary_json(s: &EngineLatencySummary) -> Value {
+            let mut m = BTreeMap::new();
+            m.insert("count".to_string(), num(s.count as f64));
+            m.insert("mean_ms".to_string(), num(s.mean_ms));
+            m.insert("p50_ms".to_string(), num(s.p50_ms));
+            m.insert("p95_ms".to_string(), num(s.p95_ms));
+            m.insert("p99_ms".to_string(), num(s.p99_ms));
+            Value::Object(m)
+        }
+        let mut engines = BTreeMap::new();
+        for row in &self.engines {
+            engines.insert(row.kind.slug().to_string(), summary_json(&row.summary));
+        }
+        let mut cache = BTreeMap::new();
+        cache.insert("hits".to_string(), num(self.cache.hits as f64));
+        cache.insert("misses".to_string(), num(self.cache.misses as f64));
+        cache.insert("hit_rate".to_string(), num(self.cache.hit_rate()));
+        cache.insert("evictions".to_string(), num(self.cache.evictions as f64));
+        cache.insert(
+            "expirations".to_string(),
+            num(self.cache.expirations as f64),
+        );
+        cache.insert("inserts".to_string(), num(self.cache.inserts as f64));
+        let mut root = BTreeMap::new();
+        root.insert("elapsed_secs".to_string(), num(self.elapsed_secs));
+        root.insert("completed".to_string(), num(self.completed as f64));
+        root.insert("overloaded".to_string(), num(self.overloaded as f64));
+        root.insert("timed_out".to_string(), num(self.timed_out as f64));
+        root.insert(
+            "cache_hits_served".to_string(),
+            num(self.cache_hits_served as f64),
+        );
+        root.insert("throughput_rps".to_string(), num(self.throughput_rps));
+        root.insert("overall".to_string(), summary_json(&self.overall));
+        root.insert("engines".to_string(), Value::Object(engines));
+        root.insert("cache".to_string(), Value::Object(cache));
+        root.insert(
+            "histogram_counts".to_string(),
+            Value::Array(
+                self.histogram
+                    .counts()
+                    .iter()
+                    .map(|&c| num(c as f64))
+                    .collect(),
+            ),
+        );
+        Value::Object(root)
+    }
+
+    /// `to_json` serialized to a string.
+    pub fn to_json_string(&self) -> String {
+        json_to_string(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HISTOGRAM_BINS, HISTOGRAM_MAX_MS};
+
+    fn snapshot() -> MetricsSnapshot {
+        let mut histogram = Histogram::new(0.0, HISTOGRAM_MAX_MS, HISTOGRAM_BINS);
+        histogram.record(3.0);
+        histogram.record(7.0);
+        MetricsSnapshot {
+            elapsed_secs: 1.5,
+            completed: 2,
+            overloaded: 1,
+            timed_out: 0,
+            cache_hits_served: 1,
+            throughput_rps: 2.0 / 1.5,
+            overall: EngineLatencySummary::of(&[3.0, 7.0]),
+            engines: EngineKind::ALL
+                .iter()
+                .map(|&k| EngineLatency::from_samples(k, &[5.0]))
+                .collect(),
+            histogram,
+            cache: CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                expirations: 0,
+                inserts: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_engine() {
+        let text = snapshot().render();
+        for kind in EngineKind::ALL {
+            assert!(text.contains(kind.name()), "missing {}", kind.name());
+        }
+        assert!(text.contains("p99 ms"));
+        assert!(text.contains("hit rate 50.0%"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let json = snapshot().to_json_string();
+        let parsed = shift_freshness::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.get("completed"),
+            Some(&Value::Number(2.0)),
+            "completed survives the round trip"
+        );
+        assert!(parsed.get("engines").and_then(|e| e.get("gpt4o")).is_some());
+        assert!(parsed
+            .get("cache")
+            .and_then(|c| c.get("hit_rate"))
+            .is_some());
+    }
+}

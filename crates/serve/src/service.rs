@@ -1,0 +1,356 @@
+//! The answer service: a fixed worker pool behind a bounded admission
+//! queue, with a cache fast path, per-request deadlines, and graceful
+//! drain shutdown.
+//!
+//! Life of a request:
+//!
+//! 1. [`AnswerService::submit`] builds the [`crate::CacheKey`]; a cache
+//!    hit resolves immediately without touching the queue.
+//! 2. On a miss the request is `try_send`-ed onto the bounded job
+//!    channel. A full channel rejects with [`ServeError::Overloaded`] —
+//!    the service sheds load instead of queueing unboundedly.
+//! 3. A worker pops the job. If the deadline already passed it replies
+//!    [`ServeError::TimedOut`] without computing; otherwise it runs the
+//!    engine, populates the cache, and replies.
+//! 4. The caller blocks in [`PendingAnswer::wait`] with a deadline-capped
+//!    `recv_timeout`, so a stuck request costs the caller at most the
+//!    deadline.
+//!
+//! [`AnswerService::shutdown`] closes admission, lets the workers drain
+//! every queued job, joins them, and returns the final metrics snapshot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use shift_engines::{AnswerEngines, EngineAnswer, EngineKind};
+
+use crate::cache::{AnswerCache, CacheKey};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::ServiceMetrics;
+use crate::report::MetricsSnapshot;
+
+/// One answer request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Engine to answer with.
+    pub engine: EngineKind,
+    /// Query text.
+    pub query: String,
+    /// Answer depth (top-k results / citation budget).
+    pub top_k: usize,
+    /// Decode seed (determinism handle; ignored by Google).
+    pub seed: u64,
+}
+
+impl Request {
+    /// Build a request.
+    pub fn new(engine: EngineKind, query: &str, top_k: usize, seed: u64) -> Request {
+        Request {
+            engine,
+            query: query.to_string(),
+            top_k,
+            seed,
+        }
+    }
+}
+
+/// A successfully served answer.
+#[derive(Debug, Clone)]
+pub struct ServedAnswer {
+    /// The engine's answer.
+    pub answer: EngineAnswer,
+    /// End-to-end latency from admission to completion (queueing
+    /// included).
+    pub latency: Duration,
+    /// Whether the answer came from the cache.
+    pub from_cache: bool,
+}
+
+type Reply = Result<ServedAnswer, ServeError>;
+
+struct Job {
+    request: Request,
+    key: CacheKey,
+    admitted: Instant,
+    deadline: Instant,
+    reply: Sender<Reply>,
+    // One-shot outcome flag shared with the waiter: whichever side first
+    // flips it owns the metrics record for this request, so a reply that
+    // lands just as the waiter times out is never counted twice.
+    settled: Arc<AtomicBool>,
+}
+
+/// A submitted request whose answer may still be in flight.
+///
+/// Dropping a `PendingAnswer` abandons the request; the worker's reply is
+/// discarded (the cache still keeps the computed answer).
+pub struct PendingAnswer {
+    rx: Receiver<Reply>,
+    deadline: Instant,
+    metrics: Arc<ServiceMetrics>,
+    settled: Arc<AtomicBool>,
+}
+
+impl PendingAnswer {
+    /// Block until the answer arrives or the deadline passes.
+    pub fn wait(self) -> Result<ServedAnswer, ServeError> {
+        let budget = self.deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(budget) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => {
+                if !self.settled.swap(true, Ordering::AcqRel) {
+                    self.metrics.record_timed_out();
+                }
+                Err(ServeError::TimedOut)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
+        }
+    }
+}
+
+/// A running answer service. Cheap to share by reference across client
+/// threads; [`AnswerService::shutdown`] consumes it.
+pub struct AnswerService {
+    engines: Arc<AnswerEngines>,
+    cache: Arc<AnswerCache>,
+    metrics: Arc<ServiceMetrics>,
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    deadline: Duration,
+}
+
+impl AnswerService {
+    /// Spawn the worker pool and start accepting requests.
+    pub fn start(engines: Arc<AnswerEngines>, config: ServeConfig) -> AnswerService {
+        let cache = Arc::new(AnswerCache::new(&config.cache));
+        let metrics = Arc::new(ServiceMetrics::new());
+        let (tx, rx) = channel::bounded::<Job>(config.queue_depth.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let engines = Arc::clone(&engines);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&engines, &cache, &metrics, &rx))
+            })
+            .collect();
+        AnswerService {
+            engines,
+            cache,
+            metrics,
+            tx,
+            workers,
+            deadline: config.deadline,
+        }
+    }
+
+    /// Submit a request without blocking on the answer.
+    ///
+    /// Returns [`ServeError::Overloaded`] when the admission queue is
+    /// full; a cache hit resolves the returned [`PendingAnswer`]
+    /// immediately.
+    pub fn submit(&self, request: Request) -> Result<PendingAnswer, ServeError> {
+        let admitted = Instant::now();
+        let deadline = admitted + self.deadline;
+        let key = CacheKey::new(request.engine, &request.query, request.top_k, request.seed);
+        let (reply_tx, reply_rx) = channel::bounded::<Reply>(1);
+        let settled = Arc::new(AtomicBool::new(false));
+        if let Some(answer) = self.cache.get(&key) {
+            let latency = admitted.elapsed();
+            settled.store(true, Ordering::Release);
+            self.metrics.record_served(request.engine, latency, true);
+            let _ = reply_tx.send(Ok(ServedAnswer {
+                answer,
+                latency,
+                from_cache: true,
+            }));
+            return Ok(PendingAnswer {
+                rx: reply_rx,
+                deadline,
+                metrics: Arc::clone(&self.metrics),
+                settled,
+            });
+        }
+        let job = Job {
+            request,
+            key,
+            admitted,
+            deadline,
+            reply: reply_tx,
+            settled: Arc::clone(&settled),
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(PendingAnswer {
+                rx: reply_rx,
+                deadline,
+                metrics: Arc::clone(&self.metrics),
+                settled,
+            }),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.record_overloaded();
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submit and block until the answer (or a typed failure) arrives.
+    pub fn answer(&self, request: Request) -> Result<ServedAnswer, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Live metrics (percentiles computed on the spot).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.stats())
+    }
+
+    /// The shared answer cache (for tests and warm-up).
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// The engine stack this service fronts.
+    pub fn engines(&self) -> &Arc<AnswerEngines> {
+        &self.engines
+    }
+
+    /// Stop admitting, drain every queued job, join the workers, and
+    /// return the final metrics.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        let AnswerService {
+            cache,
+            metrics,
+            tx,
+            workers,
+            ..
+        } = self;
+        // Dropping the only Sender disconnects the channel; workers keep
+        // receiving until the queue is empty, then exit.
+        drop(tx);
+        for handle in workers {
+            let _ = handle.join();
+        }
+        metrics.snapshot(cache.stats())
+    }
+}
+
+fn worker_loop(
+    engines: &AnswerEngines,
+    cache: &AnswerCache,
+    metrics: &ServiceMetrics,
+    rx: &Receiver<Job>,
+) {
+    while let Ok(job) = rx.recv() {
+        if Instant::now() >= job.deadline {
+            // Too late to be useful; don't burn engine time.
+            if !job.settled.swap(true, Ordering::AcqRel) {
+                metrics.record_timed_out();
+            }
+            let _ = job.reply.send(Err(ServeError::TimedOut));
+            continue;
+        }
+        let answer = engines.answer(
+            job.request.engine,
+            &job.request.query,
+            job.request.top_k,
+            job.request.seed,
+        );
+        // Cache even if the waiter gave up — the work is done either way.
+        cache.insert(job.key, answer.clone());
+        let latency = job.admitted.elapsed();
+        if !job.settled.swap(true, Ordering::AcqRel) {
+            metrics.record_served(job.request.engine, latency, false);
+        }
+        let _ = job.reply.send(Ok(ServedAnswer {
+            answer,
+            latency,
+            from_cache: false,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_corpus::{World, WorldConfig};
+
+    fn engines() -> Arc<AnswerEngines> {
+        let world = Arc::new(World::generate(&WorldConfig::small(), 97));
+        Arc::new(AnswerEngines::build(world))
+    }
+
+    #[test]
+    fn serves_and_caches() {
+        let service = AnswerService::start(engines(), ServeConfig::with_workers(2));
+        let req = Request::new(EngineKind::Gpt4o, "best phone under 500", 10, 11);
+        let first = service.answer(req.clone()).expect("first answer");
+        assert!(!first.from_cache);
+        let second = service.answer(req).expect("second answer");
+        assert!(second.from_cache, "repeat must hit the cache");
+        assert_eq!(first.answer.text, second.answer.text);
+        assert_eq!(first.answer.citations.len(), second.answer.citations.len());
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.cache_hits_served, 1);
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let mut config = ServeConfig::with_workers(1);
+        config.deadline = Duration::ZERO;
+        let service = AnswerService::start(engines(), config);
+        let err = service
+            .answer(Request::new(EngineKind::Claude, "instant deadline", 10, 1))
+            .expect_err("must time out");
+        assert_eq!(err, ServeError::TimedOut);
+        let snap = service.shutdown();
+        assert_eq!(snap.timed_out, 1, "timeout must be counted exactly once");
+        assert_eq!(snap.completed, 0);
+    }
+
+    #[test]
+    fn flood_rejects_with_overloaded() {
+        let mut config = ServeConfig::with_workers(1).without_cache();
+        config.queue_depth = 2;
+        let service = AnswerService::start(engines(), config);
+        let mut pending = Vec::new();
+        let mut overloaded = 0;
+        for i in 0..128 {
+            let req = Request::new(EngineKind::Gemini, &format!("flood query {i}"), 10, i);
+            match service.submit(req) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded) => overloaded += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(
+            overloaded > 0,
+            "a 2-deep queue behind 1 worker must shed some of 128 instant submits"
+        );
+        for p in pending {
+            p.wait().expect("admitted requests complete");
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.overloaded, overloaded);
+        assert_eq!(snap.completed + snap.overloaded, 128);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let service = AnswerService::start(engines(), ServeConfig::with_workers(2));
+        let mut pending = Vec::new();
+        for i in 0..8 {
+            let req = Request::new(EngineKind::Perplexity, &format!("drain {i}"), 10, i);
+            pending.push(service.submit(req).expect("queue fits 8"));
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 8, "shutdown must drain, not drop");
+        for p in pending {
+            p.wait().expect("drained answers are delivered");
+        }
+    }
+}

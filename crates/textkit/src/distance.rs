@@ -24,7 +24,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         return a.len();
     }
     // Keep the shorter string in the inner dimension for less memory.
-    let (outer, inner) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+    let (outer, inner) = if a.len() >= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
 
     let mut prev: Vec<usize> = (0..=inner.len()).collect();
     let mut cur = vec![0usize; inner.len() + 1];
@@ -130,7 +134,10 @@ mod tests {
 
     #[test]
     fn levenshtein_is_symmetric() {
-        assert_eq!(levenshtein("garmin", "coros"), levenshtein("coros", "garmin"));
+        assert_eq!(
+            levenshtein("garmin", "coros"),
+            levenshtein("coros", "garmin")
+        );
     }
 
     #[test]

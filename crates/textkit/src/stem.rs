@@ -19,7 +19,11 @@
 /// ```
 pub fn stem(word: &str) -> String {
     let mut w = word.to_string();
-    if w.chars().count() <= 3 || !w.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '\'') {
+    if w.chars().count() <= 3
+        || !w
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '\'')
+    {
         return w;
     }
 
@@ -30,11 +34,7 @@ pub fn stem(word: &str) -> String {
         }
     } else if let Some(base) = w.strip_suffix("sses") {
         w = format!("{base}ss");
-    } else if w.ends_with('s')
-        && !w.ends_with("ss")
-        && !w.ends_with("us")
-        && !w.ends_with("is")
-    {
+    } else if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
         w.truncate(w.len() - 1);
     }
 
@@ -152,7 +152,11 @@ mod tests {
         assert_eq!(stem("electric"), "electr");
         assert_eq!(stem("affordable"), "afford");
         assert_eq!(stem("government"), "govern");
-        assert_eq!(stem("reliable"), "reliabl", "base too short for -able, falls to e-removal");
+        assert_eq!(
+            stem("reliable"),
+            "reliabl",
+            "base too short for -able, falls to e-removal"
+        );
     }
 
     #[test]
@@ -164,8 +168,16 @@ mod tests {
     #[test]
     fn stemming_is_idempotent_on_common_vocabulary() {
         for w in [
-            "laptop", "smartphone", "airline", "hotel", "review", "train",
-            "car", "battery", "electr", "afford",
+            "laptop",
+            "smartphone",
+            "airline",
+            "hotel",
+            "review",
+            "train",
+            "car",
+            "battery",
+            "electr",
+            "afford",
         ] {
             assert_eq!(stem(&stem(w)), stem(w), "idempotence failed for {w}");
         }

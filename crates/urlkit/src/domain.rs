@@ -138,7 +138,10 @@ impl DomainSet {
     /// |self ∩ other|.
     pub fn intersection_size(&self, other: &DomainSet) -> usize {
         if self.len() <= other.len() {
-            self.domains.iter().filter(|d| other.domains.contains(*d)).count()
+            self.domains
+                .iter()
+                .filter(|d| other.domains.contains(*d))
+                .count()
         } else {
             other.intersection_size(self)
         }

@@ -9,9 +9,21 @@ use crate::parse::Url;
 
 /// Tracking / attribution query parameters removed during normalization.
 const TRACKING_PARAMS: &[&str] = &[
-    "fbclid", "gclid", "igshid", "mc_cid", "mc_eid", "msclkid", "ref",
-    "ref_src", "soc_src", "utm_campaign", "utm_content", "utm_id",
-    "utm_medium", "utm_source", "utm_term",
+    "fbclid",
+    "gclid",
+    "igshid",
+    "mc_cid",
+    "mc_eid",
+    "msclkid",
+    "ref",
+    "ref_src",
+    "soc_src",
+    "utm_campaign",
+    "utm_content",
+    "utm_id",
+    "utm_medium",
+    "utm_source",
+    "utm_term",
 ];
 
 /// Options controlling [`normalize`].
@@ -174,7 +186,10 @@ mod tests {
 
     #[test]
     fn sorts_query_parameters() {
-        assert_eq!(norm("https://e.com/p?z=1&a=2&m=3"), "https://e.com/p?a=2&m=3&z=1");
+        assert_eq!(
+            norm("https://e.com/p?z=1&a=2&m=3"),
+            "https://e.com/p?a=2&m=3&z=1"
+        );
     }
 
     #[test]
@@ -244,8 +259,8 @@ mod tests {
             "https://e.com/",
         ] {
             let once = norm(s);
-            let twice = normalize(Url::parse(&once).unwrap(), NormalizeOptions::default())
-                .to_string();
+            let twice =
+                normalize(Url::parse(&once).unwrap(), NormalizeOptions::default()).to_string();
             assert_eq!(once, twice, "normalize must be idempotent for {s}");
         }
     }

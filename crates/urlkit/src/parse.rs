@@ -69,9 +69,7 @@ impl Url {
         let rest = rest.strip_prefix("//").ok_or(ParseError::MissingHost)?;
 
         // Authority runs until the first `/`, `?` or `#`.
-        let auth_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let auth_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let (authority, tail) = rest.split_at(auth_end);
 
         // Drop userinfo if present (rare in citations, but seen in feeds).
@@ -102,7 +100,11 @@ impl Url {
             ),
             None => (before_frag.to_string(), None),
         };
-        let path = if path.is_empty() { "/".to_string() } else { path };
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path
+        };
 
         Ok(Url {
             scheme: scheme.to_ascii_lowercase(),
@@ -175,9 +177,8 @@ impl Url {
 
     /// Rebuilds the textual form of the URL.
     pub fn to_string_full(&self) -> String {
-        let mut out = String::with_capacity(
-            self.scheme.len() + self.host.len() + self.path.len() + 16,
-        );
+        let mut out =
+            String::with_capacity(self.scheme.len() + self.host.len() + self.path.len() + 16);
         out.push_str(&self.scheme);
         out.push_str("://");
         out.push_str(&self.host);
@@ -199,7 +200,11 @@ impl Url {
 
     /// Replaces the path (used by the normalizer after dot-segment removal).
     pub(crate) fn set_path(&mut self, path: String) {
-        self.path = if path.is_empty() { "/".to_string() } else { path };
+        self.path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path
+        };
     }
 
     /// Replaces the query; `None` removes it entirely.
@@ -283,7 +288,9 @@ fn split_port(hostport: &str) -> Result<(&str, Option<u16>), ParseError> {
             if port_str.is_empty() {
                 return Err(ParseError::InvalidPort);
             }
-            let port = port_str.parse::<u16>().map_err(|_| ParseError::InvalidPort)?;
+            let port = port_str
+                .parse::<u16>()
+                .map_err(|_| ParseError::InvalidPort)?;
             Ok((&hostport[..i], Some(port)))
         }
         None => Ok((hostport, None)),
@@ -336,10 +343,7 @@ mod tests {
             Url::parse("https://e.com/").unwrap().effective_port(),
             Some(443)
         );
-        assert_eq!(
-            Url::parse("ftp://e.com/").unwrap().effective_port(),
-            None
-        );
+        assert_eq!(Url::parse("ftp://e.com/").unwrap().effective_port(), None);
     }
 
     #[test]
@@ -367,7 +371,10 @@ mod tests {
         assert_eq!(Url::parse(""), Err(ParseError::Empty));
         assert_eq!(Url::parse("   "), Err(ParseError::Empty));
         assert_eq!(Url::parse("not a url"), Err(ParseError::InvalidScheme));
-        assert_eq!(Url::parse("https:/missing.com"), Err(ParseError::MissingHost));
+        assert_eq!(
+            Url::parse("https:/missing.com"),
+            Err(ParseError::MissingHost)
+        );
         assert_eq!(Url::parse("https://"), Err(ParseError::MissingHost));
         assert_eq!(Url::parse("1https://x.com"), Err(ParseError::InvalidScheme));
     }

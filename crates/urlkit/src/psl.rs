@@ -10,21 +10,19 @@
 /// Two-label public suffixes (checked before single-label ones).
 /// Sorted for binary search; see the unit test enforcing ordering.
 const TWO_LABEL_SUFFIXES: &[&str] = &[
-    "ac.jp", "ac.nz", "ac.uk", "co.il", "co.in", "co.jp", "co.kr", "co.nz",
-    "co.uk", "co.za", "com.ar", "com.au", "com.br", "com.cn", "com.hk",
-    "com.mx", "com.sg", "com.tr", "com.tw", "edu.au", "gc.ca", "gov.au",
-    "gov.cn", "gov.uk", "ne.jp", "net.au", "or.jp", "org.au", "org.nz",
-    "org.uk",
+    "ac.jp", "ac.nz", "ac.uk", "co.il", "co.in", "co.jp", "co.kr", "co.nz", "co.uk", "co.za",
+    "com.ar", "com.au", "com.br", "com.cn", "com.hk", "com.mx", "com.sg", "com.tr", "com.tw",
+    "edu.au", "gc.ca", "gov.au", "gov.cn", "gov.uk", "ne.jp", "net.au", "or.jp", "org.au",
+    "org.nz", "org.uk",
 ];
 
 /// Single-label public suffixes (generic TLDs + ccTLDs seen in the corpus).
 /// Sorted for binary search.
 const ONE_LABEL_SUFFIXES: &[&str] = &[
-    "ai", "app", "at", "be", "biz", "blog", "ca", "ch", "cn", "co", "com",
-    "de", "dev", "edu", "es", "eu", "fr", "gov", "ie", "in", "info", "int",
-    "io", "it", "jp", "kr", "me", "mil", "net", "news", "nl", "no", "nz",
-    "org", "pl", "pro", "ru", "se", "shop", "site", "store", "tech", "tv",
-    "uk", "us", "xyz",
+    "ai", "app", "at", "be", "biz", "blog", "ca", "ch", "cn", "co", "com", "de", "dev", "edu",
+    "es", "eu", "fr", "gov", "ie", "in", "info", "int", "io", "it", "jp", "kr", "me", "mil", "net",
+    "news", "nl", "no", "nz", "org", "pl", "pro", "ru", "se", "shop", "site", "store", "tech",
+    "tv", "uk", "us", "xyz",
 ];
 
 /// Returns the public suffix of `host`, if the host is a valid DNS-style name
@@ -104,7 +102,10 @@ fn valid_label(label: &str) -> bool {
 
 fn is_ipv4(host: &str) -> bool {
     let parts: Vec<&str> = host.split('.').collect();
-    parts.len() == 4 && parts.iter().all(|p| p.parse::<u8>().is_ok() && !p.is_empty())
+    parts.len() == 4
+        && parts
+            .iter()
+            .all(|p| p.parse::<u8>().is_ok() && !p.is_empty())
 }
 
 #[cfg(test)]
@@ -151,7 +152,10 @@ mod tests {
             registrable_domain("news.bbc.co.uk").as_deref(),
             Some("bbc.co.uk")
         );
-        assert_eq!(registrable_domain("bbc.co.uk").as_deref(), Some("bbc.co.uk"));
+        assert_eq!(
+            registrable_domain("bbc.co.uk").as_deref(),
+            Some("bbc.co.uk")
+        );
         assert_eq!(registrable_domain("co.uk"), None);
     }
 

@@ -12,7 +12,13 @@ fn label() -> impl Strategy<Value = String> {
 fn host() -> impl Strategy<Value = String> {
     (
         prop::collection::vec(label(), 1..3),
-        prop_oneof![Just("com"), Just("org"), Just("net"), Just("io"), Just("co.uk")],
+        prop_oneof![
+            Just("com"),
+            Just("org"),
+            Just("net"),
+            Just("io"),
+            Just("co.uk")
+        ],
     )
         .prop_map(|(labels, tld)| format!("{}.{}", labels.join("."), tld))
 }

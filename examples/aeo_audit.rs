@@ -21,7 +21,9 @@ use navigating_shift::engines::{AnswerEngines, EngineKind};
 use navigating_shift::llm::supported_entities;
 
 fn main() {
-    let brand = std::env::args().nth(1).unwrap_or_else(|| "Toyota".to_string());
+    let brand = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Toyota".to_string());
 
     let world = Arc::new(World::generate(&WorldConfig::default_scale(), 42));
     let engines = AnswerEngines::build(Arc::clone(&world));

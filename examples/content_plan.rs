@@ -55,7 +55,10 @@ fn run_target(world: &Arc<World>, target: &str, entity: navigating_shift::corpus
         world.entity(entity).popularity,
         prior.strength
     );
-    println!("baseline visibility over {} ranking queries:", queries.len());
+    println!(
+        "baseline visibility over {} ranking queries:",
+        queries.len()
+    );
     println!(
         "{}",
         measure_visibility(&stack, entity, &queries, 10, 11).render()

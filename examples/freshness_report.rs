@@ -62,10 +62,8 @@ fn main() {
             println!("  (no dated citations)\n");
             continue;
         }
-        let channel_summary: Vec<String> = channels
-            .iter()
-            .map(|(ch, n)| format!("{ch}×{n}"))
-            .collect();
+        let channel_summary: Vec<String> =
+            channels.iter().map(|(ch, n)| format!("{ch}×{n}")).collect();
         println!(
             "  median age {:.0} days over {} dated citations ({} undatable); channels: {}\n",
             median(&ages),

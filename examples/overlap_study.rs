@@ -24,7 +24,10 @@ fn main() {
     let world = Arc::new(World::generate(&WorldConfig::default_scale(), 42));
     let stack = AnswerEngines::build(Arc::clone(&world));
     let queries = ranking_queries(&world, n, 7);
-    println!("measuring {} ranking queries across 10 consumer topics…\n", queries.len());
+    println!(
+        "measuring {} ranking queries across 10 consumer topics…\n",
+        queries.len()
+    );
 
     // per engine: all jaccards; per (engine, topic): jaccards
     let mut jac: BTreeMap<EngineKind, Vec<f64>> = BTreeMap::new();

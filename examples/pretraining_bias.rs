@@ -67,14 +67,20 @@ fn main() {
                 i + 1,
                 world.entity(*e).name,
                 prior.strength,
-                if *support > 0.0 { "evidence-backed" } else { "PRIOR-ONLY (citation miss)" }
+                if *support > 0.0 {
+                    "evidence-backed"
+                } else {
+                    "PRIOR-ONLY (citation miss)"
+                }
             );
         }
 
         for mode in [GroundingMode::Normal, GroundingMode::Strict] {
             let base = llm.rank_entities(&candidates, &evidence, mode, 0).ranking;
-            for perturbation in [Perturbation::SnippetShuffle, Perturbation::EntitySwapInjection]
-            {
+            for perturbation in [
+                Perturbation::SnippetShuffle,
+                Perturbation::EntitySwapInjection,
+            ] {
                 let mut total = 0.0;
                 let runs = 10;
                 for run in 1..=runs {

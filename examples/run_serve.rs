@@ -1,0 +1,88 @@
+//! Run the online answer service under a seeded mixed workload, cold and
+//! warm, and print the serving report (plus `BENCH_serve.json`).
+//!
+//! ```sh
+//! cargo run --release --example run_serve
+//! ```
+//!
+//! Two passes of the same 4-worker, 5-persona, Zipfian closed-loop run:
+//! the first starts with an empty answer cache, the second replays the
+//! identical request sequence against the warmed cache. The warm pass
+//! must show a strictly higher cache hit rate and a lower p50 — that is
+//! the whole point of caching generative answers.
+
+use std::sync::Arc;
+
+use navigating_shift::corpus::{World, WorldConfig};
+use navigating_shift::engines::{AnswerEngines, EngineKind};
+use navigating_shift::serve::{
+    run_load, AnswerService, LoadConfig, LoadMode, MetricsSnapshot, ServeConfig, Workload,
+};
+
+const WORLD_SEED: u64 = 20251101;
+const WORKLOAD_SEED: u64 = 77;
+const LOAD_SEED: u64 = 4242;
+const REQUESTS: u64 = 1500;
+const WORKERS: usize = 4;
+
+fn drive(service: &AnswerService, workload: &Workload, label: &str) -> MetricsSnapshot {
+    let config = LoadConfig {
+        requests: REQUESTS,
+        engines: EngineKind::ALL.to_vec(),
+        top_k: 10,
+        mode: LoadMode::Closed { clients: WORKERS },
+        seed: LOAD_SEED,
+    };
+    let outcome = run_load(service, workload, &config);
+    let snapshot = service.snapshot();
+    println!(
+        "[{label}] {} ok / {} overloaded / {} timed-out / {} failed\n",
+        outcome.succeeded, outcome.overloaded, outcome.timed_out, outcome.failed
+    );
+    println!("{}", snapshot.render());
+    snapshot
+}
+
+fn main() {
+    println!(
+        "serving {REQUESTS} requests x2 over {WORKERS} workers, all 5 personas, \
+         world seed {WORLD_SEED}\n"
+    );
+    let world = Arc::new(World::generate(&WorldConfig::small(), WORLD_SEED));
+    let engines = Arc::new(AnswerEngines::build(world));
+    let workload = Workload::mixed(&engines.world_handle(), WORKLOAD_SEED);
+    println!(
+        "workload: {} distinct queries, Zipf(s = {})\n",
+        workload.len(),
+        Workload::DEFAULT_ZIPF_S
+    );
+
+    let service = AnswerService::start(engines, ServeConfig::with_workers(WORKERS));
+    let cold = drive(&service, &workload, "cold");
+    let warm = drive(&service, &workload, "warm");
+
+    let cold_rate = cold.cache.hit_rate();
+    let warm_rate = warm.cache.hit_rate();
+    let cold_p50 = cold.overall.p50_ms;
+    let warm_p50 = warm.overall.p50_ms;
+    println!(
+        "cold → warm: hit rate {:.1}% → {:.1}%, overall p50 {:.3} ms → {:.3} ms",
+        cold_rate * 100.0,
+        warm_rate * 100.0,
+        cold_p50,
+        warm_p50
+    );
+    assert!(
+        warm_rate > cold_rate,
+        "warm pass must strictly raise the cache hit rate"
+    );
+    assert!(
+        warm_p50 < cold_p50,
+        "warm pass must lower the cumulative overall p50"
+    );
+
+    let final_snapshot = service.shutdown();
+    let path = "BENCH_serve.json";
+    std::fs::write(path, final_snapshot.to_json_string() + "\n").expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+}

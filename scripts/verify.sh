@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build+tests, formatting, and the serving-layer
+# integration suite. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root-package tests =="
+cargo test -q
+
+echo "== serving layer: unit + integration =="
+cargo test -q -p shift-serve
+
+echo "verify.sh: all checks passed"

@@ -21,6 +21,7 @@
 //! | [`metrics`] | `shift-metrics` | overlap & rank statistics |
 //! | [`core`] | `shift-core` | experiment runners (figures & tables) |
 //! | [`aeo`] | `shift-aeo` | AEO toolkit: visibility + content plans (§3.4) |
+//! | [`serve`] | `shift-serve` | online serving: worker pool, answer cache, load generator |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,5 +36,6 @@ pub use shift_llm as llm;
 pub use shift_metrics as metrics;
 pub use shift_queries as queries;
 pub use shift_search as search;
+pub use shift_serve as serve;
 pub use shift_textkit as textkit;
 pub use shift_urlkit as urlkit;

@@ -52,11 +52,7 @@ fn intent_classifier_is_consistent_per_class() {
             .filter(|q| classify_intent(&q.text) == label_of(intent))
             .count();
         let recall = hits as f64 / of_class.len().max(1) as f64;
-        assert!(
-            recall > 0.8,
-            "{} recall {recall:.2}",
-            intent.label()
-        );
+        assert!(recall > 0.8, "{} recall {recall:.2}", intent.label());
     }
 }
 

@@ -20,7 +20,11 @@ fn headline_overlap_ordering() {
     let r = fig1::run(&study());
     let asc = r.ascending();
     assert_eq!(asc[0], EngineKind::Gpt4o, "order: {asc:?}");
-    assert_eq!(*asc.last().unwrap(), EngineKind::Perplexity, "order: {asc:?}");
+    assert_eq!(
+        *asc.last().unwrap(),
+        EngineKind::Perplexity,
+        "order: {asc:?}"
+    );
     for (kind, overlap, _) in &r.per_engine {
         assert!(*overlap < 0.5, "{kind:?} overlap {overlap:.2} not 'low'");
     }
@@ -58,10 +62,20 @@ fn freshness_shapes() {
         let google = r.median(vertical, EngineKind::Google).unwrap();
         let claude = r.median(vertical, EngineKind::Claude).unwrap();
         let gpt = r.median(vertical, EngineKind::Gpt4o).unwrap();
-        assert!(claude < google, "{}: Claude {claude} vs Google {google}", vertical.label());
-        assert!(gpt < google, "{}: GPT {gpt} vs Google {google}", vertical.label());
+        assert!(
+            claude < google,
+            "{}: Claude {claude} vs Google {google}",
+            vertical.label()
+        );
+        assert!(
+            gpt < google,
+            "{}: GPT {gpt} vs Google {google}",
+            vertical.label()
+        );
     }
-    let ce = r.median(Vertical::ConsumerElectronics, EngineKind::Claude).unwrap();
+    let ce = r
+        .median(Vertical::ConsumerElectronics, EngineKind::Claude)
+        .unwrap();
     let auto = r.median(Vertical::Automotive, EngineKind::Claude).unwrap();
     assert!(auto > 1.5 * ce, "vertical gap too small: {auto} vs {ce}");
 }
@@ -72,8 +86,12 @@ fn freshness_shapes() {
 #[test]
 fn perturbation_shapes() {
     let r = tab1::run(&study());
-    assert!(r.niche.ss_normal > 1.5 * r.popular.ss_normal,
-        "niche/popular SS gap too small: {:.2} vs {:.2}", r.niche.ss_normal, r.popular.ss_normal);
+    assert!(
+        r.niche.ss_normal > 1.5 * r.popular.ss_normal,
+        "niche/popular SS gap too small: {:.2} vs {:.2}",
+        r.niche.ss_normal,
+        r.popular.ss_normal
+    );
     assert!(r.popular.ss_strict < r.popular.ss_normal);
     assert!(r.niche.ss_strict < 0.5 * r.niche.ss_normal);
     assert!(r.popular.esi >= r.popular.ss_normal * 0.8);
@@ -85,7 +103,12 @@ fn perturbation_shapes() {
 #[test]
 fn consistency_shapes() {
     let r = tab2::run(&study());
-    assert!(r.popular.0 > r.niche.0, "normal: {:?} vs {:?}", r.popular, r.niche);
+    assert!(
+        r.popular.0 > r.niche.0,
+        "normal: {:?} vs {:?}",
+        r.popular,
+        r.niche
+    );
     assert!(r.popular.1 > 0.82);
     assert!(r.niche.1 > r.niche.0, "strict must help niche");
     assert!(r.popular.1 >= r.niche.1 - 0.02);
@@ -101,5 +124,8 @@ fn missrate_shapes() {
     let head = (r.rate("Toyota").unwrap() + r.rate("Honda").unwrap()) / 2.0;
     let tail = (r.rate("Cadillac").unwrap() + r.rate("Infiniti").unwrap()) / 2.0;
     assert!(head < 0.3, "head miss {head:.2}");
-    assert!(tail > head, "no popularity gradient: head {head:.2} tail {tail:.2}");
+    assert!(
+        tail > head,
+        "no popularity gradient: head {head:.2} tail {tail:.2}"
+    );
 }
