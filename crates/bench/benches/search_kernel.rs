@@ -1,0 +1,129 @@
+//! Retrieval-kernel benchmark: the DAAT kernel vs the frozen
+//! term-at-a-time reference scorer, over the Figure-1-scale workload
+//! (1,000 ranking queries) at `WorldConfig::paper` scale.
+//!
+//! Run with `cargo bench -p shift-bench --bench search_kernel`. The full
+//! run re-checks a differential sample (kernel SERP must be
+//! byte-identical to the reference SERP), measures end-to-end top-10
+//! throughput for both paths, writes `BENCH_search.json`, and prints the
+//! before/after line recorded in EXPERIMENTS.md §Performance.
+//!
+//! `-- --quick` (used by `scripts/verify.sh` as a smoke check) runs the
+//! same pipeline on the small world with 100 queries and skips the JSON
+//! artifact.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_bench::STUDY_SEED;
+use shift_corpus::{World, WorldConfig};
+use shift_queries::ranking_queries;
+use shift_search::query::reference;
+use shift_search::{QueryScratch, RankingParams, SearchEngine};
+use std::hint::black_box;
+
+const K: usize = 10;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Times `f` over `rounds` passes of the whole query set and returns
+/// queries per second (best pass, so background noise can only hurt,
+/// never flatter).
+fn measure_qps(queries: &[String], rounds: usize, mut f: impl FnMut(&str)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for q in queries {
+            f(q);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    queries.len() as f64 / best
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (config, n_queries, rounds, label) = if quick {
+        (WorldConfig::small(), 100, 2, "small")
+    } else {
+        (WorldConfig::paper(), 1000, 5, "paper")
+    };
+    let world = World::generate(&config, STUDY_SEED);
+    let engine = SearchEngine::build(&world, RankingParams::google());
+    let queries: Vec<String> = ranking_queries(&world, n_queries, STUDY_SEED)
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+
+    // Differential gate inside the bench: the throughput comparison is
+    // only meaningful while both paths return byte-identical SERPs.
+    let sample_stride = (queries.len() / 25).max(1);
+    for q in queries.iter().step_by(sample_stride) {
+        let fast = engine.search(q, K);
+        let slow = reference::search(&engine, q, K);
+        assert_eq!(fast.urls(), slow.urls(), "kernel diverged on {q:?}");
+        for (a, b) in fast.results.iter().zip(&slow.results) {
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "score bits diverged on {q:?}"
+            );
+        }
+    }
+
+    let mut scratch = QueryScratch::new();
+    let kernel_qps = measure_qps(&queries, rounds, |q| {
+        black_box(engine.search_with(&mut scratch, black_box(q), K));
+    });
+    let reference_qps = measure_qps(&queries, rounds, |q| {
+        black_box(reference::search(&engine, black_box(q), K));
+    });
+    let speedup = kernel_qps / reference_qps;
+    println!(
+        "search_kernel [{label} world, {} docs, {} queries, k={K}, seed {STUDY_SEED}]:\n  \
+         reference {reference_qps:.0} q/s ({:.3} ms/q) → kernel {kernel_qps:.0} q/s \
+         ({:.3} ms/q), speedup {speedup:.2}x",
+        engine.index().len(),
+        queries.len(),
+        1e3 / reference_qps,
+        1e3 / kernel_qps,
+    );
+
+    if !quick {
+        let json = format!(
+            "{{\"world\":\"paper\",\"docs\":{},\"seed\":{STUDY_SEED},\"queries\":{},\"k\":{K},\
+             \"reference_qps\":{reference_qps:.1},\"kernel_qps\":{kernel_qps:.1},\
+             \"reference_ms_per_query\":{:.6},\"kernel_ms_per_query\":{:.6},\
+             \"speedup\":{speedup:.3}}}\n",
+            engine.index().len(),
+            queries.len(),
+            1e3 / reference_qps,
+            1e3 / kernel_qps,
+        );
+        // Benches run with the package directory as cwd; the artifact
+        // belongs at the workspace root next to BENCH_serve.json.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+        std::fs::write(path, json).expect("write BENCH_search.json");
+        println!("wrote {path}");
+        if speedup < 2.0 {
+            eprintln!("WARNING: kernel speedup {speedup:.2}x below the 2x acceptance bar");
+        }
+    }
+
+    // Per-query latency under the criterion harness, for the record.
+    let mut group = c.benchmark_group("search_kernel");
+    group.sample_size(10);
+    let probe = queries[0].clone();
+    group.bench_function("kernel_top10", |b| {
+        b.iter(|| black_box(engine.search_with(&mut scratch, black_box(&probe), K)))
+    });
+    group.bench_function("reference_top10", |b| {
+        b.iter(|| black_box(reference::search(&engine, black_box(&probe), K)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

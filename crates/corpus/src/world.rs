@@ -60,6 +60,13 @@ impl WorldConfig {
         }
     }
 
+    /// The paper-artifact scale: alias of [`WorldConfig::default_scale`],
+    /// named for benches and docs that speak in terms of the paper's
+    /// committed numbers.
+    pub fn paper() -> Self {
+        WorldConfig::default_scale()
+    }
+
     /// A fast scale for unit tests (≈ 900 pages).
     pub fn small() -> Self {
         WorldConfig {

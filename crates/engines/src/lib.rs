@@ -26,3 +26,7 @@ pub mod stack;
 pub use answer::{Citation, EngineAnswer};
 pub use persona::{EngineKind, Persona};
 pub use stack::AnswerEngines;
+
+// Re-exported so serving workers can hold a per-worker retrieval
+// scratch without depending on `shift-search` directly.
+pub use shift_search::QueryScratch;

@@ -8,7 +8,7 @@ use shift_classify::intent::QueryIntentLabel;
 use shift_corpus::World;
 use shift_llm::{GroundingMode, Llm, LlmConfig, Snippet};
 use shift_metrics::bootstrap::SplitMix64;
-use shift_search::{RankingParams, SearchEngine, Serp};
+use shift_search::{with_thread_scratch, QueryScratch, RankingParams, SearchEngine, Serp};
 
 use crate::answer::{Citation, EngineAnswer};
 use crate::persona::{EngineKind, Persona};
@@ -87,6 +87,11 @@ impl AnswerEngines {
         self.google.search(query, k)
     }
 
+    /// Google's organic SERP using an explicitly managed query scratch.
+    pub fn google_serp_with(&self, scratch: &mut QueryScratch, query: &str, k: usize) -> Serp {
+        self.google.search_with(scratch, query, k)
+    }
+
     /// The persona of a generative engine.
     pub fn persona(&self, kind: EngineKind) -> &Persona {
         &self.personas[&kind]
@@ -134,16 +139,33 @@ impl AnswerEngines {
     /// Issues `query` to one engine and returns its answer with citations.
     ///
     /// `seed` controls the decision noise of the generative run (Google is
-    /// fully deterministic and ignores it).
+    /// fully deterministic and ignores it). Retrieval reuses this
+    /// thread's shared [`QueryScratch`]; a long-lived worker should hold
+    /// its own scratch and call [`AnswerEngines::answer_with`] instead.
     pub fn answer(&self, kind: EngineKind, query: &str, k: usize, seed: u64) -> EngineAnswer {
+        with_thread_scratch(|scratch| self.answer_with(scratch, kind, query, k, seed))
+    }
+
+    /// [`AnswerEngines::answer`] with an explicitly managed query
+    /// scratch: one scratch serves every retrieval a request performs,
+    /// across all five personas, so a worker's steady-state retrievals
+    /// allocate nothing.
+    pub fn answer_with(
+        &self,
+        scratch: &mut QueryScratch,
+        kind: EngineKind,
+        query: &str,
+        k: usize,
+        seed: u64,
+    ) -> EngineAnswer {
         match kind {
-            EngineKind::Google => self.google_answer(query, k),
-            _ => self.generative_answer(kind, query, k, seed),
+            EngineKind::Google => self.google_answer(scratch, query, k),
+            _ => self.generative_answer(scratch, kind, query, k, seed),
         }
     }
 
-    fn google_answer(&self, query: &str, k: usize) -> EngineAnswer {
-        let serp = self.google_serp(query, k);
+    fn google_answer(&self, scratch: &mut QueryScratch, query: &str, k: usize) -> EngineAnswer {
+        let serp = self.google_serp_with(scratch, query, k);
         let citations = serp
             .results
             .iter()
@@ -161,6 +183,7 @@ impl AnswerEngines {
 
     fn generative_answer(
         &self,
+        scratch: &mut QueryScratch,
         kind: EngineKind,
         query: &str,
         k: usize,
@@ -172,8 +195,8 @@ impl AnswerEngines {
         // Retrieval: Gemini grounds through Google's own ranking; the
         // others run their persona retrieval parameters.
         let pool = match kind {
-            EngineKind::Gemini => self.google_serp(query, persona.pool_size),
-            _ => self.retrievers[&kind].search(query, persona.pool_size),
+            EngineKind::Gemini => self.google_serp_with(scratch, query, persona.pool_size),
+            _ => self.retrievers[&kind].search_with(scratch, query, persona.pool_size),
         };
         let snippets = self.snippets_from_serp(&pool);
 

@@ -43,13 +43,30 @@ pub fn term_score(
     doc_len: f64,
     avg_len: f64,
 ) -> f64 {
+    term_score_idf(params, posting, idf(doc_count, doc_freq), doc_len, avg_len)
+}
+
+/// BM25 contribution of one term with a precomputed IDF.
+///
+/// The DAAT kernel computes each query term's IDF once per query instead
+/// of once per posting; the math is identical to [`term_score`] (IDF is a
+/// pure function of the collection statistics), so both paths produce
+/// bit-equal scores.
+#[inline]
+pub fn term_score_idf(
+    params: &Bm25Params,
+    posting: &Posting,
+    idf: f64,
+    doc_len: f64,
+    avg_len: f64,
+) -> f64 {
     let tf = posting.title_tf as f64 * params.title_weight + posting.body_tf as f64;
     let norm = if avg_len > 0.0 {
         1.0 - params.b + params.b * doc_len / avg_len
     } else {
         1.0
     };
-    idf(doc_count, doc_freq) * tf * (params.k1 + 1.0) / (tf + params.k1 * norm)
+    idf * tf * (params.k1 + 1.0) / (tf + params.k1 * norm)
 }
 
 /// Proximity bonus in `[0, max_bonus]`: rewards documents where the query
@@ -95,8 +112,15 @@ pub fn proximity_bonus(term_positions: &[&[u32]], max_bonus: f64) -> f64 {
     if best_span == u32::MAX {
         return 0.0;
     }
-    // A window of exactly k-1 (adjacent terms) earns the full bonus,
-    // decaying hyperbolically with slack.
+    window_bonus(best_span, k, max_bonus)
+}
+
+/// Converts a minimal cover span into the proximity bonus. A window of
+/// exactly `k-1` (adjacent terms) earns the full bonus, decaying
+/// hyperbolically with slack. Shared by [`proximity_bonus`] and the DAAT
+/// kernel so both paths evaluate the identical expression.
+#[inline]
+pub(crate) fn window_bonus(best_span: u32, k: usize, max_bonus: f64) -> f64 {
     let slack = best_span as f64 - (k as f64 - 1.0);
     max_bonus / (1.0 + slack.max(0.0) / 4.0)
 }
@@ -112,6 +136,15 @@ mod tests {
             body_tf,
             positions: vec![],
         }
+    }
+
+    #[test]
+    fn precomputed_idf_path_is_bit_equal() {
+        let p = Bm25Params::default();
+        let post = posting(2, 7);
+        let direct = term_score(&p, &post, 10, 1000, 140.0, 100.0);
+        let split = term_score_idf(&p, &post, idf(1000, 10), 140.0, 100.0);
+        assert_eq!(direct.to_bits(), split.to_bits());
     }
 
     #[test]

@@ -1,5 +1,16 @@
 //! The immutable search index: postings plus per-document metadata.
+//!
+//! Besides the inverted index the build interns *hosts* to dense ids
+//! (so host-crowding can run on integer counters) and owns a lazily
+//! built, lock-guarded cache of per-document static score factors —
+//! one entry per distinct `(authority_weight, freshness_weight,
+//! freshness_half_life)` parameterization, shared by every
+//! [`crate::SearchEngine`] wrapping the same `Arc<SearchIndex>`.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 use shift_corpus::{PageId, SourceType, World};
 use shift_textkit::analyze;
 
@@ -14,6 +25,8 @@ pub struct DocMeta {
     pub url: String,
     /// Host (used for host-crowding limits).
     pub host: String,
+    /// Dense interned host id (crowding counters index by this).
+    pub host_id: u32,
     /// Domain authority in `[0, 1]`.
     pub authority: f64,
     /// Page age in days at the world's reference date.
@@ -30,11 +43,44 @@ pub struct DocMeta {
     pub title: String,
 }
 
+/// The per-document static score factors for one ranking
+/// parameterization: `(1 + authority_weight·authority)` and
+/// `(1 + freshness_weight·exp(−age/half_life))`, kept as *two* factors
+/// so the kernel applies them in exactly the same multiply sequence as
+/// the reference scorer (f64 multiplication is not associative — a
+/// pre-folded product would drift in the last ulp and break the
+/// byte-identical SERP guarantee).
+pub type StaticScores = Vec<(f64, f64)>;
+
+/// Cache key: the exact bits of the three parameters the static factors
+/// depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StaticKey {
+    authority_weight: u64,
+    freshness_weight: u64,
+    freshness_half_life: u64,
+}
+
+impl StaticKey {
+    fn new(authority_weight: f64, freshness_weight: f64, freshness_half_life: f64) -> StaticKey {
+        StaticKey {
+            authority_weight: authority_weight.to_bits(),
+            freshness_weight: freshness_weight.to_bits(),
+            freshness_half_life: freshness_half_life.to_bits(),
+        }
+    }
+}
+
 /// The inverted index over a generated world.
 #[derive(Debug)]
 pub struct SearchIndex {
     postings: PostingsStore,
     docs: Vec<DocMeta>,
+    host_count: u32,
+    // Lazily built static-score vectors, one per distinct parameter
+    // triple. A handful of personas share an index, so a linear scan
+    // over the entries is cheaper than any map.
+    static_cache: RwLock<Vec<(StaticKey, Arc<StaticScores>)>>,
 }
 
 impl SearchIndex {
@@ -42,16 +88,20 @@ impl SearchIndex {
     pub fn build(world: &World) -> SearchIndex {
         let mut postings = PostingsStore::new();
         let mut docs = Vec::with_capacity(world.pages().len());
+        let mut hosts: HashMap<&str, u32> = HashMap::new();
         for page in world.pages() {
             let doc: DocNum = docs.len() as DocNum;
             let title_terms = analyze(&page.title);
             let body_terms = analyze(&page.body);
             postings.add_document(doc, &title_terms, &body_terms);
             let domain = world.domain(page.domain);
+            let next_id = hosts.len() as u32;
+            let host_id = *hosts.entry(domain.host.as_str()).or_insert(next_id);
             docs.push(DocMeta {
                 page: page.id,
                 url: page.url.clone(),
                 host: domain.host.clone(),
+                host_id,
                 authority: domain.authority,
                 age_days: page.age_days(world.now_day()) as f64,
                 source_type: domain.source_type,
@@ -61,7 +111,12 @@ impl SearchIndex {
                 title: page.title.clone(),
             });
         }
-        SearchIndex { postings, docs }
+        SearchIndex {
+            postings,
+            docs,
+            host_count: hosts.len() as u32,
+            static_cache: RwLock::new(Vec::new()),
+        }
     }
 
     /// The postings store.
@@ -70,6 +125,7 @@ impl SearchIndex {
     }
 
     /// Document metadata by dense document number.
+    #[inline]
     pub fn doc(&self, doc: DocNum) -> &DocMeta {
         &self.docs[doc as usize]
     }
@@ -77,6 +133,54 @@ impl SearchIndex {
     /// All documents.
     pub fn docs(&self) -> &[DocMeta] {
         &self.docs
+    }
+
+    /// Number of distinct hosts (host ids are dense below this).
+    pub fn host_count(&self) -> u32 {
+        self.host_count
+    }
+
+    /// The per-document static score factors for one parameter triple,
+    /// computing and caching them on first request. Engines sharing an
+    /// `Arc<SearchIndex>` and a parameterization share one vector.
+    pub fn static_scores(
+        &self,
+        authority_weight: f64,
+        freshness_weight: f64,
+        freshness_half_life: f64,
+    ) -> Arc<StaticScores> {
+        let key = StaticKey::new(authority_weight, freshness_weight, freshness_half_life);
+        {
+            let cache = self.static_cache.read();
+            if let Some((_, scores)) = cache.iter().find(|(k, _)| *k == key) {
+                return Arc::clone(scores);
+            }
+        }
+        let scores: Arc<StaticScores> = Arc::new(
+            self.docs
+                .iter()
+                .map(|meta| {
+                    let fresh = (-meta.age_days / freshness_half_life).exp();
+                    (
+                        1.0 + authority_weight * meta.authority,
+                        1.0 + freshness_weight * fresh,
+                    )
+                })
+                .collect(),
+        );
+        let mut cache = self.static_cache.write();
+        // Another thread may have built the same entry while we computed;
+        // keep the first so every holder shares one allocation.
+        if let Some((_, existing)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(existing);
+        }
+        cache.push((key, Arc::clone(&scores)));
+        scores
+    }
+
+    /// Number of cached static-score parameterizations (for tests).
+    pub fn static_cache_len(&self) -> usize {
+        self.static_cache.read().len()
     }
 
     /// Number of indexed documents.
@@ -117,6 +221,46 @@ mod tests {
             assert_eq!(doc.url, page.url);
             assert_eq!(doc.host, world.domain(page.domain).host);
             assert!(doc.age_days >= 0.0);
+        }
+    }
+
+    #[test]
+    fn host_ids_are_dense_and_consistent() {
+        let idx = index();
+        let n = idx.host_count();
+        assert!(n > 0);
+        let mut seen: HashMap<u32, &str> = HashMap::new();
+        for doc in idx.docs() {
+            assert!(doc.host_id < n, "host id out of range");
+            // Same id ⇔ same host string.
+            let host = seen.entry(doc.host_id).or_insert(doc.host.as_str());
+            assert_eq!(*host, doc.host);
+        }
+    }
+
+    #[test]
+    fn static_scores_are_cached_and_shared() {
+        let idx = index();
+        assert_eq!(idx.static_cache_len(), 0);
+        let a = idx.static_scores(2.2, 0.12, 365.0);
+        let b = idx.static_scores(2.2, 0.12, 365.0);
+        assert!(Arc::ptr_eq(&a, &b), "same params must share one vector");
+        assert_eq!(idx.static_cache_len(), 1);
+        let c = idx.static_scores(0.5, 0.9, 120.0);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(idx.static_cache_len(), 2);
+        assert_eq!(a.len(), idx.len());
+    }
+
+    #[test]
+    fn static_scores_match_direct_computation() {
+        let idx = index();
+        let (aw, fw, hl) = (2.2, 0.12, 365.0);
+        let scores = idx.static_scores(aw, fw, hl);
+        for (meta, &(auth, fresh)) in idx.docs().iter().zip(scores.iter()).take(50) {
+            assert_eq!(auth.to_bits(), (1.0 + aw * meta.authority).to_bits());
+            let expect = 1.0 + fw * (-meta.age_days / hl).exp();
+            assert_eq!(fresh.to_bits(), expect.to_bits());
         }
     }
 

@@ -1,0 +1,420 @@
+//! The document-at-a-time retrieval kernel and its reusable scratch.
+//!
+//! This is the hot path behind every [`crate::SearchEngine::search`]
+//! call. Design, next to the term-at-a-time reference scorer it
+//! replaced ([`crate::query::reference`]):
+//!
+//! * **One dictionary probe per query term.** Terms resolve to interned
+//!   [`TermId`]s up front; the merge loop works on integer ids only.
+//! * **DAAT cursor merge.** One cursor per query-term occurrence walks
+//!   its doc-ordered posting list; each candidate document is visited
+//!   exactly once with all of its matching postings in hand, so BM25,
+//!   the proximity window, static factors and coordination are folded
+//!   into the final score in a single pass — no per-document hash-map
+//!   accumulators, no deferred position bookkeeping.
+//! * **Bounded top-k selection.** Candidates feed a min-heap capped at
+//!   the overfetch size instead of sorting every matching document,
+//!   with the exact deterministic tie-break of the reference sort
+//!   (score descending, then document number ascending).
+//! * **Zero-alloc steady state.** All working memory — cursors, the
+//!   heap, proximity merge buffers, the coordination table, and the
+//!   generation-stamped host-crowding counters — lives in a reusable
+//!   [`QueryScratch`]. After the first few queries have warmed its
+//!   capacities, a search allocates only the returned SERP itself.
+//! * **Generation-stamped crowding counters.** Host-crowding counts
+//!   index a dense per-host array by the interned host id. Instead of
+//!   clearing the array between queries, each slot carries the
+//!   generation that last wrote it; stale slots are treated as zero.
+//!
+//! Every floating-point operation mirrors the reference scorer's
+//! sequence exactly (same additions in the same order, static factors
+//! applied as two separate multiplies), so the kernel returns
+//! byte-identical SERPs — gated by the differential suite in
+//! `tests/differential_search.rs`.
+
+use std::cell::RefCell;
+
+use crate::bm25::{idf, term_score_idf, window_bonus};
+use crate::index::SearchIndex;
+use crate::postings::{DocNum, TermId};
+use crate::query::RankingParams;
+use crate::serp::{extract_snippet, SerpResult};
+
+/// One query-term occurrence's walk position in its posting list.
+///
+/// Duplicate query terms get one cursor each (the reference scorer
+/// scores every occurrence), advancing in lockstep over the same list.
+#[derive(Debug, Clone, Copy)]
+struct TermCursor {
+    term: TermId,
+    next: u32,
+    idf: f64,
+}
+
+/// Reusable query workspace: every buffer the kernel needs, grown once
+/// and recycled across queries. One scratch per thread (or per serving
+/// worker) makes steady-state query execution allocation-free.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    cursors: Vec<TermCursor>,
+    // Bounded selection heap: worst surviving candidate at the root.
+    heap: Vec<(f64, DocNum)>,
+    // Proximity sweep buffers: (position, local term index) pairs and
+    // per-term window counts.
+    tagged: Vec<(u32, u32)>,
+    window_counts: Vec<u32>,
+    // coverage^coordination per matched-count, computed once per query.
+    coord: Vec<f64>,
+    // Host-crowding counters indexed by interned host id, valid only
+    // when the stamp matches the current generation.
+    host_counts: Vec<u32>,
+    host_stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+
+    /// Advances the crowding generation, resetting all stamps on the
+    /// (once per 2^32 queries) wrap so a stale stamp can never collide.
+    fn bump_generation(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.host_stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`QueryScratch`].
+///
+/// [`crate::SearchEngine::search`] routes through here, so callers that
+/// never manage a scratch still reuse one per thread. Falls back to a
+/// fresh scratch if the thread-local is already borrowed (re-entrant
+/// call from inside another search).
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut QueryScratch::new()),
+    })
+}
+
+/// `true` when `a` ranks strictly before `b` in the final SERP order:
+/// score descending, then document number ascending. This is a total
+/// order (doc numbers are unique), which is what makes heap selection
+/// deterministic and byte-identical to the reference full sort.
+#[inline]
+fn ranks_before(a: (f64, DocNum), b: (f64, DocNum)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Pushes onto a min-heap bounded at `cap` (root = worst survivor).
+fn heap_push(heap: &mut Vec<(f64, DocNum)>, cap: usize, entry: (f64, DocNum)) {
+    if heap.len() < cap {
+        heap.push(entry);
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if ranks_before(heap[parent], heap[i]) {
+                heap.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    } else if ranks_before(entry, heap[0]) {
+        heap[0] = entry;
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut worst = i;
+            if l < heap.len() && ranks_before(heap[worst], heap[l]) {
+                worst = l;
+            }
+            if r < heap.len() && ranks_before(heap[worst], heap[r]) {
+                worst = r;
+            }
+            if worst == i {
+                break;
+            }
+            heap.swap(i, worst);
+            i = worst;
+        }
+    }
+}
+
+/// Minimal window span covering one occurrence of each of `k` local
+/// terms, over `tagged` (position, local term index) pairs sorted
+/// ascending. Identical sweep to [`crate::bm25::proximity_bonus`], but
+/// running over reusable buffers instead of fresh allocations.
+fn min_cover_span(tagged: &[(u32, u32)], counts: &mut Vec<u32>, k: usize) -> u32 {
+    counts.clear();
+    counts.resize(k, 0);
+    let mut covered = 0usize;
+    let mut left = 0usize;
+    let mut best_span = u32::MAX;
+    for right in 0..tagged.len() {
+        let t = tagged[right].1 as usize;
+        if counts[t] == 0 {
+            covered += 1;
+        }
+        counts[t] += 1;
+        while covered == k {
+            let span = tagged[right].0 - tagged[left].0;
+            best_span = best_span.min(span);
+            let lt = tagged[left].1 as usize;
+            counts[lt] -= 1;
+            if counts[lt] == 0 {
+                covered -= 1;
+            }
+            left += 1;
+        }
+    }
+    best_span
+}
+
+/// Executes one query document-at-a-time and returns the final,
+/// host-crowded, truncated result list (snippets extracted only for
+/// the survivors).
+pub(crate) fn execute(
+    index: &SearchIndex,
+    params: &RankingParams,
+    statics: &[(f64, f64)],
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    k: usize,
+) -> Vec<SerpResult> {
+    let store = index.postings();
+    let doc_count = store.doc_count();
+    let avg_len = store.avg_doc_len();
+
+    // Resolve each query-term occurrence to a cursor: one dictionary
+    // probe per term, IDF computed once instead of once per posting.
+    scratch.cursors.clear();
+    for term in terms {
+        if let Some(id) = store.term_id(term) {
+            scratch.cursors.push(TermCursor {
+                term: id,
+                next: 0,
+                idf: idf(doc_count, store.doc_freq_by_id(id)),
+            });
+        }
+    }
+    if scratch.cursors.is_empty() {
+        return Vec::new();
+    }
+
+    // Coordination table: coverage^coordination for every possible
+    // matched count — powf leaves the per-document loop.
+    scratch.coord.clear();
+    scratch.coord.push(0.0); // matched = 0 never scores
+    if params.coordination > 0.0 {
+        let n = terms.len() as f64;
+        for m in 1..=terms.len() {
+            scratch.coord.push((m as f64 / n).powf(params.coordination));
+        }
+    } else {
+        scratch.coord.resize(terms.len() + 1, 1.0);
+    }
+
+    let overfetch = (k * 4).max(k + 8);
+    scratch.heap.clear();
+
+    let QueryScratch {
+        cursors,
+        heap,
+        tagged,
+        window_counts,
+        coord,
+        ..
+    } = &mut *scratch;
+
+    // DAAT merge: repeatedly visit the smallest unscored document among
+    // the cursors, gathering all of its matching postings at once.
+    loop {
+        let mut doc = DocNum::MAX;
+        for c in cursors.iter() {
+            let list = store.postings_by_id(c.term);
+            if let Some(p) = list.get(c.next as usize) {
+                doc = doc.min(p.doc);
+            }
+        }
+        if doc == DocNum::MAX {
+            break;
+        }
+
+        let meta = index.doc(doc);
+        let doc_len = f64::from(meta.token_len);
+        let mut score = 0.0;
+        let mut matched = 0u32;
+        tagged.clear();
+        // Cursors iterate in query-term order, so per-document additions
+        // happen in exactly the reference scorer's sequence.
+        for c in cursors.iter_mut() {
+            let list = store.postings_by_id(c.term);
+            if let Some(p) = list.get(c.next as usize) {
+                if p.doc == doc {
+                    score += term_score_idf(&params.bm25, p, c.idf, doc_len, avg_len);
+                    for &pos in &p.positions {
+                        tagged.push((pos, matched));
+                    }
+                    matched += 1;
+                    c.next += 1;
+                }
+            }
+        }
+
+        // Proximity over the in-hand positions (a matched posting always
+        // carries at least one position, so no empty-slice guard needed).
+        if matched >= 2 {
+            tagged.sort_unstable();
+            let span = min_cover_span(tagged, window_counts, matched as usize);
+            if span != u32::MAX {
+                score += window_bonus(span, matched as usize, params.proximity_bonus);
+            }
+        }
+
+        // Static factors: applied as two multiplies, in the reference
+        // order (authority, then freshness).
+        let (auth, fresh) = statics[doc as usize];
+        score *= auth;
+        score *= fresh;
+        if params.coordination > 0.0 {
+            score *= coord[matched as usize];
+        }
+
+        heap_push(heap, overfetch, (score, doc));
+    }
+
+    // Order the surviving candidates: same comparator the reference
+    // full sort uses, over at most `overfetch` entries.
+    heap.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+
+    // Host crowding + truncation fused: walk the ranked candidates,
+    // dropping any beyond `max_per_host` for its host, stopping at `k`.
+    // Snippets are extracted only for documents that make the cut.
+    scratch.bump_generation();
+    let generation = scratch.generation;
+    let host_n = index.host_count() as usize;
+    if scratch.host_stamp.len() < host_n {
+        scratch.host_stamp.resize(host_n, 0);
+        scratch.host_counts.resize(host_n, 0);
+    }
+    let mut results = Vec::with_capacity(k.min(scratch.heap.len()));
+    for &(score, doc) in scratch.heap.iter() {
+        let meta = index.doc(doc);
+        if params.max_per_host > 0 {
+            let h = meta.host_id as usize;
+            if scratch.host_stamp[h] != generation {
+                scratch.host_stamp[h] = generation;
+                scratch.host_counts[h] = 0;
+            }
+            scratch.host_counts[h] += 1;
+            if scratch.host_counts[h] as usize > params.max_per_host {
+                continue;
+            }
+        }
+        results.push(SerpResult {
+            page: meta.page,
+            url: meta.url.clone(),
+            host: meta.host.clone(),
+            score,
+            title: meta.title.clone(),
+            snippet: extract_snippet(&meta.body, terms, params.snippet_width),
+            source_type: meta.source_type,
+            age_days: meta.age_days,
+        });
+        if results.len() == k {
+            break;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_sorted(mut heap: Vec<(f64, DocNum)>) -> Vec<(f64, DocNum)> {
+        heap.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        heap
+    }
+
+    #[test]
+    fn heap_selects_top_k_like_a_full_sort() {
+        // Deterministic pseudo-random scores with forced ties.
+        let mut entries: Vec<(f64, DocNum)> = Vec::new();
+        let mut x: u64 = 0x1234_5678;
+        for doc in 0..500u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let score = ((x >> 33) % 50) as f64 / 10.0; // many collisions
+            entries.push((score, doc));
+        }
+        for cap in [1usize, 7, 48, 500, 1000] {
+            let mut heap = Vec::new();
+            for &e in &entries {
+                heap_push(&mut heap, cap, e);
+            }
+            let got = drain_sorted(heap);
+            let mut want = entries.clone();
+            want.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            want.truncate(cap);
+            assert_eq!(got, want, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn tie_break_equal_scores_orders_by_doc() {
+        // All scores equal: selection must keep the lowest doc numbers,
+        // in ascending doc order.
+        let mut heap = Vec::new();
+        for doc in [9u32, 3, 7, 1, 5, 8, 2] {
+            heap_push(&mut heap, 3, (1.5, doc));
+        }
+        let got = drain_sorted(heap);
+        assert_eq!(got, vec![(1.5, 1), (1.5, 2), (1.5, 3)]);
+        // Mixed: a higher score beats any doc-number tie-break.
+        let mut heap = Vec::new();
+        for &(s, d) in &[(1.0, 4u32), (2.0, 9), (1.0, 1), (2.0, 3)] {
+            heap_push(&mut heap, 3, (s, d));
+        }
+        let got = drain_sorted(heap);
+        assert_eq!(got, vec![(2.0, 3), (2.0, 9), (1.0, 1)]);
+    }
+
+    #[test]
+    fn min_cover_span_matches_reference_sweep() {
+        // Same example as bm25::proximity_finds_best_window_among_many:
+        // term 0 at {0, 100}, term 1 at {101} → best span 1.
+        let mut tagged = vec![(0u32, 0u32), (100, 0), (101, 1)];
+        tagged.sort_unstable();
+        let mut counts = Vec::new();
+        assert_eq!(min_cover_span(&tagged, &mut counts, 2), 1);
+        // Single term never covers k = 2.
+        let tagged = vec![(5u32, 0u32), (9, 0)];
+        assert_eq!(min_cover_span(&tagged, &mut counts, 2), u32::MAX);
+    }
+
+    #[test]
+    fn generation_wrap_resets_stamps() {
+        let mut scratch = QueryScratch::new();
+        scratch.host_stamp = vec![7, 7, 7];
+        scratch.generation = u32::MAX;
+        scratch.bump_generation();
+        assert_eq!(scratch.generation, 1);
+        assert!(scratch.host_stamp.iter().all(|&s| s == 0));
+    }
+}

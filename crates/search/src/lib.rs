@@ -5,15 +5,19 @@
 //!
 //! Architecture (classic IR, nothing exotic):
 //!
-//! * [`postings`] — term dictionary and positional posting lists, built once
-//!   from a [`shift_corpus::World`].
+//! * [`postings`] — term dictionary (terms interned to dense [`postings::TermId`]s)
+//!   and positional posting lists, built once from a [`shift_corpus::World`].
 //! * [`index`] — the immutable [`SearchIndex`]: postings + per-document
-//!   metadata (length, host, authority, age).
+//!   metadata (length, host, authority, age), interned host ids, and the
+//!   lazily built per-params static-score cache.
 //! * [`bm25`] — Okapi BM25 with field weighting (title terms count extra)
 //!   and a proximity bonus from positional data.
+//! * [`kernel`] — the document-at-a-time scoring kernel and its reusable
+//!   zero-allocation [`QueryScratch`].
 //! * [`serp`] — result assembly: score blending (relevance × authority ×
 //!   freshness), host-crowding limits, snippet extraction.
-//! * [`query`] — the user-facing [`SearchEngine`] handle.
+//! * [`query`] — the user-facing [`SearchEngine`] handle, plus the frozen
+//!   term-at-a-time oracle in [`query::reference`].
 //!
 //! Two parameterizations matter for the study: [`RankingParams::google`]
 //! (authority-heavy, mild freshness — classic organic ranking) and
@@ -36,11 +40,13 @@
 
 pub mod bm25;
 pub mod index;
+pub mod kernel;
 pub mod postings;
 pub mod query;
 pub mod serp;
 
 pub use bm25::Bm25Params;
 pub use index::SearchIndex;
+pub use kernel::{with_thread_scratch, QueryScratch};
 pub use query::{RankingParams, SearchEngine};
 pub use serp::{Serp, SerpResult};

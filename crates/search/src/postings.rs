@@ -1,9 +1,19 @@
 //! Term dictionary and positional posting lists.
+//!
+//! Terms are interned to dense [`TermId`]s at index-build time: the
+//! dictionary maps each distinct term string to a `u32`, and posting
+//! lists live in a `Vec` indexed by that id. Query execution resolves
+//! each query term with exactly one dictionary probe ([`PostingsStore::term_id`])
+//! and from then on works purely with integer ids — the scoring hot
+//! path never hashes a string.
 
 use std::collections::HashMap;
 
 /// Internal dense document number (index into the document-meta table).
 pub type DocNum = u32;
+
+/// Dense interned term identifier (index into the posting-list table).
+pub type TermId = u32;
 
 /// One document's entry in a term's posting list.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,10 +29,12 @@ pub struct Posting {
     pub positions: Vec<u32>,
 }
 
-/// The term dictionary: term → posting list, plus collection statistics.
+/// The term dictionary: term → [`TermId`] → posting list, plus collection
+/// statistics.
 #[derive(Debug, Default)]
 pub struct PostingsStore {
-    terms: HashMap<String, Vec<Posting>>,
+    dict: HashMap<String, TermId>,
+    lists: Vec<Vec<Posting>>,
     doc_count: u32,
     total_tokens: u64,
 }
@@ -63,16 +75,45 @@ impl PostingsStore {
             p.positions.push(offset + pos as u32);
         }
         for (term, posting) in local {
-            self.terms
-                .entry(term.to_string())
-                .or_default()
-                .push(posting);
+            let id = self.intern(term);
+            self.lists[id as usize].push(posting);
         }
+    }
+
+    /// Interns `term`, assigning the next dense id on first sight.
+    fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.dict.get(term) {
+            return id;
+        }
+        let id = self.lists.len() as TermId;
+        self.dict.insert(term.to_string(), id);
+        self.lists.push(Vec::new());
+        id
+    }
+
+    /// The interned id of a term, if it occurs anywhere in the collection.
+    /// This is the *only* string hash on the query hot path.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.dict.get(term).copied()
+    }
+
+    /// Posting list by interned id.
+    #[inline]
+    pub fn postings_by_id(&self, id: TermId) -> &[Posting] {
+        &self.lists[id as usize]
+    }
+
+    /// Document frequency by interned id.
+    #[inline]
+    pub fn doc_freq_by_id(&self, id: TermId) -> u32 {
+        self.lists[id as usize].len() as u32
     }
 
     /// Posting list of a term (empty slice when the term is unknown).
     pub fn postings(&self, term: &str) -> &[Posting] {
-        self.terms.get(term).map(Vec::as_slice).unwrap_or(&[])
+        self.term_id(term)
+            .map(|id| self.postings_by_id(id))
+            .unwrap_or(&[])
     }
 
     /// Document frequency of a term.
@@ -96,7 +137,7 @@ impl PostingsStore {
 
     /// Number of distinct terms.
     pub fn vocabulary_size(&self) -> usize {
-        self.terms.len()
+        self.lists.len()
     }
 }
 
@@ -139,6 +180,31 @@ mod tests {
         let store = PostingsStore::new();
         assert!(store.postings("nothing").is_empty());
         assert_eq!(store.doc_freq("nothing"), 0);
+        assert_eq!(store.term_id("nothing"), None);
+    }
+
+    #[test]
+    fn term_ids_are_dense_and_stable() {
+        let mut store = PostingsStore::new();
+        store.add_document(0, &terms(&["x"]), &terms(&["y"]));
+        store.add_document(1, &terms(&["x"]), &terms(&["z"]));
+        let ids: Vec<TermId> = ["x", "y", "z"]
+            .iter()
+            .map(|t| store.term_id(t).expect("interned"))
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "ids must be distinct");
+        assert!(ids
+            .iter()
+            .all(|&id| (id as usize) < store.vocabulary_size()));
+        // String and id lookups agree.
+        for t in ["x", "y", "z"] {
+            let id = store.term_id(t).unwrap();
+            assert_eq!(store.postings(t), store.postings_by_id(id));
+            assert_eq!(store.doc_freq(t), store.doc_freq_by_id(id));
+        }
     }
 
     #[test]

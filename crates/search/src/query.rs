@@ -1,15 +1,19 @@
 //! Query execution: the user-facing [`SearchEngine`].
+//!
+//! Queries run through the DAAT kernel in [`crate::kernel`] by default;
+//! the original term-at-a-time HashMap scorer survives as
+//! [`reference`], kept solely to gate the kernel with differential
+//! tests (the two must return byte-identical SERPs).
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use shift_corpus::World;
 use shift_textkit::analyze;
 
-use crate::bm25::{proximity_bonus, term_score, Bm25Params};
-use crate::index::SearchIndex;
-use crate::postings::DocNum;
-use crate::serp::{apply_host_crowding, extract_snippet, Serp, SerpResult};
+use crate::bm25::Bm25Params;
+use crate::index::{SearchIndex, StaticScores};
+use crate::kernel::{self, QueryScratch};
+use crate::serp::Serp;
 
 /// Full ranking parameterization: relevance + priors + result shaping.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +92,10 @@ impl Default for RankingParams {
 pub struct SearchEngine {
     index: Arc<SearchIndex>,
     params: RankingParams,
+    // This engine's handle into the index's per-params static-score
+    // cache, resolved on first search. Engines sharing an index and a
+    // parameterization share the underlying vector.
+    statics: OnceLock<Arc<StaticScores>>,
 }
 
 impl SearchEngine {
@@ -96,13 +104,18 @@ impl SearchEngine {
         SearchEngine {
             index: Arc::new(SearchIndex::build(world)),
             params,
+            statics: OnceLock::new(),
         }
     }
 
     /// Wraps an existing shared index (lets several parameterizations share
     /// one index build).
     pub fn with_index(index: Arc<SearchIndex>, params: RankingParams) -> SearchEngine {
-        SearchEngine { index, params }
+        SearchEngine {
+            index,
+            params,
+            statics: OnceLock::new(),
+        }
     }
 
     /// Clones the shared index handle.
@@ -120,8 +133,30 @@ impl SearchEngine {
         &self.params
     }
 
+    /// This engine's static score factors (lazily built, then cached on
+    /// the shared index keyed by the parameter triple).
+    fn statics(&self) -> &Arc<StaticScores> {
+        self.statics.get_or_init(|| {
+            self.index.static_scores(
+                self.params.authority_weight,
+                self.params.freshness_weight,
+                self.params.freshness_half_life,
+            )
+        })
+    }
+
     /// Executes a query and returns the top-`k` SERP.
+    ///
+    /// Convenience wrapper around [`SearchEngine::search_with`] using a
+    /// per-thread [`QueryScratch`], so repeated calls on one thread
+    /// reuse the same working memory.
     pub fn search(&self, query: &str, k: usize) -> Serp {
+        kernel::with_thread_scratch(|scratch| self.search_with(scratch, query, k))
+    }
+
+    /// Executes a query with an explicitly managed scratch (the
+    /// zero-allocation hot path for serving workers and batch runners).
+    pub fn search_with(&self, scratch: &mut QueryScratch, query: &str, k: usize) -> Serp {
         let terms = analyze(query);
         let mut serp = Serp {
             query: query.to_string(),
@@ -130,52 +165,102 @@ impl SearchEngine {
         if terms.is_empty() || k == 0 || self.index.is_empty() {
             return serp;
         }
+        serp.results = kernel::execute(
+            &self.index,
+            &self.params,
+            self.statics(),
+            scratch,
+            &terms,
+            k,
+        );
+        serp
+    }
+}
 
-        let store = self.index.postings();
+/// The original term-at-a-time scorer, kept as the differential-test
+/// oracle for the DAAT kernel.
+///
+/// Semantics are frozen: HashMap accumulators per document, a full sort
+/// over every matching document, then host crowding. The only changes
+/// from the historical implementation are shared-work fixes that cannot
+/// affect output: snippets are extracted after crowding + truncation
+/// instead of for the whole overfetch pool, and the per-document
+/// score/match/position accumulators live in one map instead of three
+/// (dropping the redundant re-hash per document in the blend pass).
+pub mod reference {
+    use std::collections::HashMap;
+
+    use shift_textkit::analyze;
+
+    use crate::bm25::{proximity_bonus, term_score};
+    use crate::postings::DocNum;
+    use crate::serp::{extract_snippet, Serp, SerpResult};
+
+    use super::SearchEngine;
+
+    /// Executes `query` with the reference scorer and returns the top-`k`
+    /// SERP. Byte-identical to [`SearchEngine::search`] by construction
+    /// (gated in `tests/differential_search.rs`).
+    pub fn search(engine: &SearchEngine, query: &str, k: usize) -> Serp {
+        let terms = analyze(query);
+        let mut serp = Serp {
+            query: query.to_string(),
+            results: Vec::new(),
+        };
+        if terms.is_empty() || k == 0 || engine.index.is_empty() {
+            return serp;
+        }
+        let params = &engine.params;
+
+        let store = engine.index.postings();
         let doc_count = store.doc_count();
         let avg_len = store.avg_doc_len();
 
-        // Accumulate BM25 per document and remember per-term positions for
-        // the proximity pass.
-        let mut scores: HashMap<DocNum, f64> = HashMap::new();
-        let mut matched: HashMap<DocNum, u32> = HashMap::new();
-        let mut positions: HashMap<DocNum, Vec<&[u32]>> = HashMap::new();
+        // Accumulate BM25, match counts and per-term positions per
+        // document — one map, so the blend pass hashes each doc once.
+        struct Acc<'a> {
+            score: f64,
+            matched: u32,
+            positions: Vec<&'a [u32]>,
+        }
+        let mut accs: HashMap<DocNum, Acc> = HashMap::new();
         for term in &terms {
             let postings = store.postings(term);
             let df = postings.len() as u32;
             for posting in postings {
-                let meta = self.index.doc(posting.doc);
+                let meta = engine.index.doc(posting.doc);
                 let s = term_score(
-                    &self.params.bm25,
+                    &params.bm25,
                     posting,
                     df,
                     doc_count,
-                    meta.token_len as f64,
+                    f64::from(meta.token_len),
                     avg_len,
                 );
-                *scores.entry(posting.doc).or_insert(0.0) += s;
-                *matched.entry(posting.doc).or_insert(0) += 1;
-                positions
-                    .entry(posting.doc)
-                    .or_default()
-                    .push(&posting.positions);
+                let acc = accs.entry(posting.doc).or_insert(Acc {
+                    score: 0.0,
+                    matched: 0,
+                    positions: Vec::new(),
+                });
+                acc.score += s;
+                acc.matched += 1;
+                acc.positions.push(&posting.positions);
             }
         }
 
         // Blend with proximity, authority and freshness.
-        let mut ranked: Vec<(DocNum, f64)> = scores
+        let mut ranked: Vec<(DocNum, f64)> = accs
             .into_iter()
-            .map(|(doc, mut score)| {
-                if let Some(pos) = positions.get(&doc) {
-                    score += proximity_bonus(pos, self.params.proximity_bonus);
-                }
-                let meta = self.index.doc(doc);
-                let fresh = (-meta.age_days / self.params.freshness_half_life).exp();
-                score *= 1.0 + self.params.authority_weight * meta.authority;
-                score *= 1.0 + self.params.freshness_weight * fresh;
-                if self.params.coordination > 0.0 {
-                    let coverage = f64::from(matched[&doc]) / terms.len() as f64;
-                    score *= coverage.powf(self.params.coordination);
+            .map(|(doc, acc)| {
+                let mut score = acc.score;
+                score += proximity_bonus(&acc.positions, params.proximity_bonus);
+                let meta = engine.index.doc(doc);
+                let fresh = (-meta.age_days / params.freshness_half_life).exp();
+                score *= 1.0 + params.authority_weight * meta.authority;
+                score *= 1.0 + params.freshness_weight * fresh;
+                if params.coordination > 0.0 {
+                    let coverage = f64::from(acc.matched) / terms.len() as f64;
+                    score *= coverage.powf(params.coordination);
                 }
                 (doc, score)
             })
@@ -185,26 +270,47 @@ impl SearchEngine {
 
         // Over-fetch before crowding so the limit doesn't starve the SERP.
         let overfetch = (k * 4).max(k + 8);
-        let results: Vec<SerpResult> = ranked
+        ranked.truncate(overfetch);
+
+        // Host crowding (the same first-come counting as
+        // `serp::apply_host_crowding`, run on doc metadata), then
+        // truncation to k.
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        let mut kept: Vec<(DocNum, f64)> = Vec::with_capacity(k.min(ranked.len()));
+        for &(doc, score) in &ranked {
+            if params.max_per_host > 0 {
+                let c = counts
+                    .entry(engine.index.doc(doc).host.as_str())
+                    .or_insert(0);
+                *c += 1;
+                if *c > params.max_per_host {
+                    continue;
+                }
+            }
+            kept.push((doc, score));
+            if kept.len() == k {
+                break;
+            }
+        }
+
+        // Materialize only the survivors — extracting snippets for the
+        // full overfetch pool was pure waste.
+        serp.results = kept
             .into_iter()
-            .take(overfetch)
             .map(|(doc, score)| {
-                let meta = self.index.doc(doc);
+                let meta = engine.index.doc(doc);
                 SerpResult {
                     page: meta.page,
                     url: meta.url.clone(),
                     host: meta.host.clone(),
                     score,
                     title: meta.title.clone(),
-                    snippet: extract_snippet(&meta.body, &terms, self.params.snippet_width),
+                    snippet: extract_snippet(&meta.body, &terms, params.snippet_width),
                     source_type: meta.source_type,
                     age_days: meta.age_days,
                 }
             })
             .collect();
-        let mut limited = apply_host_crowding(results, self.params.max_per_host);
-        limited.truncate(k);
-        serp.results = limited;
         serp
     }
 }
@@ -213,6 +319,7 @@ impl SearchEngine {
 mod tests {
     use super::*;
     use shift_corpus::WorldConfig;
+    use std::collections::HashMap;
 
     fn engine() -> (World, SearchEngine) {
         let world = World::generate(&WorldConfig::small(), 31);
@@ -276,6 +383,29 @@ mod tests {
         let a = engine.search("best hotels rewards", 10);
         let b = engine.search("best hotels rewards", 10);
         assert_eq!(a.urls(), b.urls());
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_scratch() {
+        let (_, engine) = engine();
+        let mut scratch = QueryScratch::new();
+        let a = engine.search_with(&mut scratch, "best hotels rewards", 10);
+        let b = engine.search("best hotels rewards", 10);
+        assert_eq!(a.urls(), b.urls());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.snippet, y.snippet);
+        }
+    }
+
+    #[test]
+    fn engines_sharing_index_and_params_share_statics() {
+        let world = World::generate(&WorldConfig::small(), 31);
+        let a = SearchEngine::build(&world, RankingParams::google());
+        let b = SearchEngine::with_index(a.index_handle(), RankingParams::google());
+        let _ = a.search("best laptops", 5);
+        let _ = b.search("best laptops", 5);
+        assert!(Arc::ptr_eq(a.statics(), b.statics()));
     }
 
     #[test]

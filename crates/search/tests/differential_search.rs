@@ -1,0 +1,159 @@
+//! Differential gate for the DAAT kernel: the fast path must return
+//! byte-identical SERPs to the frozen term-at-a-time reference scorer
+//! (`query::reference`) on every world, parameterization, query and k —
+//! scores compared at the bit level, not with a tolerance.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use shift_corpus::{World, WorldConfig};
+use shift_search::query::reference;
+use shift_search::{QueryScratch, RankingParams, SearchEngine, Serp};
+
+/// Engines over two independent worlds × the two study parameterizations.
+fn engines() -> &'static Vec<SearchEngine> {
+    static ENGINES: OnceLock<Vec<SearchEngine>> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        let mut engines = Vec::new();
+        for seed in [4040u64, 91] {
+            let world = World::generate(&WorldConfig::small(), seed);
+            let google = SearchEngine::build(&world, RankingParams::google());
+            let ai = SearchEngine::with_index(google.index_handle(), RankingParams::ai_retrieval());
+            engines.push(google);
+            engines.push(ai);
+        }
+        // A degenerate parameterization: no crowding, no coordination,
+        // no proximity — exercises the kernel's disabled-feature paths.
+        let world = World::generate(&WorldConfig::small(), 17);
+        let bare = RankingParams {
+            proximity_bonus: 0.0,
+            coordination: 0.0,
+            max_per_host: 0,
+            ..RankingParams::google()
+        };
+        engines.push(SearchEngine::build(&world, bare));
+        engines
+    })
+}
+
+/// Full structural equality with bit-exact scores.
+fn assert_serp_identical(kernel: &Serp, reference: &Serp) {
+    assert_eq!(kernel.query, reference.query);
+    assert_eq!(
+        kernel.results.len(),
+        reference.results.len(),
+        "result counts differ"
+    );
+    for (i, (a, b)) in kernel.results.iter().zip(&reference.results).enumerate() {
+        assert_eq!(a.url, b.url, "url diverges at rank {i}");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "score diverges at rank {i}: {} vs {}",
+            a.score,
+            b.score
+        );
+        assert_eq!(a.page, b.page, "page diverges at rank {i}");
+        assert_eq!(a.host, b.host, "host diverges at rank {i}");
+        assert_eq!(a.title, b.title, "title diverges at rank {i}");
+        assert_eq!(a.snippet, b.snippet, "snippet diverges at rank {i}");
+        assert_eq!(a.source_type, b.source_type);
+        assert_eq!(a.age_days.to_bits(), b.age_days.to_bits());
+    }
+}
+
+/// Query strings mixing realistic templates (which hit many postings,
+/// including duplicate terms) with arbitrary junk.
+fn query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just("best"),
+                Just("top 10"),
+                Just("most reliable"),
+                Just("buy"),
+                Just("review"),
+            ],
+            prop_oneof![
+                Just("smartphones"),
+                Just("laptops"),
+                Just("SUVs"),
+                Just("hotels"),
+                Just("credit cards"),
+                Just("espresso machines"),
+                Just("smartwatches battery"),
+            ],
+            prop_oneof![
+                Just(""),
+                Just(" 2025"),
+                Just(" for students"),
+                Just(" battery battery"), // duplicate query terms
+            ],
+        )
+            .prop_map(|(a, b, c)| format!("{a} {b}{c}")),
+        "\\PC{0,48}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The kernel and the reference scorer agree byte-for-byte on every
+    /// engine, query and k.
+    #[test]
+    fn kernel_matches_reference(q in query(), k in 0usize..25, which in 0usize..5) {
+        let engine = &engines()[which];
+        let fast = engine.search(&q, k);
+        let slow = reference::search(engine, &q, k);
+        assert_serp_identical(&fast, &slow);
+    }
+
+    /// A single scratch reused across an arbitrary query sequence never
+    /// leaks state between queries (generation stamps + cleared buffers).
+    #[test]
+    fn scratch_reuse_never_leaks_state(queries in prop::collection::vec(query(), 1..6)) {
+        let engine = &engines()[0];
+        let mut scratch = QueryScratch::new();
+        for q in &queries {
+            let reused = engine.search_with(&mut scratch, q, 10);
+            let fresh = engine.search_with(&mut QueryScratch::new(), q, 10);
+            assert_serp_identical(&reused, &fresh);
+        }
+    }
+}
+
+/// Two consecutive queries on one scratch: the second must not see the
+/// first's crowding counters or accumulator contents. The pair is chosen
+/// so both queries hit overlapping hosts/documents.
+#[test]
+fn consecutive_queries_on_one_scratch_do_not_leak() {
+    let engine = &engines()[0];
+    let mut scratch = QueryScratch::new();
+    let a1 = engine.search_with(&mut scratch, "best smartphones camera battery", 10);
+    let b1 = engine.search_with(&mut scratch, "best smartphones 2025", 10);
+    // Same queries against a never-used scratch.
+    let a2 = engine.search_with(
+        &mut QueryScratch::new(),
+        "best smartphones camera battery",
+        10,
+    );
+    let b2 = engine.search_with(&mut QueryScratch::new(), "best smartphones 2025", 10);
+    assert_serp_identical(&a1, &a2);
+    assert_serp_identical(&b1, &b2);
+    // And repeating the first query after the second still agrees.
+    let a3 = engine.search_with(&mut scratch, "best smartphones camera battery", 10);
+    assert_serp_identical(&a3, &a2);
+}
+
+/// The kernel's crowding (dense stamped counters over interned host ids)
+/// agrees with the reference's string-keyed counting on a query dense
+/// enough to trigger the per-host cap.
+#[test]
+fn host_crowding_agrees_with_reference() {
+    for engine in engines() {
+        let q = "best smartphones camera battery life";
+        let fast = engine.search(q, 20);
+        let slow = reference::search(engine, q, 20);
+        assert_serp_identical(&fast, &slow);
+    }
+}

@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
-use shift_engines::{AnswerEngines, EngineAnswer, EngineKind};
+use shift_engines::{AnswerEngines, EngineAnswer, EngineKind, QueryScratch};
 
 use crate::cache::{AnswerCache, CacheKey};
 use crate::config::ServeConfig;
@@ -244,6 +244,10 @@ fn worker_loop(
     metrics: &ServiceMetrics,
     rx: &Receiver<Job>,
 ) {
+    // One retrieval scratch per worker, reused for the worker's whole
+    // lifetime: steady-state uncached requests run the search kernel
+    // without allocating working memory.
+    let mut scratch = QueryScratch::new();
     while let Ok(job) = rx.recv() {
         if Instant::now() >= job.deadline {
             // Too late to be useful; don't burn engine time.
@@ -253,7 +257,8 @@ fn worker_loop(
             let _ = job.reply.send(Err(ServeError::TimedOut));
             continue;
         }
-        let answer = engines.answer(
+        let answer = engines.answer_with(
+            &mut scratch,
             job.request.engine,
             &job.request.query,
             job.request.top_k,

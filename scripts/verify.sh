@@ -17,4 +17,10 @@ cargo test -q
 echo "== serving layer: unit + integration =="
 cargo test -q -p shift-serve
 
+echo "== retrieval kernel: differential suite (kernel == reference) =="
+cargo test -q -p shift-search
+
+echo "== retrieval kernel: bench smoke (small world, checks byte-identity) =="
+cargo bench -p shift-bench --bench search_kernel -- --quick
+
 echo "verify.sh: all checks passed"
