@@ -1,17 +1,25 @@
-//! Retrieval-kernel benchmark: the DAAT kernel vs the frozen
-//! term-at-a-time reference scorer, over the Figure-1-scale workload
-//! (1,000 ranking queries) at `WorldConfig::paper` scale.
+//! Retrieval-kernel benchmark: the max-score/block-max *pruned* DAAT
+//! kernel vs the exhaustive DAAT merge vs the frozen term-at-a-time
+//! reference scorer, swept over three corpus scales (the paper's
+//! ≈2,700-document world, 10×, and 100× via [`WorldConfig::scaled`]).
 //!
 //! Run with `cargo bench -p shift-bench --bench search_kernel`. The full
-//! run re-checks a differential sample (kernel SERP must be
-//! byte-identical to the reference SERP), measures end-to-end top-10
-//! throughput for both paths, writes `BENCH_search.json`, and prints the
-//! before/after line recorded in EXPERIMENTS.md §Performance.
+//! run re-checks a differential sample at every scale (pruned SERP must
+//! be byte-identical to the exhaustive SERP, and to the reference SERP at
+//! paper scale), measures end-to-end top-10 throughput per scale, prints
+//! each index's [`IndexStats`] report, writes the per-scale table into
+//! `BENCH_search.json`, and prints the lines recorded in EXPERIMENTS.md
+//! §Performance.
 //!
-//! `-- --quick` (used by `scripts/verify.sh` as a smoke check) runs the
-//! same pipeline on the small world with 100 queries and skips the JSON
-//! artifact.
+//! Two extra modes, both used by `scripts/verify.sh`:
+//!
+//! * `-- --quick` — smoke check: the same differential pipeline on the
+//!   small world with 100 queries, no JSON artifact.
+//! * `-- --gate`  — regression gate: measures paper-scale pruned
+//!   throughput only and fails (panics) if it has regressed more than
+//!   20% against the committed `BENCH_search.json`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -19,13 +27,18 @@ use shift_bench::STUDY_SEED;
 use shift_corpus::{World, WorldConfig};
 use shift_queries::ranking_queries;
 use shift_search::query::reference;
-use shift_search::{QueryScratch, RankingParams, SearchEngine};
+use shift_search::{EvalMode, QueryScratch, RankingParams, SearchEngine};
 use std::hint::black_box;
 
 const K: usize = 10;
+/// `--gate` fails when fresh pruned throughput drops below this fraction
+/// of the committed number (>20% regression).
+const GATE_FLOOR: f64 = 0.8;
+/// Workspace-root artifact path (benches run with the package dir as cwd).
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
 
-fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
 /// Times `f` over `rounds` passes of the whole query set and returns
@@ -43,27 +56,74 @@ fn measure_qps(queries: &[String], rounds: usize, mut f: impl FnMut(&str)) -> f6
     queries.len() as f64 / best
 }
 
-fn bench(c: &mut Criterion) {
-    let quick = quick_mode();
-    let (config, n_queries, rounds, label) = if quick {
-        (WorldConfig::small(), 100, 2, "small")
-    } else {
-        (WorldConfig::paper(), 1000, 5, "paper")
-    };
-    let world = World::generate(&config, STUDY_SEED);
+/// One row of the scale sweep.
+struct ScaleRow {
+    scale: &'static str,
+    docs: usize,
+    queries: usize,
+    /// Pruned-kernel throughput (the production path).
+    qps: f64,
+    /// Exhaustive-merge throughput (the PR-2 kernel, pruning disabled).
+    exhaustive_qps: f64,
+    /// Pruned vs exhaustive on the same index — the pruning win itself.
+    speedup: f64,
+    /// Documents fully scored by the pruned kernel over one query pass.
+    docs_scored: u64,
+    /// Matching documents the pruned kernel never scored (exhaustive
+    /// scores every matching document exactly once, so the difference
+    /// of the two counters is exact).
+    docs_skipped: u64,
+}
+
+impl ScaleRow {
+    fn json(&self) -> String {
+        format!(
+            "{{\"scale\":\"{}\",\"docs\":{},\"queries\":{},\"k\":{K},\
+             \"qps\":{:.1},\"ms_per_query\":{:.6},\"exhaustive_qps\":{:.1},\
+             \"speedup\":{:.3},\"docs_scored\":{},\"docs_skipped\":{}}}",
+            self.scale,
+            self.docs,
+            self.queries,
+            self.qps,
+            1e3 / self.qps,
+            self.exhaustive_qps,
+            self.speedup,
+            self.docs_scored,
+            self.docs_skipped,
+        )
+    }
+}
+
+/// Builds one scale's engine, checks byte-identity on a query sample,
+/// collects pruning-effectiveness counters, and measures both kernel
+/// modes.
+fn run_scale(
+    scale: &'static str,
+    config: &WorldConfig,
+    n_queries: usize,
+    rounds: usize,
+) -> (SearchEngine, Vec<String>, ScaleRow) {
+    let t = Instant::now();
+    let world = World::generate(config, STUDY_SEED);
     let engine = SearchEngine::build(&world, RankingParams::google());
+    let docs = engine.index().len();
+    println!(
+        "[{scale}] {docs} docs, world+index built in {:.2?}",
+        t.elapsed()
+    );
+    println!("{}", engine.index().stats());
     let queries: Vec<String> = ranking_queries(&world, n_queries, STUDY_SEED)
         .into_iter()
         .map(|q| q.text)
         .collect();
 
     // Differential gate inside the bench: the throughput comparison is
-    // only meaningful while both paths return byte-identical SERPs.
+    // only meaningful while both modes return byte-identical SERPs.
     let sample_stride = (queries.len() / 25).max(1);
     for q in queries.iter().step_by(sample_stride) {
         let fast = engine.search(q, K);
-        let slow = reference::search(&engine, q, K);
-        assert_eq!(fast.urls(), slow.urls(), "kernel diverged on {q:?}");
+        let slow = engine.search_with_mode(&mut QueryScratch::new(), q, K, EvalMode::Exhaustive);
+        assert_eq!(fast.urls(), slow.urls(), "pruned kernel diverged on {q:?}");
         for (a, b) in fast.results.iter().zip(&slow.results) {
             assert_eq!(
                 a.score.to_bits(),
@@ -73,51 +133,205 @@ fn bench(c: &mut Criterion) {
         }
     }
 
+    // Pruning-effectiveness counters: one untimed pass per mode. The
+    // exhaustive merge scores every matching document exactly once, so
+    // its counter is the total matching-set size and the difference is
+    // the exact number of documents pruning never touched.
     let mut scratch = QueryScratch::new();
-    let kernel_qps = measure_qps(&queries, rounds, |q| {
+    for q in &queries {
+        black_box(engine.search_with_mode(&mut scratch, q, K, EvalMode::Pruned));
+    }
+    let pruned_stats = scratch.take_stats();
+    for q in &queries {
+        black_box(engine.search_with_mode(&mut scratch, q, K, EvalMode::Exhaustive));
+    }
+    let exhaustive_stats = scratch.take_stats();
+    assert!(
+        exhaustive_stats.docs_scored >= pruned_stats.docs_scored,
+        "pruned mode scored more docs than exhaustive"
+    );
+    let docs_skipped = exhaustive_stats.docs_scored - pruned_stats.docs_scored;
+
+    // Interleave the two modes round-by-round so drifting background
+    // load (shared box) hits both equally; best-of-rounds per mode.
+    let mut pruned_best = f64::INFINITY;
+    let mut exhaustive_best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for q in &queries {
+            black_box(engine.search_with(&mut scratch, black_box(q), K));
+        }
+        pruned_best = pruned_best.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for q in &queries {
+            black_box(engine.search_with_mode(&mut scratch, black_box(q), K, EvalMode::Exhaustive));
+        }
+        exhaustive_best = exhaustive_best.min(start.elapsed().as_secs_f64());
+    }
+    let qps = queries.len() as f64 / pruned_best;
+    let exhaustive_qps = queries.len() as f64 / exhaustive_best;
+    let row = ScaleRow {
+        scale,
+        docs,
+        queries: queries.len(),
+        qps,
+        exhaustive_qps,
+        speedup: qps / exhaustive_qps,
+        docs_scored: pruned_stats.docs_scored,
+        docs_skipped,
+    };
+    println!(
+        "[{scale}] exhaustive {exhaustive_qps:.0} q/s ({:.3} ms/q) → pruned {qps:.0} q/s \
+         ({:.3} ms/q), speedup {:.2}x; scored {} docs, skipped {} ({:.1}% of matches)",
+        1e3 / exhaustive_qps,
+        1e3 / qps,
+        row.speedup,
+        row.docs_scored,
+        row.docs_skipped,
+        100.0 * docs_skipped as f64 / exhaustive_stats.docs_scored.max(1) as f64,
+    );
+    (engine, queries, row)
+}
+
+/// Extracts a numeric field from the flat committed JSON without a JSON
+/// dependency (the workspace has none).
+fn json_number_field(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `--gate`: measure paper-scale pruned throughput and fail on a >20%
+/// regression against the committed artifact.
+fn run_gate() {
+    let committed = std::fs::read_to_string(BENCH_JSON)
+        .unwrap_or_else(|e| panic!("gate: cannot read {BENCH_JSON}: {e}"));
+    let baseline = json_number_field(&committed, "paper_pruned_qps")
+        .unwrap_or_else(|| panic!("gate: no paper_pruned_qps in {BENCH_JSON}"));
+    let world = World::generate(&WorldConfig::paper(), STUDY_SEED);
+    let engine = SearchEngine::build(&world, RankingParams::google());
+    let queries: Vec<String> = ranking_queries(&world, 1000, STUDY_SEED)
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+    let mut scratch = QueryScratch::new();
+    let qps = measure_qps(&queries, 3, |q| {
         black_box(engine.search_with(&mut scratch, black_box(q), K));
     });
-    let reference_qps = measure_qps(&queries, rounds, |q| {
-        black_box(reference::search(&engine, black_box(q), K));
-    });
-    let speedup = kernel_qps / reference_qps;
-    println!(
-        "search_kernel [{label} world, {} docs, {} queries, k={K}, seed {STUDY_SEED}]:\n  \
-         reference {reference_qps:.0} q/s ({:.3} ms/q) → kernel {kernel_qps:.0} q/s \
-         ({:.3} ms/q), speedup {speedup:.2}x",
-        engine.index().len(),
-        queries.len(),
-        1e3 / reference_qps,
-        1e3 / kernel_qps,
+    let ratio = qps / baseline;
+    assert!(
+        ratio >= GATE_FLOOR,
+        "bench gate FAILED: paper-scale pruned kernel at {qps:.0} q/s is {:.0}% of the \
+         committed {baseline:.0} q/s (floor {:.0}%)",
+        100.0 * ratio,
+        100.0 * GATE_FLOOR,
     );
+    println!(
+        "bench gate OK: pruned kernel {qps:.0} q/s vs committed {baseline:.0} q/s \
+         ({:+.1}%)",
+        100.0 * (ratio - 1.0)
+    );
+}
 
-    if !quick {
-        let json = format!(
-            "{{\"world\":\"paper\",\"docs\":{},\"seed\":{STUDY_SEED},\"queries\":{},\"k\":{K},\
-             \"reference_qps\":{reference_qps:.1},\"kernel_qps\":{kernel_qps:.1},\
-             \"reference_ms_per_query\":{:.6},\"kernel_ms_per_query\":{:.6},\
-             \"speedup\":{speedup:.3}}}\n",
-            engine.index().len(),
-            queries.len(),
-            1e3 / reference_qps,
-            1e3 / kernel_qps,
-        );
-        // Benches run with the package directory as cwd; the artifact
-        // belongs at the workspace root next to BENCH_serve.json.
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
-        std::fs::write(path, json).expect("write BENCH_search.json");
-        println!("wrote {path}");
-        if speedup < 2.0 {
-            eprintln!("WARNING: kernel speedup {speedup:.2}x below the 2x acceptance bar");
-        }
+fn bench(c: &mut Criterion) {
+    if has_flag("--gate") {
+        run_gate();
+        return;
     }
+    let quick = has_flag("--quick");
+
+    let (engine, queries) = if quick {
+        let (engine, queries, _row) = run_scale("small", &WorldConfig::small(), 100, 2);
+        // Smoke-check the reference oracle too on a small sample.
+        for q in queries.iter().step_by(10) {
+            let fast = engine.search(q, K);
+            let slow = reference::search(&engine, q, K);
+            assert_eq!(fast.urls(), slow.urls(), "kernel diverged on {q:?}");
+        }
+        (engine, queries)
+    } else {
+        // The scale sweep: posting lists deepen ~10× per step while the
+        // vocabulary stays put, so the pruning win should widen.
+        let (engine, queries, paper_row) = run_scale("paper", &WorldConfig::paper(), 1000, 7);
+        let (_, _, x10_row) = run_scale("10x", &WorldConfig::scaled(10), 1000, 3);
+        let (_, _, x100_row) = run_scale("100x", &WorldConfig::scaled(100), 1000, 2);
+        let rows = [&paper_row, &x10_row, &x100_row];
+        for row in rows {
+            assert!(
+                row.docs_skipped > 0,
+                "[{}] pruning skipped nothing",
+                row.scale
+            );
+        }
+
+        // The historical comparison kept from PR 2: pruned kernel vs the
+        // frozen term-at-a-time reference, paper scale only (the
+        // reference is O(total postings) per query and pointless to time
+        // at 100×).
+        let reference_qps = measure_qps(&queries, 3, |q| {
+            black_box(reference::search(&engine, black_box(q), K));
+        });
+        println!(
+            "[paper] reference {reference_qps:.0} q/s → pruned {:.0} q/s, \
+             speedup {:.2}x over the reference scorer",
+            paper_row.qps,
+            paper_row.qps / reference_qps,
+        );
+
+        let mut json = String::new();
+        write!(
+            json,
+            "{{\"seed\":{STUDY_SEED},\"k\":{K},\"paper_pruned_qps\":{:.1},\
+             \"reference_qps\":{reference_qps:.1},\"reference_speedup\":{:.3},\"scales\":[",
+            paper_row.qps,
+            paper_row.qps / reference_qps,
+        )
+        .unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&row.json());
+        }
+        json.push_str("]}\n");
+        std::fs::write(BENCH_JSON, &json).expect("write BENCH_search.json");
+        println!("wrote {BENCH_JSON}");
+        if paper_row.speedup < 1.3 {
+            eprintln!(
+                "WARNING: paper-scale pruning speedup {:.2}x below the 1.3x acceptance bar",
+                paper_row.speedup
+            );
+        }
+        if x10_row.speedup <= paper_row.speedup {
+            eprintln!(
+                "WARNING: 10x speedup {:.2}x not above paper-scale {:.2}x",
+                x10_row.speedup, paper_row.speedup
+            );
+        }
+        (engine, queries)
+    };
 
     // Per-query latency under the criterion harness, for the record.
+    let mut scratch = QueryScratch::new();
     let mut group = c.benchmark_group("search_kernel");
     group.sample_size(10);
     let probe = queries[0].clone();
-    group.bench_function("kernel_top10", |b| {
+    group.bench_function("pruned_top10", |b| {
         b.iter(|| black_box(engine.search_with(&mut scratch, black_box(&probe), K)))
+    });
+    group.bench_function("exhaustive_top10", |b| {
+        b.iter(|| {
+            black_box(engine.search_with_mode(
+                &mut scratch,
+                black_box(&probe),
+                K,
+                EvalMode::Exhaustive,
+            ))
+        })
     });
     group.bench_function("reference_top10", |b| {
         b.iter(|| black_box(reference::search(&engine, black_box(&probe), K)))

@@ -96,6 +96,27 @@ impl WorldConfig {
             ..WorldConfig::default_scale()
         }
     }
+
+    /// The paper scale with every per-topic/per-entity volume knob
+    /// multiplied by `factor` — the corpus-size axis of the retrieval
+    /// scale sweep (`factor` 10 ≈ 27k pages, 100 ≈ 270k pages). The
+    /// topic/entity/domain structure is untouched, so the sweep measures
+    /// posting-list *depth*, not vocabulary growth.
+    pub fn scaled(factor: usize) -> Self {
+        let base = WorldConfig::paper();
+        let mul = |n: usize| (n * factor).max(1);
+        WorldConfig {
+            ranking_lists_per_topic: mul(base.ranking_lists_per_topic),
+            reviews_per_popular_entity: mul(base.reviews_per_popular_entity),
+            news_per_topic: mul(base.news_per_topic),
+            comparisons_per_topic: mul(base.comparisons_per_topic),
+            guides_per_topic: mul(base.guides_per_topic),
+            forum_threads_per_topic: mul(base.forum_threads_per_topic),
+            videos_per_topic: mul(base.videos_per_topic),
+            archive_pages_per_entity: mul(base.archive_pages_per_entity),
+            ..base
+        }
+    }
 }
 
 impl Default for WorldConfig {
@@ -1080,6 +1101,31 @@ mod tests {
             }
         }
         assert_eq!(extracted, marked, "every marked page must extract");
+    }
+
+    #[test]
+    fn scaled_config_multiplies_volume_knobs() {
+        let base = WorldConfig::paper();
+        let x10 = WorldConfig::scaled(10);
+        assert_eq!(
+            x10.ranking_lists_per_topic,
+            base.ranking_lists_per_topic * 10
+        );
+        assert_eq!(
+            x10.forum_threads_per_topic,
+            base.forum_threads_per_topic * 10
+        );
+        assert_eq!(
+            x10.archive_pages_per_entity,
+            base.archive_pages_per_entity * 10
+        );
+        assert_eq!(x10.now, base.now);
+        assert_eq!(x10.max_age_days, base.max_age_days);
+        // scaled(1) is exactly the paper scale — same world, same docs.
+        let x1 = WorldConfig::scaled(1);
+        let a = World::generate(&x1, 7);
+        let b = World::generate(&base, 7);
+        assert_eq!(a.pages().len(), b.pages().len());
     }
 
     #[test]

@@ -1,20 +1,28 @@
 //! The immutable search index: postings plus per-document metadata.
 //!
 //! Besides the inverted index the build interns *hosts* to dense ids
-//! (so host-crowding can run on integer counters) and owns a lazily
-//! built, lock-guarded cache of per-document static score factors —
-//! one entry per distinct `(authority_weight, freshness_weight,
-//! freshness_half_life)` parameterization, shared by every
-//! [`crate::SearchEngine`] wrapping the same `Arc<SearchIndex>`.
+//! (so host-crowding can run on integer counters) and owns two lazily
+//! built, lock-guarded caches shared by every [`crate::SearchEngine`]
+//! wrapping the same `Arc<SearchIndex>`:
+//!
+//! * a [`StaticTable`] of per-document static score factors (plus their
+//!   maximum product, the pruning bound's static fold-in) per distinct
+//!   `(authority_weight, freshness_weight, freshness_half_life)`
+//!   parameterization, and
+//! * a [`BoundTable`] of per-term and per-block BM25 score upper bounds
+//!   per distinct BM25 parameterization — the tables the max-score /
+//!   block-max pruning kernel consults to skip documents and blocks.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use shift_corpus::{PageId, SourceType, World};
 use shift_textkit::analyze;
 
-use crate::postings::{DocNum, PostingsStore};
+use crate::bm25::{idf, term_score_bound, Bm25Params};
+use crate::postings::{DocNum, PostingsStore, TermId};
 
 /// Per-document metadata kept alongside the postings.
 #[derive(Debug, Clone)]
@@ -52,6 +60,53 @@ pub struct DocMeta {
 /// byte-identical SERP guarantee).
 pub type StaticScores = Vec<(f64, f64)>;
 
+/// One cached static-score parameterization: the per-document factor
+/// pairs plus the maximum factor *product* over all documents — the
+/// admissible static multiplier the pruning kernel folds into every
+/// score upper bound (a document's true score is its text score times
+/// its own `auth·fresh`, which is at most `max_factor`).
+#[derive(Debug)]
+pub struct StaticTable {
+    /// Per-document `(authority_factor, freshness_factor)` pairs.
+    pub factors: StaticScores,
+    /// `max_d authority_factor(d) · freshness_factor(d)`.
+    pub max_factor: f64,
+}
+
+/// Per-term score upper bounds for one BM25 parameterization.
+///
+/// `list_ub[t]` bounds the BM25 contribution of term `t` in *any*
+/// document; `block_ub[t][b]` bounds it over block `b` of `t`'s posting
+/// list (64 postings per block, see [`crate::postings::BLOCK_LEN`]).
+/// Bounds cover relevance only — static factors and the proximity bonus
+/// are folded in at query time by the kernel.
+#[derive(Debug)]
+pub struct BoundTable {
+    list_ub: Vec<f64>,
+    block_ub: Vec<Vec<f64>>,
+}
+
+impl BoundTable {
+    /// Upper bound on the term's BM25 contribution in any document.
+    #[inline]
+    pub fn list_ub(&self, term: TermId) -> f64 {
+        self.list_ub[term as usize]
+    }
+
+    /// Per-block upper bounds of one term's posting list.
+    #[inline]
+    pub fn block_ubs(&self, term: TermId) -> &[f64] {
+        &self.block_ub[term as usize]
+    }
+
+    /// Estimated heap bytes held by the table.
+    pub fn heap_bytes(&self) -> u64 {
+        let blocks: u64 = self.block_ub.iter().map(|b| b.len() as u64).sum();
+        (self.list_ub.len() as u64 + blocks) * std::mem::size_of::<f64>() as u64
+            + self.block_ub.len() as u64 * std::mem::size_of::<Vec<f64>>() as u64
+    }
+}
+
 /// Cache key: the exact bits of the three parameters the static factors
 /// depend on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,16 +126,37 @@ impl StaticKey {
     }
 }
 
+/// Cache key for [`BoundTable`]s: the exact bits of the BM25 parameters
+/// the bounds depend on (collection statistics are fixed per index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BoundKey {
+    k1: u64,
+    b: u64,
+    title_weight: u64,
+}
+
+impl BoundKey {
+    fn new(params: &Bm25Params) -> BoundKey {
+        BoundKey {
+            k1: params.k1.to_bits(),
+            b: params.b.to_bits(),
+            title_weight: params.title_weight.to_bits(),
+        }
+    }
+}
+
 /// The inverted index over a generated world.
 #[derive(Debug)]
 pub struct SearchIndex {
     postings: PostingsStore,
     docs: Vec<DocMeta>,
     host_count: u32,
-    // Lazily built static-score vectors, one per distinct parameter
+    // Lazily built static-score tables, one per distinct parameter
     // triple. A handful of personas share an index, so a linear scan
     // over the entries is cheaper than any map.
-    static_cache: RwLock<Vec<(StaticKey, Arc<StaticScores>)>>,
+    static_cache: RwLock<Vec<(StaticKey, Arc<StaticTable>)>>,
+    // Lazily built pruning bound tables, one per distinct BM25 triple.
+    bound_cache: RwLock<Vec<(BoundKey, Arc<BoundTable>)>>,
 }
 
 impl SearchIndex {
@@ -116,6 +192,7 @@ impl SearchIndex {
             docs,
             host_count: hosts.len() as u32,
             static_cache: RwLock::new(Vec::new()),
+            bound_cache: RwLock::new(Vec::new()),
         }
     }
 
@@ -140,47 +217,148 @@ impl SearchIndex {
         self.host_count
     }
 
-    /// The per-document static score factors for one parameter triple,
-    /// computing and caching them on first request. Engines sharing an
-    /// `Arc<SearchIndex>` and a parameterization share one vector.
+    /// The per-document static score factors (and their max product) for
+    /// one parameter triple, computing and caching them on first
+    /// request. Engines sharing an `Arc<SearchIndex>` and a
+    /// parameterization share one table.
     pub fn static_scores(
         &self,
         authority_weight: f64,
         freshness_weight: f64,
         freshness_half_life: f64,
-    ) -> Arc<StaticScores> {
+    ) -> Arc<StaticTable> {
         let key = StaticKey::new(authority_weight, freshness_weight, freshness_half_life);
         {
             let cache = self.static_cache.read();
-            if let Some((_, scores)) = cache.iter().find(|(k, _)| *k == key) {
-                return Arc::clone(scores);
+            if let Some((_, table)) = cache.iter().find(|(k, _)| *k == key) {
+                return Arc::clone(table);
             }
         }
-        let scores: Arc<StaticScores> = Arc::new(
-            self.docs
-                .iter()
-                .map(|meta| {
-                    let fresh = (-meta.age_days / freshness_half_life).exp();
-                    (
-                        1.0 + authority_weight * meta.authority,
-                        1.0 + freshness_weight * fresh,
-                    )
-                })
-                .collect(),
-        );
+        let factors: StaticScores = self
+            .docs
+            .iter()
+            .map(|meta| {
+                let fresh = (-meta.age_days / freshness_half_life).exp();
+                (
+                    1.0 + authority_weight * meta.authority,
+                    1.0 + freshness_weight * fresh,
+                )
+            })
+            .collect();
+        let max_factor = factors.iter().fold(0.0_f64, |m, &(a, f)| m.max(a * f));
+        let table = Arc::new(StaticTable {
+            factors,
+            max_factor,
+        });
         let mut cache = self.static_cache.write();
         // Another thread may have built the same entry while we computed;
         // keep the first so every holder shares one allocation.
         if let Some((_, existing)) = cache.iter().find(|(k, _)| *k == key) {
             return Arc::clone(existing);
         }
-        cache.push((key, Arc::clone(&scores)));
-        scores
+        cache.push((key, Arc::clone(&table)));
+        table
+    }
+
+    /// The per-term/per-block score upper bounds for one BM25
+    /// parameterization, computing and caching them on first request.
+    ///
+    /// The build is one pass over the block-max tables (64× fewer
+    /// entries than postings): each block bound evaluates BM25 at the
+    /// block's componentwise extremes, and each list bound is the max
+    /// over its blocks.
+    pub fn bound_table(&self, params: &Bm25Params) -> Arc<BoundTable> {
+        let key = BoundKey::new(params);
+        {
+            let cache = self.bound_cache.read();
+            if let Some((_, table)) = cache.iter().find(|(k, _)| *k == key) {
+                return Arc::clone(table);
+            }
+        }
+        let store = &self.postings;
+        let doc_count = store.doc_count();
+        let avg_len = store.avg_doc_len();
+        let vocab = store.vocabulary_size();
+        let mut list_ub = Vec::with_capacity(vocab);
+        let mut block_ub = Vec::with_capacity(vocab);
+        for term in 0..vocab as TermId {
+            let term_idf = idf(doc_count, store.doc_freq_by_id(term));
+            let ubs: Vec<f64> = store
+                .blocks_by_id(term)
+                .iter()
+                .map(|b| {
+                    term_score_bound(
+                        params,
+                        term_idf,
+                        b.max_title_tf,
+                        b.max_body_tf,
+                        b.min_doc_len,
+                        avg_len,
+                    )
+                })
+                .collect();
+            list_ub.push(ubs.iter().fold(0.0_f64, |m, &u| m.max(u)));
+            block_ub.push(ubs);
+        }
+        let table = Arc::new(BoundTable { list_ub, block_ub });
+        let mut cache = self.bound_cache.write();
+        if let Some((_, existing)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(existing);
+        }
+        cache.push((key, Arc::clone(&table)));
+        table
     }
 
     /// Number of cached static-score parameterizations (for tests).
     pub fn static_cache_len(&self) -> usize {
         self.static_cache.read().len()
+    }
+
+    /// Number of cached pruning-bound parameterizations (for tests).
+    pub fn bound_cache_len(&self) -> usize {
+        self.bound_cache.read().len()
+    }
+
+    /// Size and estimated-heap-footprint report over the whole index:
+    /// postings, positions, block-max tables, cached bound tables and
+    /// document metadata. Printed by the kernel bench as groundwork for
+    /// the postings-compression follow-on.
+    pub fn stats(&self) -> IndexStats {
+        let p = self.postings.stats();
+        let doc_meta_bytes: u64 = self.docs.len() as u64 * std::mem::size_of::<DocMeta>() as u64
+            + self
+                .docs
+                .iter()
+                .map(|d| (d.url.len() + d.host.len() + d.title.len() + d.body.len()) as u64)
+                .sum::<u64>();
+        let bound_table_bytes: u64 = self
+            .bound_cache
+            .read()
+            .iter()
+            .map(|(_, t)| t.heap_bytes())
+            .sum();
+        let static_table_bytes: u64 = self.static_cache.read().len() as u64
+            * self.docs.len() as u64
+            * std::mem::size_of::<(f64, f64)>() as u64;
+        IndexStats {
+            docs: self.docs.len(),
+            hosts: self.host_count,
+            vocabulary: p.vocabulary,
+            postings: p.postings,
+            positions: p.positions,
+            postings_bytes: p.postings_bytes,
+            positions_bytes: p.positions_bytes,
+            block_entries: p.block_entries,
+            block_bytes: p.block_bytes,
+            bound_table_bytes,
+            doc_meta_bytes,
+            estimated_heap_bytes: p.postings_bytes
+                + p.positions_bytes
+                + p.block_bytes
+                + bound_table_bytes
+                + static_table_bytes
+                + doc_meta_bytes,
+        }
     }
 
     /// Number of indexed documents.
@@ -191,6 +369,73 @@ impl SearchIndex {
     /// True when the index is empty.
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
+    }
+}
+
+/// Size report over a [`SearchIndex`] (see [`SearchIndex::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Indexed documents.
+    pub docs: usize,
+    /// Distinct hosts.
+    pub hosts: u32,
+    /// Distinct terms.
+    pub vocabulary: usize,
+    /// Total postings (term–document pairs).
+    pub postings: u64,
+    /// Total stored token positions.
+    pub positions: u64,
+    /// Estimated heap bytes of posting structs.
+    pub postings_bytes: u64,
+    /// Estimated heap bytes of position arrays.
+    pub positions_bytes: u64,
+    /// Block-max table entries across all lists.
+    pub block_entries: u64,
+    /// Estimated heap bytes of the block-max tables.
+    pub block_bytes: u64,
+    /// Estimated heap bytes of cached pruning bound tables.
+    pub bound_table_bytes: u64,
+    /// Estimated heap bytes of document metadata (incl. raw text).
+    pub doc_meta_bytes: u64,
+    /// Estimated total heap footprint of the index.
+    pub estimated_heap_bytes: u64,
+}
+
+impl fmt::Display for IndexStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn mib(bytes: u64) -> f64 {
+            bytes as f64 / (1024.0 * 1024.0)
+        }
+        writeln!(
+            f,
+            "index: {} docs, {} hosts, {} terms",
+            self.docs, self.hosts, self.vocabulary
+        )?;
+        writeln!(
+            f,
+            "  postings  {:>12} entries  {:>9.2} MiB",
+            self.postings,
+            mib(self.postings_bytes)
+        )?;
+        writeln!(
+            f,
+            "  positions {:>12} entries  {:>9.2} MiB",
+            self.positions,
+            mib(self.positions_bytes)
+        )?;
+        writeln!(
+            f,
+            "  block-max {:>12} entries  {:>9.2} MiB (+{:.2} MiB cached bounds)",
+            self.block_entries,
+            mib(self.block_bytes),
+            mib(self.bound_table_bytes)
+        )?;
+        writeln!(f, "  doc meta  {:>34.2} MiB", mib(self.doc_meta_bytes))?;
+        write!(
+            f,
+            "  estimated heap {:>29.2} MiB",
+            mib(self.estimated_heap_bytes)
+        )
     }
 }
 
@@ -249,19 +494,92 @@ mod tests {
         let c = idx.static_scores(0.5, 0.9, 120.0);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(idx.static_cache_len(), 2);
-        assert_eq!(a.len(), idx.len());
+        assert_eq!(a.factors.len(), idx.len());
     }
 
     #[test]
     fn static_scores_match_direct_computation() {
         let idx = index();
         let (aw, fw, hl) = (2.2, 0.12, 365.0);
-        let scores = idx.static_scores(aw, fw, hl);
-        for (meta, &(auth, fresh)) in idx.docs().iter().zip(scores.iter()).take(50) {
+        let table = idx.static_scores(aw, fw, hl);
+        for (meta, &(auth, fresh)) in idx.docs().iter().zip(table.factors.iter()).take(50) {
             assert_eq!(auth.to_bits(), (1.0 + aw * meta.authority).to_bits());
             let expect = 1.0 + fw * (-meta.age_days / hl).exp();
             assert_eq!(fresh.to_bits(), expect.to_bits());
         }
+    }
+
+    #[test]
+    fn static_table_max_factor_covers_every_document() {
+        let idx = index();
+        let table = idx.static_scores(2.2, 0.12, 365.0);
+        let mut max_seen = 0.0_f64;
+        for &(a, f) in table.factors.iter() {
+            assert!(a * f <= table.max_factor);
+            max_seen = max_seen.max(a * f);
+        }
+        assert_eq!(max_seen.to_bits(), table.max_factor.to_bits());
+        assert!(table.max_factor >= 1.0, "weights are nonnegative");
+    }
+
+    #[test]
+    fn bound_tables_are_cached_and_shared() {
+        let idx = index();
+        assert_eq!(idx.bound_cache_len(), 0);
+        let p = crate::bm25::Bm25Params::default();
+        let a = idx.bound_table(&p);
+        let b = idx.bound_table(&p);
+        assert!(Arc::ptr_eq(&a, &b), "same params must share one table");
+        assert_eq!(idx.bound_cache_len(), 1);
+        let q = crate::bm25::Bm25Params {
+            k1: 0.9,
+            ..crate::bm25::Bm25Params::default()
+        };
+        let c = idx.bound_table(&q);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(idx.bound_cache_len(), 2);
+    }
+
+    #[test]
+    fn bound_table_dominates_real_term_scores() {
+        use crate::bm25::{idf, term_score_idf};
+        use crate::postings::BLOCK_LEN;
+
+        let idx = index();
+        let params = crate::bm25::Bm25Params::default();
+        let bounds = idx.bound_table(&params);
+        let store = idx.postings();
+        let avg_len = store.avg_doc_len();
+        for term in ["laptop", "battery", "review", "best"] {
+            let id = store.term_id(term).expect("term indexed");
+            let term_idf = idf(store.doc_count(), store.doc_freq_by_id(id));
+            let blocks = bounds.block_ubs(id);
+            for (i, p) in store.postings_by_id(id).iter().enumerate() {
+                let doc_len = f64::from(idx.doc(p.doc).token_len);
+                let s = term_score_idf(&params, p, term_idf, doc_len, avg_len);
+                let block_bound = blocks[i / BLOCK_LEN];
+                assert!(s <= block_bound, "{term} posting {i}: {s} > {block_bound}");
+                assert!(block_bound <= bounds.list_ub(id));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_is_consistent() {
+        let idx = index();
+        let _ = idx.bound_table(&crate::bm25::Bm25Params::default());
+        let s = idx.stats();
+        assert_eq!(s.docs, idx.len());
+        assert_eq!(s.vocabulary, idx.postings().vocabulary_size());
+        assert!(s.postings > 0 && s.positions >= s.postings);
+        assert!(s.block_entries > 0 && s.bound_table_bytes > 0);
+        assert!(
+            s.estimated_heap_bytes
+                >= s.postings_bytes + s.positions_bytes + s.block_bytes + s.doc_meta_bytes
+        );
+        // Display renders without panicking and mentions the doc count.
+        let rendered = format!("{s}");
+        assert!(rendered.contains(&format!("{} docs", s.docs)));
     }
 
     #[test]

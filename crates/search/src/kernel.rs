@@ -12,33 +12,76 @@
 //!   the proximity window, static factors and coordination are folded
 //!   into the final score in a single pass — no per-document hash-map
 //!   accumulators, no deferred position bookkeeping.
+//! * **Dynamic pruning.** The default [`EvalMode::Pruned`] strategy is
+//!   max-score over per-term upper bounds with block-max refinement:
+//!   cursors are ordered by their list's score upper bound, the lists
+//!   whose combined bound cannot beat the current top-k threshold
+//!   become *non-essential* (they stop generating candidates), each
+//!   surviving candidate is re-checked against its cursors' current
+//!   *block* bounds, and a failed check skips forward to the next block
+//!   boundary — documents are skipped without touching their postings.
+//!   Every bound folds in the maximum static factor
+//!   ([`StaticTable::max_factor`]), the coordination factor and
+//!   proximity bonus *at the matched-count level the skipped documents
+//!   can actually reach*, and a strict multiplicative slop
+//!   ([`BOUND_SLOP`]) so a pruned document's true score is *strictly*
+//!   below the threshold — which makes pruning admissible even through
+//!   equal-score tie clusters and last-ulp float divergence (see
+//!   DESIGN.md §3 for the argument).
 //! * **Bounded top-k selection.** Candidates feed a min-heap capped at
 //!   the overfetch size instead of sorting every matching document,
 //!   with the exact deterministic tie-break of the reference sort
 //!   (score descending, then document number ascending).
 //! * **Zero-alloc steady state.** All working memory — cursors, the
-//!   heap, proximity merge buffers, the coordination table, and the
-//!   generation-stamped host-crowding counters — lives in a reusable
-//!   [`QueryScratch`]. After the first few queries have warmed its
-//!   capacities, a search allocates only the returned SERP itself.
+//!   heap, proximity merge buffers, the coordination table, pruning
+//!   order/prefix tables, and the generation-stamped host-crowding
+//!   counters — lives in a reusable [`QueryScratch`]. After the first
+//!   few queries have warmed its capacities, a search allocates only
+//!   the returned SERP itself.
 //! * **Generation-stamped crowding counters.** Host-crowding counts
 //!   index a dense per-host array by the interned host id. Instead of
 //!   clearing the array between queries, each slot carries the
 //!   generation that last wrote it; stale slots are treated as zero.
 //!
-//! Every floating-point operation mirrors the reference scorer's
-//! sequence exactly (same additions in the same order, static factors
-//! applied as two separate multiplies), so the kernel returns
-//! byte-identical SERPs — gated by the differential suite in
-//! `tests/differential_search.rs`.
+//! Every floating-point operation of a *scored* document mirrors the
+//! reference scorer's sequence exactly (same additions in the same
+//! order, static factors applied as two separate multiplies), and
+//! pruning only discards documents that provably cannot enter the
+//! overfetch pool, so both modes return byte-identical SERPs — gated by
+//! the differential suite in `tests/differential_search.rs`.
 
 use std::cell::RefCell;
 
 use crate::bm25::{idf, term_score_idf, window_bonus};
-use crate::index::SearchIndex;
-use crate::postings::{DocNum, TermId};
+use crate::index::{BoundTable, SearchIndex, StaticTable};
+use crate::postings::{DocNum, PostingsStore, TermId, BLOCK_LEN};
 use crate::query::RankingParams;
 use crate::serp::{extract_snippet, SerpResult};
+
+/// Which evaluation strategy the kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Score every matching document (the exhaustive DAAT merge).
+    Exhaustive,
+    /// Max-score / block-max dynamic pruning: skip documents and whole
+    /// blocks whose score upper bound cannot beat the current top-k
+    /// threshold. Returns byte-identical SERPs to `Exhaustive`.
+    #[default]
+    Pruned,
+}
+
+/// Strict multiplicative inflation applied to every pruning bound.
+///
+/// The admissibility argument needs a pruned document's true score to
+/// sit *strictly* below the heap threshold, so that equal-score ties
+/// (which the SERP order breaks by document number) can never straddle
+/// a pruning decision. Real-math bounds already dominate real-math
+/// scores; the slop (a relative 1e-9, seven orders of magnitude above
+/// the ~1e-16 relative error of the handful of f64 ops involved) turns
+/// "≥ with float noise" into "> with margin". It costs effectively
+/// nothing: a bound this close to the threshold saves at most one
+/// document's scoring.
+const BOUND_SLOP: f64 = 1.0 + 1e-9;
 
 /// One query-term occurrence's walk position in its posting list.
 ///
@@ -48,7 +91,37 @@ use crate::serp::{extract_snippet, SerpResult};
 struct TermCursor {
     term: TermId,
     next: u32,
+    /// Document number under the cursor (`list[next].doc`), or `MAX`
+    /// when the list is exhausted. Cached here so the merge's min/bound
+    /// passes read scratch memory instead of chasing into the posting
+    /// structs (whose inline position vectors make `doc` loads sparse).
+    cur: DocNum,
     idf: f64,
+    /// Upper bound on this term's BM25 contribution in any document
+    /// (from the engine's [`BoundTable`]).
+    ub: f64,
+    /// Block index the `blk_ub`/`blk_last` cache below describes, or
+    /// `u32::MAX` when not yet loaded. The pruned merge consults the
+    /// current block's bound on every surviving candidate; memoizing it
+    /// here turns those lookups into scratch reads, refreshed only when
+    /// the cursor crosses a block boundary (once per ~64 postings).
+    blk: u32,
+    /// Cached `BoundTable` score bound of block `blk`.
+    blk_ub: f64,
+    /// Cached last document number of block `blk`.
+    blk_last: DocNum,
+}
+
+/// Counters the kernel accumulates across queries on one scratch —
+/// pruning effectiveness telemetry for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Documents fully scored (every float op of the reference path).
+    pub docs_scored: u64,
+    /// Candidate documents rejected by an upper-bound test without
+    /// scoring. Block jumps skip further documents that never surface
+    /// as candidates at all, so this undercounts total skipped work.
+    pub candidates_pruned: u64,
 }
 
 /// Reusable query workspace: every buffer the kernel needs, grown once
@@ -65,6 +138,13 @@ pub struct QueryScratch {
     window_counts: Vec<u32>,
     // coverage^coordination per matched-count, computed once per query.
     coord: Vec<f64>,
+    // Pruning tables: cursor indices ordered by ascending upper bound,
+    // and prefix sums of those bounds (prefix[j] = sum of the j
+    // smallest list bounds).
+    order: Vec<u32>,
+    prefix: Vec<f64>,
+    // Pruning telemetry, accumulated until taken.
+    stats: KernelStats,
     // Host-crowding counters indexed by interned host id, valid only
     // when the stamp matches the current generation.
     host_counts: Vec<u32>,
@@ -76,6 +156,17 @@ impl QueryScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> QueryScratch {
         QueryScratch::default()
+    }
+
+    /// The pruning counters accumulated since the last
+    /// [`QueryScratch::take_stats`].
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Returns and resets the accumulated pruning counters.
+    pub fn take_stats(&mut self) -> KernelStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Advances the crowding generation, resetting all stamps on the
@@ -184,16 +275,301 @@ fn min_cover_span(tagged: &[(u32, u32)], counts: &mut Vec<u32>, k: usize) -> u32
     best_span
 }
 
+/// The immutable context every scoring call needs.
+struct ScoreCtx<'a> {
+    store: &'a PostingsStore,
+    index: &'a SearchIndex,
+    params: &'a RankingParams,
+    statics: &'a [(f64, f64)],
+    avg_len: f64,
+}
+
+/// Postings scanned linearly by [`seek`] before falling back to block
+/// skipping + binary search. Pruned-mode survivors usually advance by a
+/// handful of postings, where a short scan beats a `partition_point`.
+const SEEK_PROBE: usize = 8;
+
+/// Lands `c` on posting index `i`, refreshing the cached doc number.
+#[inline]
+fn land(c: &mut TermCursor, list: &[crate::postings::Posting], i: usize) {
+    c.next = i as u32;
+    c.cur = list.get(i).map_or(DocNum::MAX, |p| p.doc);
+}
+
+/// Advances `c` to its first posting with doc ≥ `target`: a short
+/// linear probe for small gaps, then whole-block skips via the block
+/// table's `last_doc` pointers and a binary search only inside the
+/// destination block.
+fn seek(store: &PostingsStore, c: &mut TermCursor, target: DocNum) {
+    if c.cur >= target {
+        return;
+    }
+    // `c.cur < target ≤ MAX` implies the cursor sits on a real posting.
+    let list = store.postings_by_id(c.term);
+    let mut i = c.next as usize + 1;
+    let probe_end = (i + SEEK_PROBE).min(list.len());
+    while i < probe_end && list[i].doc < target {
+        i += 1;
+    }
+    if i < probe_end || i == list.len() {
+        land(c, list, i);
+        return;
+    }
+    let blocks = store.blocks_by_id(c.term);
+    let mut blk = i / BLOCK_LEN;
+    while blocks[blk].last_doc < target {
+        blk += 1;
+        if blk == blocks.len() {
+            land(c, list, list.len());
+            return;
+        }
+    }
+    let start = (blk * BLOCK_LEN).max(i);
+    let end = ((blk + 1) * BLOCK_LEN).min(list.len());
+    let within = list[start..end].partition_point(|p| p.doc < target);
+    land(c, list, start + within);
+}
+
+/// Scores `doc` with every float op in the reference scorer's exact
+/// sequence, advancing the cursors that matched. Precondition: every
+/// cursor is positioned at its first posting with doc ≥ `doc`.
+fn score_doc(
+    ctx: &ScoreCtx<'_>,
+    doc: DocNum,
+    cursors: &mut [TermCursor],
+    tagged: &mut Vec<(u32, u32)>,
+    window_counts: &mut Vec<u32>,
+    coord: &[f64],
+) -> f64 {
+    let meta = ctx.index.doc(doc);
+    let doc_len = f64::from(meta.token_len);
+    let mut score = 0.0;
+    let mut matched = 0u32;
+    tagged.clear();
+    // Cursors iterate in query-term order, so per-document additions
+    // happen in exactly the reference scorer's sequence.
+    for c in cursors.iter_mut() {
+        if c.cur == doc {
+            let list = ctx.store.postings_by_id(c.term);
+            let p = &list[c.next as usize];
+            score += term_score_idf(&ctx.params.bm25, p, c.idf, doc_len, ctx.avg_len);
+            for &pos in &p.positions {
+                tagged.push((pos, matched));
+            }
+            matched += 1;
+            land(c, list, c.next as usize + 1);
+        }
+    }
+
+    // Proximity over the in-hand positions (a matched posting always
+    // carries at least one position, so no empty-slice guard needed).
+    if matched >= 2 {
+        tagged.sort_unstable();
+        let span = min_cover_span(tagged, window_counts, matched as usize);
+        if span != u32::MAX {
+            score += window_bonus(span, matched as usize, ctx.params.proximity_bonus);
+        }
+    }
+
+    // Static factors: applied as two multiplies, in the reference
+    // order (authority, then freshness).
+    let (auth, fresh) = ctx.statics[doc as usize];
+    score *= auth;
+    score *= fresh;
+    if ctx.params.coordination > 0.0 {
+        score *= coord[matched as usize];
+    }
+    score
+}
+
+/// Exhaustive DAAT merge: visit the smallest unscored document among
+/// the cursors, score it, repeat until every list is drained.
+#[allow(clippy::too_many_arguments)]
+fn run_exhaustive(
+    ctx: &ScoreCtx<'_>,
+    cursors: &mut [TermCursor],
+    heap: &mut Vec<(f64, DocNum)>,
+    overfetch: usize,
+    tagged: &mut Vec<(u32, u32)>,
+    window_counts: &mut Vec<u32>,
+    coord: &[f64],
+    stats: &mut KernelStats,
+) {
+    loop {
+        let mut doc = DocNum::MAX;
+        for c in cursors.iter() {
+            doc = doc.min(c.cur);
+        }
+        if doc == DocNum::MAX {
+            break;
+        }
+        let score = score_doc(ctx, doc, cursors, tagged, window_counts, coord);
+        heap_push(heap, overfetch, (score, doc));
+        stats.docs_scored += 1;
+    }
+}
+
+/// Max-score / block-max pruned merge.
+///
+/// `order`/`prefix` hold the cursor permutation sorted by ascending
+/// list bound and the prefix sums of those bounds. `bound_factor` is
+/// the pre-folded `max_static · BOUND_SLOP` multiplier and `prox_ub`
+/// the maximum achievable proximity bonus; coordination is folded in
+/// *per matched-count level* — a document matched by at most `j`
+/// cursors gets coordination ≤ `coord[j]` (the table is monotone
+/// increasing) and, for `j = 1`, no proximity bonus at all. Level-wise
+/// folding is what makes the demotion bound tight enough to matter:
+/// essential-list demotion, not per-candidate checks, does almost all
+/// of the skipping on multi-term queries.
+///
+/// Invariants that make the output byte-identical to the exhaustive
+/// merge (DESIGN.md §3 gives the full argument):
+///
+/// * a document is only skipped while the heap is full, and only when
+///   its inflated upper bound is ≤ the heap threshold — which, thanks
+///   to [`BOUND_SLOP`], implies its true score is *strictly* below
+///   every pooled score, so it could not have entered the pool;
+/// * a scored document goes through [`score_doc`], the identical float
+///   sequence of the exhaustive path.
+#[allow(clippy::too_many_arguments)]
+fn run_pruned(
+    ctx: &ScoreCtx<'_>,
+    bounds: &BoundTable,
+    cursors: &mut [TermCursor],
+    heap: &mut Vec<(f64, DocNum)>,
+    overfetch: usize,
+    order: &mut Vec<u32>,
+    prefix: &mut Vec<f64>,
+    tagged: &mut Vec<(u32, u32)>,
+    window_counts: &mut Vec<u32>,
+    coord: &[f64],
+    prox_ub: f64,
+    bound_factor: f64,
+    stats: &mut KernelStats,
+) {
+    let n = cursors.len();
+    order.clear();
+    order.extend(0..n as u32);
+    order.sort_unstable_by(|&a, &b| {
+        cursors[a as usize]
+            .ub
+            .total_cmp(&cursors[b as usize].ub)
+            .then(a.cmp(&b))
+    });
+    prefix.clear();
+    prefix.push(0.0);
+    for j in 0..n {
+        let sum = prefix[j] + cursors[order[j] as usize].ub;
+        prefix.push(sum);
+    }
+    // Proximity contribution for a document matched by ≤ j cursors:
+    // none for j < 2.
+    let prox_at = |j: usize| if j >= 2 { prox_ub } else { 0.0 };
+
+    // Number of non-essential lists: the m cheapest lists, whose
+    // combined bound cannot beat the threshold. Documents appearing
+    // only in those lists are never generated as candidates — they are
+    // matched by at most m cursors, so their bound also folds in
+    // coord[m] and drops the proximity bonus when m = 1. Grows
+    // monotonically as the threshold rises.
+    let mut m = 0usize;
+    loop {
+        let full = heap.len() == overfetch;
+        let theta = if full { heap[0].0 } else { f64::NEG_INFINITY };
+        if full {
+            while m < n && (prefix[m + 1] + prox_at(m + 1)) * coord[m + 1] * bound_factor <= theta {
+                m += 1;
+            }
+            if m == n {
+                // Even all lists combined can't beat the threshold:
+                // nothing left anywhere can enter the pool.
+                break;
+            }
+        }
+
+        // Candidate: smallest unscored document in the essential lists.
+        let mut d = DocNum::MAX;
+        for &i in &order[m..] {
+            d = d.min(cursors[i as usize].cur);
+        }
+        if d == DocNum::MAX {
+            break;
+        }
+
+        if full {
+            // Refine the bound for d in one pass over the essential
+            // lists: the at-d lists contribute their *current block's*
+            // bound (memoized in the cursor, refreshed only on block
+            // crossings), the other essential lists cannot contain d,
+            // and the non-essential lists contribute their prefix. A
+            // document matched by `at_d` essential cursors plus the m
+            // non-essential lists is matched by at most `m + at_d`
+            // cursors, so coordination and proximity fold in at that
+            // level. (A list-level version of this check can never
+            // fire: the at-d list-sum is at least `prefix[m + 1]`,
+            // which the m-loop just proved beats theta.)
+            let mut blk_sum = prefix[m];
+            let mut at_d = 0usize;
+            let mut block_end = DocNum::MAX;
+            let mut next_other = DocNum::MAX;
+            for &i in &order[m..] {
+                let c = &mut cursors[i as usize];
+                if c.cur == d {
+                    at_d += 1;
+                    let blk = c.next / BLOCK_LEN as u32;
+                    if blk != c.blk {
+                        c.blk = blk;
+                        c.blk_ub = bounds.block_ubs(c.term)[blk as usize];
+                        c.blk_last = ctx.store.blocks_by_id(c.term)[blk as usize].last_doc;
+                    }
+                    blk_sum += c.blk_ub;
+                    block_end = block_end.min(c.blk_last);
+                } else if c.cur < next_other {
+                    next_other = c.cur;
+                }
+            }
+            let level = (m + at_d).min(n);
+            if (blk_sum + prox_at(level)) * coord[level] * bound_factor <= theta {
+                // d — and every document up to the nearest at-d block
+                // boundary that precedes the other essential cursors —
+                // is covered by the same failed bound: jump past it
+                // without touching postings.
+                let target = next_other.min(block_end.saturating_add(1));
+                for &i in &order[m..] {
+                    let c = &mut cursors[i as usize];
+                    if c.cur == d {
+                        seek(ctx.store, c, target);
+                    }
+                }
+                stats.candidates_pruned += 1;
+                continue;
+            }
+        }
+
+        // Survivor: pull every cursor (including non-essential ones)
+        // up to d and score it exactly like the exhaustive path.
+        for c in cursors.iter_mut() {
+            seek(ctx.store, c, d);
+        }
+        let score = score_doc(ctx, d, cursors, tagged, window_counts, coord);
+        heap_push(heap, overfetch, (score, d));
+        stats.docs_scored += 1;
+    }
+}
+
 /// Executes one query document-at-a-time and returns the final,
 /// host-crowded, truncated result list (snippets extracted only for
 /// the survivors).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute(
     index: &SearchIndex,
     params: &RankingParams,
-    statics: &[(f64, f64)],
+    statics: &StaticTable,
+    bounds: &BoundTable,
     scratch: &mut QueryScratch,
     terms: &[String],
     k: usize,
+    mode: EvalMode,
 ) -> Vec<SerpResult> {
     let store = index.postings();
     let doc_count = store.doc_count();
@@ -207,7 +583,15 @@ pub(crate) fn execute(
             scratch.cursors.push(TermCursor {
                 term: id,
                 next: 0,
+                cur: store
+                    .postings_by_id(id)
+                    .first()
+                    .map_or(DocNum::MAX, |p| p.doc),
                 idf: idf(doc_count, store.doc_freq_by_id(id)),
+                ub: bounds.list_ub(id),
+                blk: u32::MAX,
+                blk_ub: 0.0,
+                blk_last: 0,
             });
         }
     }
@@ -237,64 +621,58 @@ pub(crate) fn execute(
         tagged,
         window_counts,
         coord,
+        order,
+        prefix,
+        stats,
         ..
     } = &mut *scratch;
 
-    // DAAT merge: repeatedly visit the smallest unscored document among
-    // the cursors, gathering all of its matching postings at once.
-    loop {
-        let mut doc = DocNum::MAX;
-        for c in cursors.iter() {
-            let list = store.postings_by_id(c.term);
-            if let Some(p) = list.get(c.next as usize) {
-                doc = doc.min(p.doc);
-            }
+    let ctx = ScoreCtx {
+        store,
+        index,
+        params,
+        statics: &statics.factors,
+        avg_len,
+    };
+    match mode {
+        EvalMode::Exhaustive => run_exhaustive(
+            &ctx,
+            cursors,
+            heap,
+            overfetch,
+            tagged,
+            window_counts,
+            coord,
+            stats,
+        ),
+        EvalMode::Pruned => {
+            // A document matching one cursor gets no proximity bonus;
+            // with several cursors the bonus is capped by the params.
+            let prox_ub = if cursors.len() >= 2 {
+                params.proximity_bonus
+            } else {
+                0.0
+            };
+            // The query-invariant multipliers: the max static product
+            // and the strict slop. Coordination is folded in per
+            // matched-count level inside `run_pruned`.
+            let bound_factor = statics.max_factor * BOUND_SLOP;
+            run_pruned(
+                &ctx,
+                bounds,
+                cursors,
+                heap,
+                overfetch,
+                order,
+                prefix,
+                tagged,
+                window_counts,
+                coord,
+                prox_ub,
+                bound_factor,
+                stats,
+            )
         }
-        if doc == DocNum::MAX {
-            break;
-        }
-
-        let meta = index.doc(doc);
-        let doc_len = f64::from(meta.token_len);
-        let mut score = 0.0;
-        let mut matched = 0u32;
-        tagged.clear();
-        // Cursors iterate in query-term order, so per-document additions
-        // happen in exactly the reference scorer's sequence.
-        for c in cursors.iter_mut() {
-            let list = store.postings_by_id(c.term);
-            if let Some(p) = list.get(c.next as usize) {
-                if p.doc == doc {
-                    score += term_score_idf(&params.bm25, p, c.idf, doc_len, avg_len);
-                    for &pos in &p.positions {
-                        tagged.push((pos, matched));
-                    }
-                    matched += 1;
-                    c.next += 1;
-                }
-            }
-        }
-
-        // Proximity over the in-hand positions (a matched posting always
-        // carries at least one position, so no empty-slice guard needed).
-        if matched >= 2 {
-            tagged.sort_unstable();
-            let span = min_cover_span(tagged, window_counts, matched as usize);
-            if span != u32::MAX {
-                score += window_bonus(span, matched as usize, params.proximity_bonus);
-            }
-        }
-
-        // Static factors: applied as two multiplies, in the reference
-        // order (authority, then freshness).
-        let (auth, fresh) = statics[doc as usize];
-        score *= auth;
-        score *= fresh;
-        if params.coordination > 0.0 {
-            score *= coord[matched as usize];
-        }
-
-        heap_push(heap, overfetch, (score, doc));
     }
 
     // Order the surviving candidates: same comparator the reference
@@ -345,6 +723,7 @@ pub(crate) fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use shift_corpus::{World, WorldConfig};
 
     fn drain_sorted(mut heap: Vec<(f64, DocNum)>) -> Vec<(f64, DocNum)> {
         heap.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
@@ -416,5 +795,89 @@ mod tests {
         scratch.bump_generation();
         assert_eq!(scratch.generation, 1);
         assert!(scratch.host_stamp.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn seek_lands_on_first_doc_at_or_after_target() {
+        let world = World::generate(&WorldConfig::small(), 7);
+        let index = SearchIndex::build(&world);
+        let store = index.postings();
+        let id = store.term_id("best").expect("common term indexed");
+        let list = store.postings_by_id(id);
+        assert!(list.len() > BLOCK_LEN, "need a multi-block list");
+        let probe = |start: u32, target: DocNum| {
+            let mut c = TermCursor {
+                term: id,
+                next: start,
+                cur: list.get(start as usize).map_or(DocNum::MAX, |p| p.doc),
+                idf: 0.0,
+                ub: 0.0,
+                blk: u32::MAX,
+                blk_ub: 0.0,
+                blk_last: 0,
+            };
+            seek(store, &mut c, target);
+            c.next as usize
+        };
+        // Every posting is findable from the start of the list.
+        for (i, p) in list.iter().enumerate().step_by(7) {
+            let at = probe(0, p.doc);
+            assert_eq!(at, i, "seek({}) landed on {}", p.doc, at);
+        }
+        // A target between two postings lands on the later one; a
+        // target past the end exhausts the cursor.
+        let gap_target = list[list.len() - 1].doc;
+        assert_eq!(probe(0, gap_target + 1), list.len());
+        // Seeking backwards (target already passed) never moves.
+        assert_eq!(probe(5, list[2].doc), 5);
+    }
+
+    #[test]
+    fn pruned_mode_scores_fewer_documents_than_exhaustive() {
+        use crate::query::{RankingParams, SearchEngine};
+
+        let world = World::generate(&WorldConfig::small(), 7);
+        let engine = SearchEngine::build(&world, RankingParams::google());
+        let mut scratch = QueryScratch::new();
+        let queries = [
+            "best laptops for students",
+            "most reliable SUVs 2025",
+            "best smartphones camera battery",
+        ];
+        for q in queries {
+            let _ = engine.search_with_mode(&mut scratch, q, 10, EvalMode::Pruned);
+        }
+        let pruned = scratch.take_stats();
+        assert_eq!(scratch.stats(), KernelStats::default(), "take resets");
+        for q in queries {
+            let _ = engine.search_with_mode(&mut scratch, q, 10, EvalMode::Exhaustive);
+        }
+        let exhaustive = scratch.take_stats();
+        assert!(pruned.docs_scored > 0);
+        assert_eq!(exhaustive.candidates_pruned, 0, "exhaustive never prunes");
+        assert!(
+            pruned.docs_scored < exhaustive.docs_scored,
+            "pruning never skipped a document: pruned {pruned:?} vs {exhaustive:?}"
+        );
+    }
+
+    #[test]
+    fn single_term_query_skips_whole_blocks() {
+        use crate::query::{RankingParams, SearchEngine};
+
+        let world = World::generate(&WorldConfig::small(), 7);
+        let engine = SearchEngine::build(&world, RankingParams::google());
+        let mut scratch = QueryScratch::new();
+        // One cursor: every pruning decision is a block-bound test, so
+        // any skipping shows up in candidates_pruned.
+        let _ = engine.search_with_mode(&mut scratch, "best", 5, EvalMode::Pruned);
+        let pruned = scratch.take_stats();
+        let _ = engine.search_with_mode(&mut scratch, "best", 5, EvalMode::Exhaustive);
+        let exhaustive = scratch.take_stats();
+        assert!(
+            pruned.docs_scored < exhaustive.docs_scored,
+            "single-term pruning scored everything: {pruned:?} vs {exhaustive:?}"
+        );
+        assert!(pruned.candidates_pruned > 0);
     }
 }

@@ -6,14 +6,17 @@
 //! Architecture (classic IR, nothing exotic):
 //!
 //! * [`postings`] — term dictionary (terms interned to dense [`postings::TermId`]s)
-//!   and positional posting lists, built once from a [`shift_corpus::World`].
+//!   and positional posting lists with per-64-posting block-max
+//!   summaries, built once from a [`shift_corpus::World`].
 //! * [`index`] — the immutable [`SearchIndex`]: postings + per-document
 //!   metadata (length, host, authority, age), interned host ids, and the
-//!   lazily built per-params static-score cache.
-//! * [`bm25`] — Okapi BM25 with field weighting (title terms count extra)
-//!   and a proximity bonus from positional data.
-//! * [`kernel`] — the document-at-a-time scoring kernel and its reusable
-//!   zero-allocation [`QueryScratch`].
+//!   lazily built per-params static-score and pruning-bound caches.
+//! * [`bm25`] — Okapi BM25 with field weighting (title terms count extra),
+//!   a proximity bonus from positional data, and the admissible
+//!   block-level score upper bound behind dynamic pruning.
+//! * [`kernel`] — the document-at-a-time scoring kernel (exhaustive and
+//!   max-score/block-max pruned [`EvalMode`]s, byte-identical outputs)
+//!   and its reusable zero-allocation [`QueryScratch`].
 //! * [`serp`] — result assembly: score blending (relevance × authority ×
 //!   freshness), host-crowding limits, snippet extraction.
 //! * [`query`] — the user-facing [`SearchEngine`] handle, plus the frozen
@@ -46,7 +49,8 @@ pub mod query;
 pub mod serp;
 
 pub use bm25::Bm25Params;
-pub use index::SearchIndex;
-pub use kernel::{with_thread_scratch, QueryScratch};
+pub use index::{BoundTable, IndexStats, SearchIndex, StaticTable};
+pub use kernel::{with_thread_scratch, EvalMode, KernelStats, QueryScratch};
+pub use postings::{PostingsStats, BLOCK_LEN};
 pub use query::{RankingParams, SearchEngine};
 pub use serp::{Serp, SerpResult};

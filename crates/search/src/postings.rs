@@ -6,8 +6,39 @@
 //! each query term with exactly one dictionary probe ([`PostingsStore::term_id`])
 //! and from then on works purely with integer ids — the scoring hot
 //! path never hashes a string.
+//!
+//! Alongside each posting list the store keeps a *block-max table*:
+//! one [`BlockSummary`] per [`BLOCK_LEN`] consecutive postings, holding
+//! the block's last document plus the parameter-independent inputs a
+//! BM25 upper bound needs (max title/body term frequency, min document
+//! length). The dynamic-pruning kernel uses these both to skip forward
+//! in a list without touching postings and to bound what any document
+//! inside a block could possibly score.
 
 use std::collections::HashMap;
+
+/// Number of postings summarized by one [`BlockSummary`].
+pub const BLOCK_LEN: usize = 64;
+
+/// Per-block summary of [`BLOCK_LEN`] consecutive postings of one list.
+///
+/// The fields are chosen so an *admissible* BM25 upper bound for every
+/// posting in the block can be derived for any `Bm25Params` after the
+/// build: BM25 is monotone increasing in the (title-weighted) term
+/// frequency and decreasing in document length, so evaluating it at
+/// `(max_title_tf, max_body_tf, min_doc_len)` dominates every real
+/// posting in the block (see `bm25::term_score_bound`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Last (largest) document number in the block — the skip pointer.
+    pub last_doc: DocNum,
+    /// Maximum title term frequency over the block's postings.
+    pub max_title_tf: u32,
+    /// Maximum body term frequency over the block's postings.
+    pub max_body_tf: u32,
+    /// Minimum document length (in tokens) over the block's postings.
+    pub min_doc_len: u32,
+}
 
 /// Internal dense document number (index into the document-meta table).
 pub type DocNum = u32;
@@ -35,6 +66,7 @@ pub struct Posting {
 pub struct PostingsStore {
     dict: HashMap<String, TermId>,
     lists: Vec<Vec<Posting>>,
+    blocks: Vec<Vec<BlockSummary>>,
     doc_count: u32,
     total_tokens: u64,
 }
@@ -50,7 +82,8 @@ impl PostingsStore {
     pub fn add_document(&mut self, doc: DocNum, title_terms: &[String], body_terms: &[String]) {
         debug_assert_eq!(doc, self.doc_count, "documents must be added densely");
         self.doc_count += 1;
-        self.total_tokens += (title_terms.len() + body_terms.len()) as u64;
+        let doc_len = (title_terms.len() + body_terms.len()) as u32;
+        self.total_tokens += u64::from(doc_len);
 
         let mut local: HashMap<&str, Posting> = HashMap::new();
         for (pos, term) in title_terms.iter().enumerate() {
@@ -76,8 +109,29 @@ impl PostingsStore {
         }
         for (term, posting) in local {
             let id = self.intern(term);
-            self.lists[id as usize].push(posting);
+            self.push_posting(id, posting, doc_len);
         }
+    }
+
+    /// Appends one posting to a list, maintaining the block-max table.
+    fn push_posting(&mut self, id: TermId, posting: Posting, doc_len: u32) {
+        let list = &mut self.lists[id as usize];
+        let blocks = &mut self.blocks[id as usize];
+        if list.len() % BLOCK_LEN == 0 {
+            blocks.push(BlockSummary {
+                last_doc: posting.doc,
+                max_title_tf: posting.title_tf,
+                max_body_tf: posting.body_tf,
+                min_doc_len: doc_len,
+            });
+        } else {
+            let b = blocks.last_mut().expect("non-empty list has a block");
+            b.last_doc = posting.doc;
+            b.max_title_tf = b.max_title_tf.max(posting.title_tf);
+            b.max_body_tf = b.max_body_tf.max(posting.body_tf);
+            b.min_doc_len = b.min_doc_len.min(doc_len);
+        }
+        list.push(posting);
     }
 
     /// Interns `term`, assigning the next dense id on first sight.
@@ -88,6 +142,7 @@ impl PostingsStore {
         let id = self.lists.len() as TermId;
         self.dict.insert(term.to_string(), id);
         self.lists.push(Vec::new());
+        self.blocks.push(Vec::new());
         id
     }
 
@@ -101,6 +156,13 @@ impl PostingsStore {
     #[inline]
     pub fn postings_by_id(&self, id: TermId) -> &[Posting] {
         &self.lists[id as usize]
+    }
+
+    /// Block-max table of a list by interned id: one [`BlockSummary`]
+    /// per [`BLOCK_LEN`] postings, in list order.
+    #[inline]
+    pub fn blocks_by_id(&self, id: TermId) -> &[BlockSummary] {
+        &self.blocks[id as usize]
     }
 
     /// Document frequency by interned id.
@@ -139,6 +201,52 @@ impl PostingsStore {
     pub fn vocabulary_size(&self) -> usize {
         self.lists.len()
     }
+
+    /// Size and estimated-footprint report over the store — the raw
+    /// material for [`crate::index::IndexStats`] and the groundwork for
+    /// the postings-compression follow-on (how many bytes delta/varint
+    /// coding would have to beat).
+    pub fn stats(&self) -> PostingsStats {
+        let postings: u64 = self.lists.iter().map(|l| l.len() as u64).sum();
+        let positions: u64 = self
+            .lists
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|p| p.positions.len() as u64)
+            .sum();
+        let block_entries: u64 = self.blocks.iter().map(|b| b.len() as u64).sum();
+        let postings_bytes = postings * std::mem::size_of::<Posting>() as u64;
+        let positions_bytes = positions * std::mem::size_of::<u32>() as u64;
+        let block_bytes = block_entries * std::mem::size_of::<BlockSummary>() as u64;
+        PostingsStats {
+            vocabulary: self.lists.len(),
+            postings,
+            positions,
+            postings_bytes,
+            positions_bytes,
+            block_entries,
+            block_bytes,
+        }
+    }
+}
+
+/// Size report over a [`PostingsStore`] (see [`PostingsStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostingsStats {
+    /// Number of distinct terms.
+    pub vocabulary: usize,
+    /// Total postings (distinct term–document pairs).
+    pub postings: u64,
+    /// Total stored token positions.
+    pub positions: u64,
+    /// Estimated heap bytes of the posting structs themselves.
+    pub postings_bytes: u64,
+    /// Estimated heap bytes of the position arrays.
+    pub positions_bytes: u64,
+    /// Entries in the block-max tables across all lists.
+    pub block_entries: u64,
+    /// Estimated heap bytes of the block-max tables.
+    pub block_bytes: u64,
 }
 
 #[cfg(test)]
@@ -232,5 +340,67 @@ mod tests {
         }
         let docs: Vec<u32> = store.postings("common").iter().map(|p| p.doc).collect();
         assert_eq!(docs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn block_table_summarizes_every_block() {
+        let mut store = PostingsStore::new();
+        // 150 docs → 3 blocks (64 + 64 + 22); vary tf and doc length.
+        for d in 0..150u32 {
+            let mut title = terms(&["common"]);
+            let mut body = Vec::new();
+            for _ in 0..(d % 7) {
+                body.push("common".to_string());
+            }
+            for _ in 0..(d % 11) {
+                body.push("filler".to_string());
+            }
+            if d % 3 == 0 {
+                title.push("common".to_string());
+            }
+            store.add_document(d, &title, &body);
+        }
+        let id = store.term_id("common").unwrap();
+        let list = store.postings_by_id(id);
+        let blocks = store.blocks_by_id(id);
+        assert_eq!(blocks.len(), list.len().div_ceil(BLOCK_LEN));
+        for (b, summary) in blocks.iter().enumerate() {
+            let lo = b * BLOCK_LEN;
+            let hi = ((b + 1) * BLOCK_LEN).min(list.len());
+            let chunk = &list[lo..hi];
+            assert_eq!(summary.last_doc, chunk.last().unwrap().doc);
+            assert_eq!(
+                summary.max_title_tf,
+                chunk.iter().map(|p| p.title_tf).max().unwrap()
+            );
+            assert_eq!(
+                summary.max_body_tf,
+                chunk.iter().map(|p| p.body_tf).max().unwrap()
+            );
+            // Every posting's document is at least min_doc_len long.
+            for p in chunk {
+                let len = p.title_tf + p.body_tf; // lower bound on doc len
+                assert!(summary.min_doc_len >= 1 && summary.min_doc_len <= 150);
+                assert!(len >= 1);
+            }
+        }
+        // min_doc_len is an actual document length: block 0 holds docs
+        // 0..64; doc 1 has title len 1 (+ body fillers) — the minimum in
+        // that range is doc 1's length 1 + (1 % 7) + (1 % 11) = 3? doc 2:
+        // 1 + 2 + 2 = 5; doc 1 = 1 + 1 + 1 = 3; doc 0: title 2, body 0 = 2.
+        assert_eq!(blocks[0].min_doc_len, 2);
+    }
+
+    #[test]
+    fn stats_count_postings_positions_and_blocks() {
+        let mut store = PostingsStore::new();
+        store.add_document(0, &terms(&["a", "b"]), &terms(&["a", "c"]));
+        store.add_document(1, &terms(&["a"]), &[]);
+        let s = store.stats();
+        assert_eq!(s.vocabulary, 3);
+        assert_eq!(s.postings, 4); // a×2 docs, b, c
+        assert_eq!(s.positions, 5); // every token position is stored
+        assert_eq!(s.block_entries, 3); // one short block per list
+        assert!(s.postings_bytes > 0 && s.positions_bytes > 0 && s.block_bytes > 0);
     }
 }

@@ -11,8 +11,8 @@ use shift_corpus::World;
 use shift_textkit::analyze;
 
 use crate::bm25::Bm25Params;
-use crate::index::{SearchIndex, StaticScores};
-use crate::kernel::{self, QueryScratch};
+use crate::index::{BoundTable, SearchIndex, StaticTable};
+use crate::kernel::{self, EvalMode, QueryScratch};
 use crate::serp::Serp;
 
 /// Full ranking parameterization: relevance + priors + result shaping.
@@ -94,8 +94,11 @@ pub struct SearchEngine {
     params: RankingParams,
     // This engine's handle into the index's per-params static-score
     // cache, resolved on first search. Engines sharing an index and a
-    // parameterization share the underlying vector.
-    statics: OnceLock<Arc<StaticScores>>,
+    // parameterization share the underlying table.
+    statics: OnceLock<Arc<StaticTable>>,
+    // This engine's handle into the index's per-BM25-params pruning
+    // bound cache (per-term and per-block score upper bounds).
+    bounds: OnceLock<Arc<BoundTable>>,
 }
 
 impl SearchEngine {
@@ -105,6 +108,7 @@ impl SearchEngine {
             index: Arc::new(SearchIndex::build(world)),
             params,
             statics: OnceLock::new(),
+            bounds: OnceLock::new(),
         }
     }
 
@@ -115,6 +119,7 @@ impl SearchEngine {
             index,
             params,
             statics: OnceLock::new(),
+            bounds: OnceLock::new(),
         }
     }
 
@@ -135,7 +140,7 @@ impl SearchEngine {
 
     /// This engine's static score factors (lazily built, then cached on
     /// the shared index keyed by the parameter triple).
-    fn statics(&self) -> &Arc<StaticScores> {
+    fn statics(&self) -> &Arc<StaticTable> {
         self.statics.get_or_init(|| {
             self.index.static_scores(
                 self.params.authority_weight,
@@ -143,6 +148,13 @@ impl SearchEngine {
                 self.params.freshness_half_life,
             )
         })
+    }
+
+    /// This engine's pruning bound tables (lazily built, then cached on
+    /// the shared index keyed by the BM25 parameter triple).
+    fn bounds(&self) -> &Arc<BoundTable> {
+        self.bounds
+            .get_or_init(|| self.index.bound_table(&self.params.bm25))
     }
 
     /// Executes a query and returns the top-`k` SERP.
@@ -156,7 +168,24 @@ impl SearchEngine {
 
     /// Executes a query with an explicitly managed scratch (the
     /// zero-allocation hot path for serving workers and batch runners).
+    ///
+    /// Runs the dynamically pruned kernel ([`EvalMode::Pruned`]), which
+    /// returns byte-identical SERPs to the exhaustive merge — gated by
+    /// `tests/differential_search.rs`.
     pub fn search_with(&self, scratch: &mut QueryScratch, query: &str, k: usize) -> Serp {
+        self.search_with_mode(scratch, query, k, EvalMode::Pruned)
+    }
+
+    /// Executes a query with an explicit evaluation mode — the hook
+    /// benches and differential tests use to compare the pruned kernel
+    /// against the exhaustive merge on identical inputs.
+    pub fn search_with_mode(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &str,
+        k: usize,
+        mode: EvalMode,
+    ) -> Serp {
         let terms = analyze(query);
         let mut serp = Serp {
             query: query.to_string(),
@@ -169,9 +198,11 @@ impl SearchEngine {
             &self.index,
             &self.params,
             self.statics(),
+            self.bounds(),
             scratch,
             &terms,
             k,
+            mode,
         );
         serp
     }

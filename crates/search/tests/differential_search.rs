@@ -1,16 +1,19 @@
-//! Differential gate for the DAAT kernel: the fast path must return
-//! byte-identical SERPs to the frozen term-at-a-time reference scorer
-//! (`query::reference`) on every world, parameterization, query and k —
-//! scores compared at the bit level, not with a tolerance.
+//! Differential gate for the DAAT kernel: both evaluation modes — the
+//! exhaustive merge and the max-score/block-max *pruned* kernel — must
+//! return byte-identical SERPs to the frozen term-at-a-time reference
+//! scorer (`query::reference`) on every world, parameterization, query
+//! and k — scores compared at the bit level, not with a tolerance.
 
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use shift_corpus::{World, WorldConfig};
 use shift_search::query::reference;
-use shift_search::{QueryScratch, RankingParams, SearchEngine, Serp};
+use shift_search::{EvalMode, QueryScratch, RankingParams, SearchEngine, Serp};
 
-/// Engines over two independent worlds × the two study parameterizations.
+/// Engines over two independent worlds × the two study
+/// parameterizations, plus two stress parameterizations for the
+/// kernel's edge paths.
 fn engines() -> &'static Vec<SearchEngine> {
     static ENGINES: OnceLock<Vec<SearchEngine>> = OnceLock::new();
     ENGINES.get_or_init(|| {
@@ -32,6 +35,24 @@ fn engines() -> &'static Vec<SearchEngine> {
             ..RankingParams::google()
         };
         engines.push(SearchEngine::build(&world, bare));
+        // A tie-dense parameterization: b = 0 removes length
+        // normalization and zeroed static weights collapse every
+        // document's static factors to exactly (1, 1), so documents
+        // with equal term frequencies score bit-identically. This is
+        // the adversarial case for pruning — equal-score tie clusters
+        // straddle the heap threshold, and the `score desc, doc asc`
+        // tie-break must survive block skipping.
+        let world = World::generate(&WorldConfig::small(), 29);
+        let mut ties = RankingParams {
+            proximity_bonus: 0.0,
+            coordination: 0.0,
+            max_per_host: 0,
+            authority_weight: 0.0,
+            freshness_weight: 0.0,
+            ..RankingParams::google()
+        };
+        ties.bm25.b = 0.0;
+        engines.push(SearchEngine::build(&world, ties));
         engines
     })
 }
@@ -60,6 +81,16 @@ fn assert_serp_identical(kernel: &Serp, reference: &Serp) {
         assert_eq!(a.source_type, b.source_type);
         assert_eq!(a.age_days.to_bits(), b.age_days.to_bits());
     }
+}
+
+/// Pruned mode, exhaustive mode and the reference oracle must agree
+/// byte-for-byte.
+fn assert_all_paths_identical(engine: &SearchEngine, q: &str, k: usize) {
+    let pruned = engine.search(q, k); // default path = pruned
+    let exhaustive = engine.search_with_mode(&mut QueryScratch::new(), q, k, EvalMode::Exhaustive);
+    let oracle = reference::search(engine, q, k);
+    assert_serp_identical(&pruned, &oracle);
+    assert_serp_identical(&exhaustive, &oracle);
 }
 
 /// Query strings mixing realistic templates (which hit many postings,
@@ -95,17 +126,77 @@ fn query() -> impl Strategy<Value = String> {
     ]
 }
 
+/// Single-term queries: with one cursor every pruning decision is a
+/// block-bound test, the pure block-max skipping path.
+fn single_term_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("best".to_string()),
+        Just("laptops".to_string()),
+        Just("battery".to_string()),
+        Just("review".to_string()),
+        Just("hotels".to_string()),
+        Just("2025".to_string()),
+    ]
+}
+
+/// Queries that analyze to nothing (stopwords) or resolve no cursors
+/// (terms absent from the vocabulary) — both must yield empty SERPs
+/// from every path.
+fn degenerate_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("the of and".to_string()),
+        Just("a an the".to_string()),
+        Just("xylophonic quuxations".to_string()),
+        Just("zzzzqqq wwwwvvv".to_string()),
+        Just("the xylophonic of".to_string()),
+        Just("".to_string()),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The kernel and the reference scorer agree byte-for-byte on every
-    /// engine, query and k.
+    /// The pruned kernel, the exhaustive kernel and the reference
+    /// scorer agree byte-for-byte on every engine, query and k.
     #[test]
-    fn kernel_matches_reference(q in query(), k in 0usize..25, which in 0usize..5) {
+    fn kernel_matches_reference(q in query(), k in 0usize..25, which in 0usize..6) {
+        assert_all_paths_identical(&engines()[which], &q, k);
+    }
+
+    /// Overfetch larger than the matching set (k up to world size and
+    /// beyond): pruning must degrade to the exhaustive merge without
+    /// dropping or reordering anything.
+    #[test]
+    fn k_at_or_beyond_matching_docs(q in query(), k in 500usize..2000, which in 0usize..6) {
+        assert_all_paths_identical(&engines()[which], &q, k);
+    }
+
+    /// Single-term queries exercise pure block-max skipping.
+    #[test]
+    fn single_term_queries_match(q in single_term_query(), k in 1usize..40, which in 0usize..6) {
+        assert_all_paths_identical(&engines()[which], &q, k);
+    }
+
+    /// All-stopword / unknown-term / empty queries return empty SERPs
+    /// from every path.
+    #[test]
+    fn degenerate_queries_are_empty_everywhere(q in degenerate_query(), k in 0usize..20, which in 0usize..6) {
         let engine = &engines()[which];
-        let fast = engine.search(&q, k);
-        let slow = reference::search(engine, &q, k);
-        assert_serp_identical(&fast, &slow);
+        let pruned = engine.search(&q, k);
+        let exhaustive = engine.search_with_mode(&mut QueryScratch::new(), &q, k, EvalMode::Exhaustive);
+        let oracle = reference::search(engine, &q, k);
+        prop_assert!(pruned.results.is_empty());
+        prop_assert!(exhaustive.results.is_empty());
+        prop_assert!(oracle.results.is_empty());
+    }
+
+    /// The tie-dense engine (uniform static factors, no length
+    /// normalization) produces equal-score clusters; whatever k cuts
+    /// through a cluster, the `score desc, doc asc` order must survive
+    /// pruning bit-for-bit.
+    #[test]
+    fn tie_clusters_straddling_the_threshold(q in single_term_query(), k in 1usize..60) {
+        assert_all_paths_identical(&engines()[5], &q, k);
     }
 
     /// A single scratch reused across an arbitrary query sequence never
@@ -152,8 +243,51 @@ fn consecutive_queries_on_one_scratch_do_not_leak() {
 fn host_crowding_agrees_with_reference() {
     for engine in engines() {
         let q = "best smartphones camera battery life";
-        let fast = engine.search(q, 20);
-        let slow = reference::search(engine, q, 20);
+        assert_all_paths_identical(engine, q, 20);
+    }
+}
+
+/// The tie-dense engine really does produce equal-score clusters (the
+/// tie tests above would be vacuous otherwise), and the clusters come
+/// back in ascending document order.
+#[test]
+fn tie_engine_produces_real_score_ties() {
+    let engine = &engines()[5];
+    let serp = engine.search("best", 60);
+    let mut tie_pairs = 0;
+    for pair in serp.results.windows(2) {
+        if pair[0].score.to_bits() == pair[1].score.to_bits() {
+            tie_pairs += 1;
+        }
+    }
+    assert!(
+        tie_pairs > 0,
+        "expected bit-equal score ties in the tie-dense engine"
+    );
+    assert_serp_identical(&serp, &reference::search(engine, "best", 60));
+}
+
+/// Pruning effectiveness is visible through the public stats while the
+/// output stays byte-identical — the core claim of this PR.
+#[test]
+fn pruning_skips_work_but_not_results() {
+    let engine = &engines()[0];
+    let mut pruned_scratch = QueryScratch::new();
+    let mut exhaustive_scratch = QueryScratch::new();
+    for q in [
+        "best laptops for students",
+        "best smartphones camera battery",
+        "top 10 hotels 2025",
+        "review espresso machines",
+    ] {
+        let fast = engine.search_with_mode(&mut pruned_scratch, q, 10, EvalMode::Pruned);
+        let slow = engine.search_with_mode(&mut exhaustive_scratch, q, 10, EvalMode::Exhaustive);
         assert_serp_identical(&fast, &slow);
     }
+    let fast_stats = pruned_scratch.take_stats();
+    let slow_stats = exhaustive_scratch.take_stats();
+    assert!(
+        fast_stats.docs_scored < slow_stats.docs_scored,
+        "pruning scored as much as the exhaustive merge: {fast_stats:?} vs {slow_stats:?}"
+    );
 }

@@ -23,4 +23,7 @@ cargo test -q -p shift-search
 echo "== retrieval kernel: bench smoke (small world, checks byte-identity) =="
 cargo bench -p shift-bench --bench search_kernel -- --quick
 
+echo "== retrieval kernel: throughput gate (paper scale vs committed BENCH_search.json) =="
+cargo bench -p shift-bench --bench search_kernel -- --gate
+
 echo "verify.sh: all checks passed"
