@@ -1,5 +1,7 @@
-//! Serving-layer benchmarks: cache hit vs. engine compute latency, and
-//! closed-loop throughput of the worker pool at several client counts.
+//! Serving-layer benchmarks: cache hit vs. engine compute latency,
+//! closed-loop throughput of the worker pool at several client counts,
+//! and the zero-fault overhead of the resilience machinery (the <5 %
+//! regression budget of ISSUE 4).
 
 use std::sync::Arc;
 
@@ -103,5 +105,46 @@ fn bench_closed_loop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_request, bench_closed_loop);
+fn bench_resilience_overhead(c: &mut Criterion) {
+    // Same cold closed-loop run, resilience armed vs. disabled, no
+    // faults: the difference is the pure cost of the breaker admit /
+    // record pair per request (lock-free atomics on the hot path).
+    let engines = engines();
+    let workload = Workload::mixed(&engines.world_handle(), 77);
+    let mut group = c.benchmark_group("serve_resilience_overhead_200req");
+    group.sample_size(10);
+    for (label, disable) in [("resilience_on", false), ("resilience_off", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut config = ServeConfig::with_workers(4);
+                if disable {
+                    config = config.without_resilience();
+                }
+                let service = AnswerService::start(Arc::clone(&engines), config);
+                let outcome = run_load(
+                    &service,
+                    &workload,
+                    &LoadConfig {
+                        requests: 200,
+                        engines: EngineKind::ALL.to_vec(),
+                        top_k: 10,
+                        mode: LoadMode::Closed { clients: 4 },
+                        seed: 4242,
+                    },
+                );
+                assert_eq!(outcome.succeeded, 200);
+                assert_eq!(outcome.served_degraded, 0);
+                black_box(service.shutdown())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_request,
+    bench_closed_loop,
+    bench_resilience_overhead
+);
 criterion_main!(benches);

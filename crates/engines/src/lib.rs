@@ -20,10 +20,14 @@
 #![forbid(unsafe_code)]
 
 pub mod answer;
+pub mod fault;
 pub mod persona;
 pub mod stack;
 
 pub use answer::{Citation, EngineAnswer};
+pub use fault::{
+    EngineError, FallibleEngines, FaultDecision, FaultInjector, FaultPlan, OutageWindow,
+};
 pub use persona::{EngineKind, Persona};
 pub use stack::AnswerEngines;
 

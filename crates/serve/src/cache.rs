@@ -24,6 +24,10 @@ pub struct CacheConfig {
     pub capacity_per_shard: usize,
     /// Time-to-live of an entry; `None` means entries never expire.
     pub ttl: Option<Duration>,
+    /// Keep expired entries resident (still reported as misses by
+    /// [`AnswerCache::get`]) so the resilience layer can serve them via
+    /// [`AnswerCache::get_stale`] when the engine is down.
+    pub keep_stale: bool,
 }
 
 impl Default for CacheConfig {
@@ -32,6 +36,7 @@ impl Default for CacheConfig {
             shards: 8,
             capacity_per_shard: 512,
             ttl: Some(Duration::from_secs(300)),
+            keep_stale: false,
         }
     }
 }
@@ -43,6 +48,21 @@ impl CacheConfig {
             shards: 1,
             capacity_per_shard: 0,
             ttl: None,
+            keep_stale: false,
+        }
+    }
+
+    /// Every entry is stale the instant it is inserted, but stays
+    /// resident for stale serving. Used by the chaos harness: the fresh
+    /// fast path never fires (so every request exercises the engine and
+    /// its fault injector), while the stale-degradation ladder stays
+    /// fully stocked — and no wall-clock TTL race can perturb the run.
+    pub fn always_stale() -> CacheConfig {
+        CacheConfig {
+            shards: 8,
+            capacity_per_shard: 512,
+            ttl: Some(Duration::ZERO),
+            keep_stale: true,
         }
     }
 }
@@ -112,6 +132,9 @@ pub struct CacheStats {
     pub expirations: u64,
     /// Successful inserts (including overwrites of an existing key).
     pub inserts: u64,
+    /// Expired entries served anyway through [`AnswerCache::get_stale`]
+    /// (the stale-while-revalidate degradation path).
+    pub stale_hits: u64,
 }
 
 impl CacheStats {
@@ -197,11 +220,13 @@ pub struct AnswerCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
     ttl: Option<Duration>,
+    keep_stale: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     expirations: AtomicU64,
     inserts: AtomicU64,
+    stale_hits: AtomicU64,
 }
 
 impl AnswerCache {
@@ -214,11 +239,13 @@ impl AnswerCache {
                 .collect(),
             capacity_per_shard: config.capacity_per_shard,
             ttl: config.ttl,
+            keep_stale: config.keep_stale,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             expirations: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            stale_hits: AtomicU64::new(0),
         }
     }
 
@@ -261,6 +288,12 @@ impl AnswerCache {
         };
         if let Some(ttl) = self.ttl {
             if shard.slab[slot].inserted.elapsed() >= ttl {
+                if self.keep_stale {
+                    // A miss for the fresh path, but the entry stays
+                    // resident for `get_stale`.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
                 shard.remove_slot(slot);
                 self.expirations.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -270,6 +303,23 @@ impl AnswerCache {
         shard.unlink(slot);
         shard.push_front(slot);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(shard.slab[slot].answer.clone())
+    }
+
+    /// Look up a key ignoring TTL — the stale-serving degradation path.
+    ///
+    /// Returns whatever is resident, fresh or expired, refreshing its
+    /// recency so a repeatedly stale-served entry is not the next LRU
+    /// victim. Counts a `stale_hits` stat instead of a regular hit.
+    pub fn get_stale(&self, key: &CacheKey) -> Option<EngineAnswer> {
+        if self.is_disabled() {
+            return None;
+        }
+        let mut shard = self.shards[self.shard_for(key)].lock();
+        let &slot = shard.map.get(key)?;
+        shard.unlink(slot);
+        shard.push_front(slot);
+        self.stale_hits.fetch_add(1, Ordering::Relaxed);
         Some(shard.slab[slot].answer.clone())
     }
 
@@ -325,6 +375,7 @@ impl AnswerCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            stale_hits: self.stale_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -360,6 +411,7 @@ mod tests {
             shards: 1,
             capacity_per_shard: capacity,
             ttl: None,
+            keep_stale: false,
         })
     }
 
@@ -416,6 +468,7 @@ mod tests {
             shards: 1,
             capacity_per_shard: 8,
             ttl: Some(Duration::from_millis(20)),
+            keep_stale: false,
         });
         let k = CacheKey::new(EngineKind::Perplexity, "ephemeral", 10, 3);
         cache.insert(k.clone(), answer("x"));
@@ -433,6 +486,7 @@ mod tests {
             shards: 8,
             capacity_per_shard: 64,
             ttl: None,
+            keep_stale: false,
         });
         assert_eq!(cache.shard_count(), 8);
         let keys: Vec<CacheKey> = (0..64)
@@ -457,6 +511,51 @@ mod tests {
         );
         let resident: usize = (0..8).map(|s| cache.shard_keys(s).len()).sum();
         assert_eq!(resident, 64);
+    }
+
+    #[test]
+    fn keep_stale_entries_survive_expiry_for_stale_serving() {
+        let cache = AnswerCache::new(&CacheConfig {
+            shards: 1,
+            capacity_per_shard: 8,
+            ttl: Some(Duration::ZERO),
+            keep_stale: true,
+        });
+        let k = CacheKey::new(EngineKind::Claude, "stale but useful", 10, 5);
+        cache.insert(k.clone(), answer("the cached bytes"));
+        // Zero TTL: the fresh path always misses…
+        assert!(cache.get(&k).is_none());
+        assert!(cache.get(&k).is_none());
+        // …but the entry stays resident and stale-servable, bytes intact.
+        assert_eq!(cache.get_stale(&k).unwrap().text, "the cached bytes");
+        let stats = cache.stats();
+        assert_eq!(stats.stale_hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.expirations, 0, "keep_stale must not reclaim");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn get_stale_misses_on_absent_key() {
+        let cache = AnswerCache::new(&CacheConfig::always_stale());
+        let k = CacheKey::new(EngineKind::Gemini, "never inserted", 10, 0);
+        assert!(cache.get_stale(&k).is_none());
+        assert_eq!(cache.stats().stale_hits, 0);
+    }
+
+    #[test]
+    fn get_stale_refreshes_recency() {
+        let cache = single_shard(2);
+        let k1 = CacheKey::new(EngineKind::Google, "alpha", 10, 0);
+        let k2 = CacheKey::new(EngineKind::Google, "beta", 10, 0);
+        let k3 = CacheKey::new(EngineKind::Google, "gamma", 10, 0);
+        cache.insert(k1.clone(), answer("a"));
+        cache.insert(k2.clone(), answer("b"));
+        // Stale-touch k1 so k2 becomes the LRU victim.
+        assert!(cache.get_stale(&k1).is_some());
+        cache.insert(k3, answer("c"));
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k2).is_none(), "k2 should have been evicted");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::cache::CacheConfig;
+use crate::resilience::ResilienceConfig;
 
 /// Tunables for one [`crate::AnswerService`].
 #[derive(Debug, Clone)]
@@ -16,6 +17,9 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Answer-cache geometry; `CacheConfig::disabled()` turns caching off.
     pub cache: CacheConfig,
+    /// Retry / breaker / degradation policy;
+    /// `ResilienceConfig::disabled()` restores the fail-hard behaviour.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -25,6 +29,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             deadline: Duration::from_secs(5),
             cache: CacheConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -42,6 +47,13 @@ impl ServeConfig {
     /// computed; used for cold-path baselines and identity tests).
     pub fn without_cache(mut self) -> ServeConfig {
         self.cache = CacheConfig::disabled();
+        self
+    }
+
+    /// Same configuration with resilience turned off: one attempt per
+    /// request, no breaker, no degradation.
+    pub fn without_resilience(mut self) -> ServeConfig {
+        self.resilience = ResilienceConfig::disabled();
         self
     }
 }
@@ -63,5 +75,12 @@ mod tests {
         let c = ServeConfig::with_workers(2).without_cache();
         assert_eq!(c.workers, 2);
         assert_eq!(c.cache.capacity_per_shard, 0);
+    }
+
+    #[test]
+    fn without_resilience_disables() {
+        let c = ServeConfig::default().without_resilience();
+        assert!(!c.resilience.enabled);
+        assert!(ServeConfig::default().resilience.enabled);
     }
 }

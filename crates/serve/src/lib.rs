@@ -17,7 +17,13 @@
 //!   renderable [`report::MetricsSnapshot`].
 //! * [`loadgen`] — deterministic closed- and open-loop load generation
 //!   over [`shift_queries`] workloads with a Zipfian repeat distribution,
-//!   so cache hit rates look like real traffic.
+//!   so cache hit rates look like real traffic; plus [`run_chaos`], which
+//!   replays that workload under a seeded [`shift_engines::FaultPlan`]
+//!   and reports availability with resilience on vs. off.
+//! * [`resilience`] — budgeted retries with deterministic jittered
+//!   backoff, per-engine lock-free circuit breakers, and the
+//!   [`Degradation`] ladder (stale-while-revalidate cache serving, then
+//!   the organic Google SERP as a citation-only answer).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -45,12 +51,22 @@ pub mod error;
 pub mod loadgen;
 pub mod metrics;
 pub mod report;
+pub mod resilience;
 pub mod service;
 
 pub use cache::{AnswerCache, CacheConfig, CacheKey, CacheStats};
 pub use config::ServeConfig;
 pub use error::ServeError;
-pub use loadgen::{run_load, LoadConfig, LoadMode, LoadOutcome, Workload};
+pub use loadgen::{
+    run_chaos, run_load, ChaosConfig, ChaosReport, LoadConfig, LoadMode, LoadOutcome, Workload,
+};
 pub use metrics::ServiceMetrics;
 pub use report::MetricsSnapshot;
+pub use resilience::{
+    Admission, BreakerSet, BreakerState, CircuitBreaker, Degradation, ResilienceConfig,
+};
 pub use service::{AnswerService, PendingAnswer, Request, ServedAnswer};
+
+// Re-exported for chaos-harness callers, so building a fault plan does
+// not require a direct `shift_engines` dependency.
+pub use shift_engines::{EngineError, FallibleEngines, FaultInjector, FaultPlan, OutageWindow};

@@ -19,16 +19,20 @@
 //! derived from its query text, so repeats of a query are byte-identical
 //! and cache-coherent.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::thread as cb_thread;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use shift_corpus::{Vertical, World};
-use shift_engines::EngineKind;
+use shift_engines::{AnswerEngines, EngineKind, FaultInjector, FaultPlan};
 use shift_queries::{comparison_queries, intent_queries, ranking_queries, vertical_queries, Query};
 
+use crate::cache::CacheConfig;
+use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::service::{AnswerService, Request};
+use crate::resilience::{Degradation, ResilienceConfig};
+use crate::service::{AnswerService, Request, ServedAnswer};
 
 /// A fixed query pool with a Zipfian repeat distribution over it.
 #[derive(Debug, Clone)]
@@ -188,36 +192,95 @@ impl Default for LoadConfig {
 /// Tally of a finished load run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LoadOutcome {
-    /// Requests answered.
+    /// Requests answered (at any fidelity level).
     pub succeeded: u64,
+    /// Answered requests served from a stale cache entry (subset of
+    /// `succeeded`).
+    pub served_stale: u64,
+    /// Answered requests served below full fidelity — stale or SERP
+    /// fallback (subset of `succeeded`; `served_stale` ⊆ this).
+    pub served_degraded: u64,
     /// Requests rejected with [`ServeError::Overloaded`].
     pub overloaded: u64,
     /// Requests that hit their deadline.
     pub timed_out: u64,
+    /// Requests failed with [`ServeError::EngineFailed`].
+    pub engine_failed: u64,
+    /// Requests rejected with [`ServeError::BreakerOpen`].
+    pub breaker_open: u64,
+    /// Requests failed with [`ServeError::DegradedUnavailable`].
+    pub unavailable: u64,
     /// Other failures (shutdown races, lost workers).
     pub failed: u64,
 }
 
 impl LoadOutcome {
-    fn absorb(&mut self, result: Result<(), ServeError>) {
+    fn absorb(&mut self, result: &Result<ServedAnswer, ServeError>) {
         match result {
-            Ok(()) => self.succeeded += 1,
+            Ok(served) => {
+                self.succeeded += 1;
+                match served.degradation {
+                    Degradation::None => {}
+                    Degradation::Stale => {
+                        self.served_stale += 1;
+                        self.served_degraded += 1;
+                    }
+                    Degradation::SerpFallback => self.served_degraded += 1,
+                }
+            }
             Err(ServeError::Overloaded) => self.overloaded += 1,
             Err(ServeError::TimedOut) => self.timed_out += 1,
+            Err(ServeError::EngineFailed { .. }) => self.engine_failed += 1,
+            Err(ServeError::BreakerOpen { .. }) => self.breaker_open += 1,
+            Err(ServeError::DegradedUnavailable { .. }) => self.unavailable += 1,
             Err(_) => self.failed += 1,
         }
     }
 
     fn merge(&mut self, other: LoadOutcome) {
         self.succeeded += other.succeeded;
+        self.served_stale += other.served_stale;
+        self.served_degraded += other.served_degraded;
         self.overloaded += other.overloaded;
         self.timed_out += other.timed_out;
+        self.engine_failed += other.engine_failed;
+        self.breaker_open += other.breaker_open;
+        self.unavailable += other.unavailable;
         self.failed += other.failed;
     }
 
-    /// Total requests accounted for.
+    /// Total requests accounted for (the degraded counters are subsets
+    /// of `succeeded`, not separate terminal states).
     pub fn total(&self) -> u64 {
-        self.succeeded + self.overloaded + self.timed_out + self.failed
+        self.succeeded
+            + self.overloaded
+            + self.timed_out
+            + self.engine_failed
+            + self.breaker_open
+            + self.unavailable
+            + self.failed
+    }
+
+    /// Fraction of requests that got *an* answer, at any fidelity.
+    /// Vacuously 1.0 for an empty run.
+    pub fn availability(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.succeeded as f64 / total as f64
+        }
+    }
+
+    /// Fraction of requests answered at full fidelity (requested engine,
+    /// fresh answer).
+    pub fn full_fidelity(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.succeeded - self.served_degraded) as f64 / total as f64
+        }
     }
 }
 
@@ -252,7 +315,7 @@ fn run_closed(
                 s.spawn(move || {
                     let mut partial = LoadOutcome::default();
                     for request in slice {
-                        partial.absorb(service.answer(request.clone()).map(|_| ()));
+                        partial.absorb(&service.answer(request.clone()));
                     }
                     partial
                 })
@@ -293,13 +356,163 @@ fn run_open(
         let request = workload.request_at(&mut rng, i, &config.engines, config.top_k);
         match service.submit(request) {
             Ok(p) => pending.push(p),
-            Err(e) => outcome.absorb(Err(e)),
+            Err(e) => outcome.absorb(&Err(e)),
         }
     }
     for p in pending {
-        outcome.absorb(p.wait().map(|_| ()));
+        outcome.absorb(&p.wait());
     }
     outcome
+}
+
+/// Parameters of one chaos experiment: a fault plan, a workload, and the
+/// resilience policy whose value the experiment measures.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Requests per run (the resilient and baseline runs each issue
+    /// this many, over the identical request sequence).
+    pub requests: u64,
+    /// Engines to rotate through.
+    pub engines: Vec<EngineKind>,
+    /// Answer depth for every request.
+    pub top_k: usize,
+    /// Seed of the query pool and its Zipf shuffle.
+    pub workload_seed: u64,
+    /// Seed of the request draw sequence.
+    pub load_seed: u64,
+    /// The faults to inject.
+    pub plan: FaultPlan,
+    /// Resilience policy of the "on" run (the "off" run always uses
+    /// [`ResilienceConfig::disabled`]).
+    pub resilience: ResilienceConfig,
+    /// Per-request deadline. Generous by default: chaos measures fault
+    /// handling, not deadline pressure.
+    pub deadline: Duration,
+    /// Cache geometry. The default is [`CacheConfig::always_stale`]:
+    /// the fresh fast path never serves (every request exercises the
+    /// injector — Zipfian repeats can't mask faults behind cache hits,
+    /// and no wall-clock TTL can perturb the tally), while the stale
+    /// rung of the degradation ladder stays fully stocked.
+    pub cache: CacheConfig,
+}
+
+impl ChaosConfig {
+    /// The committed chaos experiment shape for `plan`.
+    pub fn standard(plan: FaultPlan) -> ChaosConfig {
+        ChaosConfig {
+            requests: 1000,
+            engines: EngineKind::ALL.to_vec(),
+            top_k: 10,
+            workload_seed: 77,
+            load_seed: 4242,
+            plan,
+            resilience: ResilienceConfig::default(),
+            deadline: Duration::from_secs(30),
+            cache: CacheConfig::always_stale(),
+        }
+    }
+}
+
+/// Availability under chaos, resilience on vs. off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Requests issued per run.
+    pub requests: u64,
+    /// Tally of the resilience-enabled run.
+    pub resilient: LoadOutcome,
+    /// Tally of the resilience-disabled run.
+    pub baseline: LoadOutcome,
+}
+
+impl ChaosReport {
+    /// Good-answer rate with resilience on.
+    pub fn availability_resilient(&self) -> f64 {
+        self.resilient.availability()
+    }
+
+    /// Good-answer rate with resilience off.
+    pub fn availability_baseline(&self) -> f64 {
+        self.baseline.availability()
+    }
+
+    /// Resilient availability over baseline availability (∞ when the
+    /// baseline answered nothing).
+    pub fn ratio(&self) -> f64 {
+        let base = self.availability_baseline();
+        if base == 0.0 {
+            f64::INFINITY
+        } else {
+            self.availability_resilient() / base
+        }
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== chaos availability ==\n");
+        out.push_str(&format!("requests per run: {}\n", self.requests));
+        out.push_str(&format!(
+            "{:<16} {:>13} {:>14} {:>8} {:>8} {:>8}\n",
+            "run", "availability", "full fidelity", "stale", "serp", "failed"
+        ));
+        for (name, o) in [
+            ("resilience on", &self.resilient),
+            ("resilience off", &self.baseline),
+        ] {
+            out.push_str(&format!(
+                "{:<16} {:>13.4} {:>14.4} {:>8} {:>8} {:>8}\n",
+                name,
+                o.availability(),
+                o.full_fidelity(),
+                o.served_stale,
+                o.served_degraded - o.served_stale,
+                o.total() - o.succeeded,
+            ));
+        }
+        out.push_str(&format!(
+            "availability ratio (on/off): {:.2}x\n",
+            self.ratio()
+        ));
+        out
+    }
+}
+
+/// Run the chaos experiment: the same fault plan and request sequence,
+/// once with resilience enabled and once disabled, reporting availability
+/// for both.
+///
+/// Each run is driven serially (one worker, one closed-loop client) so
+/// the tally is bit-reproducible: with every fault decision seeded, the
+/// same `ChaosConfig` yields the same [`ChaosReport`] on every machine,
+/// every time.
+pub fn run_chaos(stack: &Arc<AnswerEngines>, config: &ChaosConfig) -> ChaosReport {
+    let workload = Workload::mixed(stack.world(), config.workload_seed);
+    let run = |resilience: ResilienceConfig| -> LoadOutcome {
+        let injector = FaultInjector::new(Arc::clone(stack), config.plan.clone());
+        let serve = ServeConfig {
+            workers: 1,
+            queue_depth: 4,
+            deadline: config.deadline,
+            cache: config.cache.clone(),
+            resilience,
+        };
+        let service = AnswerService::start_chaos(injector, serve);
+        let load = LoadConfig {
+            requests: config.requests,
+            engines: config.engines.clone(),
+            top_k: config.top_k,
+            mode: LoadMode::Closed { clients: 1 },
+            seed: config.load_seed,
+        };
+        let outcome = run_load(&service, &workload, &load);
+        service.shutdown();
+        outcome
+    };
+    ChaosReport {
+        requests: config.requests,
+        resilient: run(config.resilience.clone()),
+        baseline: run(ResilienceConfig::disabled()),
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +562,29 @@ mod tests {
             f64::from(head) / f64::from(draws) > 0.3,
             "top decile must absorb well over its uniform share, got {head}/{draws}"
         );
+    }
+
+    #[test]
+    fn outcome_availability_math() {
+        let o = LoadOutcome {
+            succeeded: 80,
+            served_stale: 10,
+            served_degraded: 25,
+            overloaded: 0,
+            timed_out: 0,
+            engine_failed: 15,
+            breaker_open: 5,
+            unavailable: 0,
+            failed: 0,
+        };
+        assert_eq!(
+            o.total(),
+            100,
+            "degraded counters are subsets, not terminals"
+        );
+        assert!((o.availability() - 0.80).abs() < 1e-12);
+        assert!((o.full_fidelity() - 0.55).abs() < 1e-12);
+        assert_eq!(LoadOutcome::default().availability(), 1.0, "vacuous run");
     }
 
     #[test]

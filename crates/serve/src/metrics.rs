@@ -10,6 +10,7 @@ use shift_metrics::{mean, percentile, Histogram};
 
 use crate::cache::CacheStats;
 use crate::report::{EngineLatency, MetricsSnapshot};
+use crate::resilience::Degradation;
 
 /// Upper bound of the latency histogram, in milliseconds. Latencies above
 /// it land in the overflow bucket.
@@ -28,6 +29,13 @@ pub struct ServiceMetrics {
     cache_hits_served: AtomicU64,
     overloaded: AtomicU64,
     timed_out: AtomicU64,
+    retries: AtomicU64,
+    served_stale: AtomicU64,
+    served_degraded: AtomicU64,
+    engine_failures: AtomicU64,
+    breaker_rejections: AtomicU64,
+    failed: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -46,16 +54,43 @@ impl ServiceMetrics {
             cache_hits_served: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            served_stale: AtomicU64::new(0),
+            served_degraded: AtomicU64::new(0),
+            engine_failures: AtomicU64::new(0),
+            breaker_rejections: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
         }
     }
 
     /// Record a successfully served answer and its end-to-end latency.
-    pub fn record_served(&self, engine: EngineKind, latency: Duration, from_cache: bool) {
+    ///
+    /// Called exactly once per served request regardless of how many
+    /// attempts it took (attempts are counted via [`Self::record_retry`]);
+    /// the degradation level says which rung of the ladder answered.
+    pub fn record_served(
+        &self,
+        engine: EngineKind,
+        latency: Duration,
+        from_cache: bool,
+        degradation: Degradation,
+    ) {
         let ms = latency.as_secs_f64() * 1e3;
         self.latencies_ms[engine.index()].lock().push(ms);
         self.completed.fetch_add(1, Ordering::Relaxed);
         if from_cache {
             self.cache_hits_served.fetch_add(1, Ordering::Relaxed);
+        }
+        match degradation {
+            Degradation::None => {}
+            Degradation::Stale => {
+                self.served_stale.fetch_add(1, Ordering::Relaxed);
+                self.served_degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            Degradation::SerpFallback => {
+                self.served_degraded.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -67,6 +102,36 @@ impl ServiceMetrics {
     /// Record a deadline miss.
     pub fn record_timed_out(&self) {
         self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retry attempt (a request retried twice counts two).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failed engine attempt (faults, not deadline misses).
+    pub fn record_engine_failure(&self) {
+        self.engine_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request turned away by an open circuit breaker.
+    pub fn record_breaker_rejection(&self) {
+        self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request that ultimately got no answer at all.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed stale-while-revalidate background refresh.
+    pub fn record_refresh(&self) {
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retry attempts so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Requests completed so far.
@@ -100,6 +165,13 @@ impl ServiceMetrics {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             cache_hits_served: self.cache_hits_served.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            served_stale: self.served_stale.load(Ordering::Relaxed),
+            served_degraded: self.served_degraded.load(Ordering::Relaxed),
+            engine_failures: self.engine_failures.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
             throughput_rps: if elapsed > 0.0 {
                 completed as f64 / elapsed
             } else {
@@ -166,9 +238,24 @@ mod tests {
     #[test]
     fn snapshot_counts_per_engine() {
         let m = ServiceMetrics::new();
-        m.record_served(EngineKind::Google, Duration::from_millis(2), false);
-        m.record_served(EngineKind::Google, Duration::from_millis(4), true);
-        m.record_served(EngineKind::Claude, Duration::from_millis(8), false);
+        m.record_served(
+            EngineKind::Google,
+            Duration::from_millis(2),
+            false,
+            Degradation::None,
+        );
+        m.record_served(
+            EngineKind::Google,
+            Duration::from_millis(4),
+            true,
+            Degradation::None,
+        );
+        m.record_served(
+            EngineKind::Claude,
+            Duration::from_millis(8),
+            false,
+            Degradation::None,
+        );
         m.record_overloaded();
         m.record_timed_out();
         let snap = m.snapshot(CacheStats::default());
@@ -182,5 +269,40 @@ mod tests {
         assert_eq!(gemini.summary.count, 0);
         assert_eq!(snap.histogram.total(), 3);
         assert!(snap.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn resilience_counters_flow_into_the_snapshot() {
+        let m = ServiceMetrics::new();
+        m.record_served(
+            EngineKind::Gpt4o,
+            Duration::from_millis(1),
+            true,
+            Degradation::Stale,
+        );
+        m.record_served(
+            EngineKind::Gpt4o,
+            Duration::from_millis(1),
+            false,
+            Degradation::SerpFallback,
+        );
+        m.record_retry();
+        m.record_retry();
+        m.record_engine_failure();
+        m.record_breaker_rejection();
+        m.record_failed();
+        m.record_refresh();
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.served_stale, 1, "only the stale serve counts stale");
+        assert_eq!(
+            snap.served_degraded, 2,
+            "stale and SERP both count degraded"
+        );
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.engine_failures, 1);
+        assert_eq!(snap.breaker_rejections, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.refreshes, 1);
     }
 }

@@ -42,6 +42,23 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     /// Completed requests served straight from the cache.
     pub cache_hits_served: u64,
+    /// Retry attempts across all requests (a request retried twice
+    /// contributes two).
+    pub retries: u64,
+    /// Completed requests served from a stale cache entry.
+    pub served_stale: u64,
+    /// Completed requests served below full fidelity (stale or SERP
+    /// fallback); `served_stale` is a subset.
+    pub served_degraded: u64,
+    /// Failed engine attempts (injected or real faults).
+    pub engine_failures: u64,
+    /// Requests turned away by an open circuit breaker.
+    pub breaker_rejections: u64,
+    /// Requests that got no answer at all (engine failed and the
+    /// degradation ladder came up empty).
+    pub failed: u64,
+    /// Completed stale-while-revalidate background refreshes.
+    pub refreshes: u64,
     /// Completed requests per second since the service started.
     pub throughput_rps: f64,
     /// Latency summary across all engines.
@@ -70,6 +87,17 @@ impl MetricsSnapshot {
             self.cache.hit_rate() * 100.0,
             self.cache.evictions,
             self.cache.expirations,
+        ));
+        out.push_str(&format!(
+            "resilience: {} retries, {} engine failures, {} breaker rejections, \
+             {} stale / {} degraded serves, {} refreshes, {} failed\n",
+            self.retries,
+            self.engine_failures,
+            self.breaker_rejections,
+            self.served_stale,
+            self.served_degraded,
+            self.refreshes,
+            self.failed,
         ));
         out.push_str(&format!(
             "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
@@ -129,6 +157,24 @@ impl MetricsSnapshot {
             num(self.cache.expirations as f64),
         );
         cache.insert("inserts".to_string(), num(self.cache.inserts as f64));
+        cache.insert("stale_hits".to_string(), num(self.cache.stale_hits as f64));
+        let mut resilience = BTreeMap::new();
+        resilience.insert("retries".to_string(), num(self.retries as f64));
+        resilience.insert("served_stale".to_string(), num(self.served_stale as f64));
+        resilience.insert(
+            "served_degraded".to_string(),
+            num(self.served_degraded as f64),
+        );
+        resilience.insert(
+            "engine_failures".to_string(),
+            num(self.engine_failures as f64),
+        );
+        resilience.insert(
+            "breaker_rejections".to_string(),
+            num(self.breaker_rejections as f64),
+        );
+        resilience.insert("failed".to_string(), num(self.failed as f64));
+        resilience.insert("refreshes".to_string(), num(self.refreshes as f64));
         let mut root = BTreeMap::new();
         root.insert("elapsed_secs".to_string(), num(self.elapsed_secs));
         root.insert("completed".to_string(), num(self.completed as f64));
@@ -142,6 +188,7 @@ impl MetricsSnapshot {
         root.insert("overall".to_string(), summary_json(&self.overall));
         root.insert("engines".to_string(), Value::Object(engines));
         root.insert("cache".to_string(), Value::Object(cache));
+        root.insert("resilience".to_string(), Value::Object(resilience));
         root.insert(
             "histogram_counts".to_string(),
             Value::Array(
@@ -176,6 +223,13 @@ mod tests {
             overloaded: 1,
             timed_out: 0,
             cache_hits_served: 1,
+            retries: 3,
+            served_stale: 1,
+            served_degraded: 2,
+            engine_failures: 4,
+            breaker_rejections: 1,
+            failed: 1,
+            refreshes: 1,
             throughput_rps: 2.0 / 1.5,
             overall: EngineLatencySummary::of(&[3.0, 7.0]),
             engines: EngineKind::ALL
@@ -189,6 +243,7 @@ mod tests {
                 evictions: 0,
                 expirations: 0,
                 inserts: 1,
+                stale_hits: 1,
             },
         }
     }
@@ -217,5 +272,21 @@ mod tests {
             .get("cache")
             .and_then(|c| c.get("hit_rate"))
             .is_some());
+        assert_eq!(
+            parsed.get("resilience").and_then(|r| r.get("retries")),
+            Some(&Value::Number(3.0)),
+            "resilience counters survive the round trip"
+        );
+        assert!(parsed
+            .get("cache")
+            .and_then(|c| c.get("stale_hits"))
+            .is_some());
+    }
+
+    #[test]
+    fn render_mentions_resilience() {
+        let text = snapshot().render();
+        assert!(text.contains("retries"));
+        assert!(text.contains("degraded"));
     }
 }

@@ -1,23 +1,40 @@
 //! The answer service: a fixed worker pool behind a bounded admission
-//! queue, with a cache fast path, per-request deadlines, and graceful
-//! drain shutdown.
+//! queue, with a cache fast path, per-request deadlines, resilience
+//! (retries, circuit breakers, degradation), and graceful drain shutdown.
 //!
 //! Life of a request:
 //!
-//! 1. [`AnswerService::submit`] builds the [`crate::CacheKey`]; a cache
-//!    hit resolves immediately without touching the queue.
+//! 1. [`AnswerService::submit`] builds the [`crate::CacheKey`]; a fresh
+//!    cache hit resolves immediately without touching the queue.
 //! 2. On a miss the request is `try_send`-ed onto the bounded job
 //!    channel. A full channel rejects with [`ServeError::Overloaded`] —
 //!    the service sheds load instead of queueing unboundedly.
 //! 3. A worker pops the job. If the deadline already passed it replies
 //!    [`ServeError::TimedOut`] without computing; otherwise it runs the
-//!    engine, populates the cache, and replies.
+//!    resilience ladder:
+//!
+//!    * consult the engine's [`CircuitBreaker`](crate::resilience::CircuitBreaker)
+//!      — an open breaker skips the engine entirely;
+//!    * attempt the engine through [`FallibleEngines`], retrying failed
+//!      attempts with seeded jittered backoff, but only while the backoff
+//!      fits in the remaining deadline budget (zero budget ⇒ zero
+//!      retries) and the failure looks retryable;
+//!    * on exhaustion, degrade: serve a stale cache entry (enqueueing a
+//!      background refresh — stale-while-revalidate), else the Google
+//!      organic SERP as a citation-only answer, tagging the served answer
+//!      with its [`Degradation`] level.
 //! 4. The caller blocks in [`PendingAnswer::wait`] with a deadline-capped
 //!    `recv_timeout`, so a stuck request costs the caller at most the
 //!    deadline.
 //!
+//! A request is counted exactly once no matter how many attempts it took:
+//! the `settled` flag arbitrates metrics ownership between worker and
+//! waiter, and per-attempt events land in separate `retries` /
+//! `engine_failures` counters.
+//!
 //! [`AnswerService::shutdown`] closes admission, lets the workers drain
-//! every queued job, joins them, and returns the final metrics snapshot.
+//! every queued job (and pending background refreshes), joins them, and
+//! returns the final metrics snapshot.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -25,13 +42,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
-use shift_engines::{AnswerEngines, EngineAnswer, EngineKind, QueryScratch};
+use shift_engines::{
+    AnswerEngines, EngineAnswer, EngineError, EngineKind, FallibleEngines, FaultInjector,
+    QueryScratch,
+};
 
 use crate::cache::{AnswerCache, CacheKey};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::ServiceMetrics;
 use crate::report::MetricsSnapshot;
+use crate::resilience::{retry_backoff, Admission, BreakerSet, Degradation, ResilienceConfig};
 
 /// One answer request.
 #[derive(Debug, Clone)]
@@ -66,8 +87,11 @@ pub struct ServedAnswer {
     /// End-to-end latency from admission to completion (queueing
     /// included).
     pub latency: Duration,
-    /// Whether the answer came from the cache.
+    /// Whether the answer came from the fresh-cache fast path. A stale
+    /// serve is tagged through `degradation`, not here.
     pub from_cache: bool,
+    /// How far down the degradation ladder this answer came from.
+    pub degradation: Degradation,
 }
 
 type Reply = Result<ServedAnswer, ServeError>;
@@ -83,6 +107,23 @@ struct Job {
     // lands just as the waiter times out is never counted twice.
     settled: Arc<AtomicBool>,
 }
+
+/// A stale-while-revalidate background recompute, enqueued when a stale
+/// entry is served, drained by workers between (and after) foreground
+/// jobs.
+struct RefreshJob {
+    request: Request,
+    key: CacheKey,
+}
+
+/// Depth of the background-refresh queue; overflow drops the refresh
+/// (the stale entry simply stays stale).
+const REFRESH_QUEUE_DEPTH: usize = 256;
+
+/// Attempt salt for background refreshes: a refresh of a request that
+/// just failed must not replay the identical fault draws of attempts
+/// 0..=max_retries, or it would deterministically fail the same way.
+const REFRESH_ATTEMPT: u32 = 0x5246_5253;
 
 /// A submitted request whose answer may still be in flight.
 ///
@@ -112,36 +153,78 @@ impl PendingAnswer {
     }
 }
 
+/// Everything a worker thread needs, shared across the pool.
+struct WorkerCtx {
+    fallible: Arc<dyn FallibleEngines>,
+    cache: Arc<AnswerCache>,
+    metrics: Arc<ServiceMetrics>,
+    breakers: Arc<BreakerSet>,
+    resilience: ResilienceConfig,
+    refresh_tx: Sender<RefreshJob>,
+    refresh_rx: Receiver<RefreshJob>,
+}
+
 /// A running answer service. Cheap to share by reference across client
 /// threads; [`AnswerService::shutdown`] consumes it.
 pub struct AnswerService {
     engines: Arc<AnswerEngines>,
     cache: Arc<AnswerCache>,
     metrics: Arc<ServiceMetrics>,
+    breakers: Arc<BreakerSet>,
     tx: Sender<Job>,
     workers: Vec<JoinHandle<()>>,
     deadline: Duration,
 }
 
 impl AnswerService {
-    /// Spawn the worker pool and start accepting requests.
+    /// Spawn the worker pool over an infallible engine stack (production
+    /// configuration: the resilience machinery is armed but no faults are
+    /// ever injected).
     pub fn start(engines: Arc<AnswerEngines>, config: ServeConfig) -> AnswerService {
+        let fallible: Arc<dyn FallibleEngines> = engines.clone();
+        AnswerService::start_fallible(engines, fallible, config)
+    }
+
+    /// Spawn the worker pool over a [`FaultInjector`] (chaos
+    /// configuration): every attempt consults the injector's fault plan.
+    pub fn start_chaos(injector: FaultInjector, config: ServeConfig) -> AnswerService {
+        let engines = injector.stack_handle();
+        AnswerService::start_fallible(engines, Arc::new(injector), config)
+    }
+
+    /// Spawn the worker pool over an arbitrary [`FallibleEngines`] front.
+    /// `engines` must be the stack `fallible` delegates to (used for
+    /// workload construction and the SERP degradation fallback).
+    pub fn start_fallible(
+        engines: Arc<AnswerEngines>,
+        fallible: Arc<dyn FallibleEngines>,
+        config: ServeConfig,
+    ) -> AnswerService {
         let cache = Arc::new(AnswerCache::new(&config.cache));
         let metrics = Arc::new(ServiceMetrics::new());
+        let breakers = Arc::new(BreakerSet::new(&config.resilience));
         let (tx, rx) = channel::bounded::<Job>(config.queue_depth.max(1));
+        let (refresh_tx, refresh_rx) = channel::bounded::<RefreshJob>(REFRESH_QUEUE_DEPTH);
         let workers = (0..config.workers.max(1))
             .map(|_| {
-                let engines = Arc::clone(&engines);
-                let cache = Arc::clone(&cache);
-                let metrics = Arc::clone(&metrics);
+                let ctx = WorkerCtx {
+                    fallible: Arc::clone(&fallible),
+                    cache: Arc::clone(&cache),
+                    metrics: Arc::clone(&metrics),
+                    breakers: Arc::clone(&breakers),
+                    resilience: config.resilience.clone(),
+                    refresh_tx: refresh_tx.clone(),
+                    refresh_rx: refresh_rx.clone(),
+                };
                 let rx = rx.clone();
-                std::thread::spawn(move || worker_loop(&engines, &cache, &metrics, &rx))
+                std::thread::spawn(move || worker_loop(&ctx, &rx))
             })
             .collect();
         AnswerService {
             engines,
             cache,
             metrics,
+            breakers,
             tx,
             workers,
             deadline: config.deadline,
@@ -162,11 +245,13 @@ impl AnswerService {
         if let Some(answer) = self.cache.get(&key) {
             let latency = admitted.elapsed();
             settled.store(true, Ordering::Release);
-            self.metrics.record_served(request.engine, latency, true);
+            self.metrics
+                .record_served(request.engine, latency, true, Degradation::None);
             let _ = reply_tx.send(Ok(ServedAnswer {
                 answer,
                 latency,
                 from_cache: true,
+                degradation: Degradation::None,
             }));
             return Ok(PendingAnswer {
                 rx: reply_rx,
@@ -218,6 +303,11 @@ impl AnswerService {
         &self.engines
     }
 
+    /// The per-engine circuit breakers (observability and tests).
+    pub fn breakers(&self) -> &BreakerSet {
+        &self.breakers
+    }
+
     /// Stop admitting, drain every queued job, join the workers, and
     /// return the final metrics.
     pub fn shutdown(self) -> MetricsSnapshot {
@@ -238,44 +328,188 @@ impl AnswerService {
     }
 }
 
-fn worker_loop(
-    engines: &AnswerEngines,
-    cache: &AnswerCache,
-    metrics: &ServiceMetrics,
-    rx: &Receiver<Job>,
-) {
+fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<Job>) {
     // One retrieval scratch per worker, reused for the worker's whole
     // lifetime: steady-state uncached requests run the search kernel
     // without allocating working memory.
     let mut scratch = QueryScratch::new();
     while let Ok(job) = rx.recv() {
-        if Instant::now() >= job.deadline {
-            // Too late to be useful; don't burn engine time.
-            if !job.settled.swap(true, Ordering::AcqRel) {
-                metrics.record_timed_out();
-            }
-            let _ = job.reply.send(Err(ServeError::TimedOut));
-            continue;
+        serve_job(ctx, &mut scratch, job);
+        // Foreground jobs take priority; between them, work off at most
+        // one pending stale-while-revalidate refresh.
+        if let Ok(refresh) = ctx.refresh_rx.try_recv() {
+            run_refresh(ctx, &mut scratch, &refresh);
         }
-        let answer = engines.answer_with(
-            &mut scratch,
-            job.request.engine,
-            &job.request.query,
-            job.request.top_k,
-            job.request.seed,
-        );
-        // Cache even if the waiter gave up — the work is done either way.
-        cache.insert(job.key, answer.clone());
-        let latency = job.admitted.elapsed();
-        if !job.settled.swap(true, Ordering::AcqRel) {
-            metrics.record_served(job.request.engine, latency, false);
-        }
-        let _ = job.reply.send(Ok(ServedAnswer {
-            answer,
-            latency,
-            from_cache: false,
-        }));
     }
+    // Admission is closed and the queue is drained: finish the refresh
+    // backlog so stale entries enqueued late still get revalidated.
+    while let Ok(refresh) = ctx.refresh_rx.try_recv() {
+        run_refresh(ctx, &mut scratch, &refresh);
+    }
+}
+
+fn serve_job(ctx: &WorkerCtx, scratch: &mut QueryScratch, job: Job) {
+    if Instant::now() >= job.deadline {
+        // Too late to be useful; don't burn engine time.
+        if !job.settled.swap(true, Ordering::AcqRel) {
+            ctx.metrics.record_timed_out();
+        }
+        let _ = job.reply.send(Err(ServeError::TimedOut));
+        return;
+    }
+    match resolve(ctx, scratch, &job) {
+        Ok((answer, degradation)) => {
+            if degradation == Degradation::None {
+                // Cache only full-fidelity answers (even if the waiter
+                // gave up — the work is done either way). A degraded
+                // answer must not masquerade as the engine's.
+                ctx.cache.insert(job.key, answer.clone());
+            }
+            let latency = job.admitted.elapsed();
+            // Exactly one served record per request, however many
+            // attempts it took; the waiter may have claimed a timeout.
+            if !job.settled.swap(true, Ordering::AcqRel) {
+                ctx.metrics
+                    .record_served(job.request.engine, latency, false, degradation);
+            }
+            let _ = job.reply.send(Ok(ServedAnswer {
+                answer,
+                latency,
+                from_cache: false,
+                degradation,
+            }));
+        }
+        Err(err) => {
+            if !job.settled.swap(true, Ordering::AcqRel) {
+                ctx.metrics.record_failed();
+            }
+            let _ = job.reply.send(Err(err));
+        }
+    }
+}
+
+/// The resilience ladder for one admitted, in-deadline request: breaker →
+/// budgeted retries → stale cache → organic SERP.
+fn resolve(
+    ctx: &WorkerCtx,
+    scratch: &mut QueryScratch,
+    job: &Job,
+) -> Result<(EngineAnswer, Degradation), ServeError> {
+    let req = &job.request;
+    if !ctx.resilience.enabled {
+        // Fail-hard path: one attempt, no breaker, no degradation.
+        return match ctx
+            .fallible
+            .try_answer_with(scratch, req.engine, &req.query, req.top_k, req.seed, 0)
+        {
+            Ok(answer) => Ok((answer, Degradation::None)),
+            Err(_) => {
+                ctx.metrics.record_engine_failure();
+                Err(ServeError::EngineFailed { engine: req.engine })
+            }
+        };
+    }
+
+    let breaker = ctx.breakers.of(req.engine);
+    let admission = breaker.admit();
+    let mut breaker_rejected = false;
+    if admission == Admission::Reject {
+        ctx.metrics.record_breaker_rejection();
+        breaker_rejected = true;
+    } else {
+        let probing = admission == Admission::Probe;
+        let mut attempt: u32 = 0;
+        loop {
+            match ctx.fallible.try_answer_with(
+                scratch, req.engine, &req.query, req.top_k, req.seed, attempt,
+            ) {
+                Ok(answer) => {
+                    breaker.record_success();
+                    return Ok((answer, Degradation::None));
+                }
+                Err(err) => {
+                    ctx.metrics.record_engine_failure();
+                    breaker.record_failure();
+                    // Stop retrying when: this was the one half-open
+                    // probe; the engine is in an outage window (every
+                    // attempt of this request fails identically); the
+                    // failure just tripped the breaker; or the retry
+                    // budget is spent.
+                    if probing
+                        || err == EngineError::Unavailable
+                        || !breaker.is_closed()
+                        || attempt >= ctx.resilience.max_retries
+                    {
+                        break;
+                    }
+                    let backoff = retry_backoff(&ctx.resilience, req.seed, attempt + 1);
+                    let remaining = job.deadline.saturating_duration_since(Instant::now());
+                    // Never borrow against time we don't have: if the
+                    // backoff would not fit in the remaining deadline
+                    // budget, degrading now beats timing out later.
+                    // `backoff >= remaining` also proves the zero-budget
+                    // ⇒ zero-retries guarantee (backoff ≥ 0 always).
+                    if backoff >= remaining {
+                        break;
+                    }
+                    ctx.metrics.record_retry();
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    // Degradation ladder, rung 1: serve the stale cache entry and queue a
+    // background revalidation.
+    if ctx.resilience.degrade_to_stale {
+        if let Some(answer) = ctx.cache.get_stale(&job.key) {
+            let _ = ctx.refresh_tx.try_send(RefreshJob {
+                request: req.clone(),
+                key: job.key.clone(),
+            });
+            return Ok((answer, Degradation::Stale));
+        }
+    }
+    // Rung 2: the organic Google SERP as a citation-only answer, computed
+    // on the infallible stack (the production search index is local — it
+    // does not share the remote engines' failure modes).
+    if ctx.resilience.degrade_to_serp {
+        let answer = ctx.fallible.stack().answer_with(
+            scratch,
+            EngineKind::Google,
+            &req.query,
+            req.top_k,
+            req.seed,
+        );
+        return Ok((answer, Degradation::SerpFallback));
+    }
+    Err(if breaker_rejected {
+        ServeError::BreakerOpen { engine: req.engine }
+    } else if ctx.resilience.degrade_to_stale {
+        ServeError::DegradedUnavailable { engine: req.engine }
+    } else {
+        ServeError::EngineFailed { engine: req.engine }
+    })
+}
+
+/// Recompute a stale entry in the background (one attempt, salted so it
+/// does not replay the foreground attempts' fault draws).
+fn run_refresh(ctx: &WorkerCtx, scratch: &mut QueryScratch, refresh: &RefreshJob) {
+    let req = &refresh.request;
+    if let Ok(answer) = ctx.fallible.try_answer_with(
+        scratch,
+        req.engine,
+        &req.query,
+        req.top_k,
+        req.seed,
+        REFRESH_ATTEMPT,
+    ) {
+        ctx.cache.insert(refresh.key.clone(), answer);
+        ctx.metrics.record_refresh();
+    }
+    // A failed refresh just leaves the stale entry in place; the next
+    // stale serve will queue another one.
 }
 
 #[cfg(test)]
@@ -294,6 +528,7 @@ mod tests {
         let req = Request::new(EngineKind::Gpt4o, "best phone under 500", 10, 11);
         let first = service.answer(req.clone()).expect("first answer");
         assert!(!first.from_cache);
+        assert_eq!(first.degradation, Degradation::None);
         let second = service.answer(req).expect("second answer");
         assert!(second.from_cache, "repeat must hit the cache");
         assert_eq!(first.answer.text, second.answer.text);
@@ -301,6 +536,7 @@ mod tests {
         let snap = service.shutdown();
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.cache_hits_served, 1);
+        assert_eq!(snap.served_degraded, 0);
     }
 
     #[test]
@@ -357,5 +593,28 @@ mod tests {
         for p in pending {
             p.wait().expect("drained answers are delivered");
         }
+    }
+
+    #[test]
+    fn infallible_stack_never_trips_resilience() {
+        // Production configuration: resilience armed, zero faults — no
+        // retries, no degradation, no breaker activity.
+        let service = AnswerService::start(engines(), ServeConfig::with_workers(2));
+        for i in 0..16u64 {
+            let req = Request::new(
+                EngineKind::ALL[(i % 5) as usize],
+                &format!("steady query {i}"),
+                10,
+                i,
+            );
+            let served = service.answer(req).expect("infallible stack");
+            assert_eq!(served.degradation, Degradation::None);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.retries, 0);
+        assert_eq!(snap.engine_failures, 0);
+        assert_eq!(snap.breaker_rejections, 0);
+        assert_eq!(snap.served_degraded, 0);
+        assert_eq!(snap.failed, 0);
     }
 }

@@ -1,22 +1,34 @@
-//! Run the online answer service under a seeded mixed workload, cold and
-//! warm, and print the serving report (plus `BENCH_serve.json`).
+//! Run the online answer service under a seeded mixed workload — cold and
+//! warm passes plus a chaos experiment — and print the serving report
+//! (plus `BENCH_serve.json`).
 //!
 //! ```sh
-//! cargo run --release --example run_serve
+//! cargo run --release --example run_serve             # full run, rewrites BENCH_serve.json
+//! cargo run --release --example run_serve -- --chaos  # chaos smoke + availability gate
 //! ```
 //!
-//! Two passes of the same 4-worker, 5-persona, Zipfian closed-loop run:
-//! the first starts with an empty answer cache, the second replays the
-//! identical request sequence against the warmed cache. The warm pass
-//! must show a strictly higher cache hit rate and a lower p50 — that is
-//! the whole point of caching generative answers.
+//! The full run does two passes of the same 4-worker, 5-persona, Zipfian
+//! closed-loop workload: the first starts with an empty answer cache, the
+//! second replays the identical request sequence against the warmed
+//! cache. The warm pass must show a strictly higher cache hit rate and a
+//! lower p50 — that is the whole point of caching generative answers.
+//! Then the chaos harness replays the workload under the committed
+//! standard fault plan, resilience on vs. off; the resilient run must be
+//! at least twice as available.
+//!
+//! `--chaos` runs only the chaos experiment and gates it against the
+//! committed `BENCH_serve.json`: if availability-with-resilience drops
+//! below the recorded number, the process exits non-zero.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use navigating_shift::corpus::{World, WorldConfig};
 use navigating_shift::engines::{AnswerEngines, EngineKind};
+use navigating_shift::freshness::json::{parse as json_parse, to_string as json_to_string, Value};
 use navigating_shift::serve::{
-    run_load, AnswerService, LoadConfig, LoadMode, MetricsSnapshot, ServeConfig, Workload,
+    run_chaos, run_load, AnswerService, ChaosConfig, ChaosReport, FaultPlan, LoadConfig, LoadMode,
+    MetricsSnapshot, ServeConfig, Workload,
 };
 
 const WORLD_SEED: u64 = 20251101;
@@ -24,6 +36,9 @@ const WORKLOAD_SEED: u64 = 77;
 const LOAD_SEED: u64 = 4242;
 const REQUESTS: u64 = 1500;
 const WORKERS: usize = 4;
+/// Epoch of the committed standard fault plan; the chaos numbers in
+/// `BENCH_serve.json` are pinned to this fault stream.
+const CHAOS_EPOCH: u64 = 1;
 
 fn drive(service: &AnswerService, workload: &Workload, label: &str) -> MetricsSnapshot {
     let config = LoadConfig {
@@ -37,19 +52,111 @@ fn drive(service: &AnswerService, workload: &Workload, label: &str) -> MetricsSn
     let snapshot = service.snapshot();
     println!(
         "[{label}] {} ok / {} overloaded / {} timed-out / {} failed\n",
-        outcome.succeeded, outcome.overloaded, outcome.timed_out, outcome.failed
+        outcome.succeeded,
+        outcome.overloaded,
+        outcome.timed_out,
+        outcome.total() - outcome.succeeded - outcome.overloaded - outcome.timed_out,
     );
     println!("{}", snapshot.render());
     snapshot
 }
 
+fn run_chaos_experiment(stack: &Arc<AnswerEngines>) -> (ChaosConfig, ChaosReport) {
+    let config = ChaosConfig::standard(FaultPlan::standard(CHAOS_EPOCH));
+    let report = run_chaos(stack, &config);
+    println!("{}", report.render());
+    assert!(
+        report.ratio() >= 2.0,
+        "resilience must at least double availability under the standard plan, got {:.2}x",
+        report.ratio()
+    );
+    (config, report)
+}
+
+fn chaos_json(config: &ChaosConfig, report: &ChaosReport) -> Value {
+    fn num(v: f64) -> Value {
+        Value::Number(v)
+    }
+    let mut plan = BTreeMap::new();
+    plan.insert("epoch".to_string(), num(config.plan.epoch as f64));
+    plan.insert(
+        "transient_rate".to_string(),
+        num(config.plan.transient_rate),
+    );
+    plan.insert(
+        "truncated_rate".to_string(),
+        num(config.plan.truncated_rate),
+    );
+    plan.insert("spike_rate".to_string(), num(config.plan.spike_rate));
+    plan.insert("outages".to_string(), num(config.plan.outages.len() as f64));
+    let mut chaos = BTreeMap::new();
+    chaos.insert("requests".to_string(), num(report.requests as f64));
+    chaos.insert(
+        "availability_resilient".to_string(),
+        num(report.availability_resilient()),
+    );
+    chaos.insert(
+        "availability_baseline".to_string(),
+        num(report.availability_baseline()),
+    );
+    chaos.insert("ratio".to_string(), num(report.ratio()));
+    chaos.insert(
+        "served_stale".to_string(),
+        num(report.resilient.served_stale as f64),
+    );
+    chaos.insert(
+        "served_degraded".to_string(),
+        num(report.resilient.served_degraded as f64),
+    );
+    chaos.insert("plan".to_string(), Value::Object(plan));
+    Value::Object(chaos)
+}
+
+/// Gate mode: recompute chaos availability and fail if it dropped below
+/// the committed number (the run is deterministic, so any drop is a real
+/// regression, not noise — a tiny tolerance absorbs only float printing).
+fn gate_against_committed(report: &ChaosReport) {
+    let committed = match std::fs::read_to_string("BENCH_serve.json") {
+        Ok(text) => text,
+        Err(_) => {
+            println!("no committed BENCH_serve.json; skipping the availability gate");
+            return;
+        }
+    };
+    let parsed = json_parse(&committed).expect("BENCH_serve.json parses");
+    let Some(&Value::Number(recorded)) = parsed
+        .get("chaos")
+        .and_then(|c| c.get("availability_resilient"))
+    else {
+        println!("committed BENCH_serve.json has no chaos section; skipping the gate");
+        return;
+    };
+    let measured = report.availability_resilient();
+    println!("gate: measured availability_resilient {measured:.6} vs committed {recorded:.6}");
+    assert!(
+        measured >= recorded - 1e-9,
+        "availability with resilience regressed below the committed number: \
+         {measured:.6} < {recorded:.6}"
+    );
+    println!("gate: OK");
+}
+
 fn main() {
+    let chaos_only = std::env::args().any(|a| a == "--chaos");
+    let world = Arc::new(World::generate(&WorldConfig::small(), WORLD_SEED));
+    let engines = Arc::new(AnswerEngines::build(world));
+
+    if chaos_only {
+        println!("chaos smoke: standard fault plan (epoch {CHAOS_EPOCH}), resilience on vs off\n");
+        let (_config, report) = run_chaos_experiment(&engines);
+        gate_against_committed(&report);
+        return;
+    }
+
     println!(
         "serving {REQUESTS} requests x2 over {WORKERS} workers, all 5 personas, \
          world seed {WORLD_SEED}\n"
     );
-    let world = Arc::new(World::generate(&WorldConfig::small(), WORLD_SEED));
-    let engines = Arc::new(AnswerEngines::build(world));
     let workload = Workload::mixed(&engines.world_handle(), WORKLOAD_SEED);
     println!(
         "workload: {} distinct queries, Zipf(s = {})\n",
@@ -57,7 +164,7 @@ fn main() {
         Workload::DEFAULT_ZIPF_S
     );
 
-    let service = AnswerService::start(engines, ServeConfig::with_workers(WORKERS));
+    let service = AnswerService::start(Arc::clone(&engines), ServeConfig::with_workers(WORKERS));
     let cold = drive(&service, &workload, "cold");
     let warm = drive(&service, &workload, "warm");
 
@@ -81,8 +188,20 @@ fn main() {
         "warm pass must lower the cumulative overall p50"
     );
 
+    println!("\nchaos: standard fault plan (epoch {CHAOS_EPOCH}), resilience on vs off\n");
+    let (chaos_config, chaos_report) = run_chaos_experiment(&engines);
+
     let final_snapshot = service.shutdown();
+    let mut root = match final_snapshot.to_json() {
+        Value::Object(map) => map,
+        _ => unreachable!("snapshot JSON is an object"),
+    };
+    root.insert(
+        "chaos".to_string(),
+        chaos_json(&chaos_config, &chaos_report),
+    );
     let path = "BENCH_serve.json";
-    std::fs::write(path, final_snapshot.to_json_string() + "\n").expect("write BENCH_serve.json");
+    std::fs::write(path, json_to_string(&Value::Object(root)) + "\n")
+        .expect("write BENCH_serve.json");
     println!("\nwrote {path}");
 }

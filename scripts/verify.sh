@@ -17,6 +17,15 @@ cargo test -q
 echo "== serving layer: unit + integration =="
 cargo test -q -p shift-serve
 
+echo "== resilience: engines fault-injection suite =="
+cargo test -q -p shift-engines fault
+
+echo "== resilience: deterministic chaos suite =="
+cargo test -q -p shift-serve --test chaos_serve
+
+echo "== resilience: chaos smoke + availability gate (vs committed BENCH_serve.json) =="
+cargo run --release --example run_serve -- --chaos
+
 echo "== retrieval kernel: differential suite (kernel == reference) =="
 cargo test -q -p shift-search
 
