@@ -1,25 +1,30 @@
 //! Retrieval-kernel benchmark: the max-score/block-max *pruned* DAAT
 //! kernel vs the exhaustive DAAT merge vs the frozen term-at-a-time
 //! reference scorer, swept over three corpus scales (the paper's
-//! ≈2,700-document world, 10×, and 100× via [`WorldConfig::scaled`]).
+//! ≈2,700-document world, 10×, and 100× via [`WorldConfig::scaled`]) and,
+//! at every scale, over shard counts 1/2/4/8 of the document-partitioned
+//! [`ShardedIndex`].
 //!
 //! Run with `cargo bench -p shift-bench --bench search_kernel`. The full
-//! run re-checks a differential sample at every scale (pruned SERP must
-//! be byte-identical to the exhaustive SERP, and to the reference SERP at
-//! paper scale), measures end-to-end top-10 throughput per scale, prints
-//! each index's [`IndexStats`] report, writes the per-scale table into
-//! `BENCH_search.json`, and prints the lines recorded in EXPERIMENTS.md
-//! §Performance.
+//! run re-checks a differential sample at every scale and shard count
+//! (the sharded SERP must be byte-identical to the unsharded pruned SERP,
+//! and to the reference SERP at paper scale), measures end-to-end top-10
+//! throughput per scale and per shard count, prints each index's
+//! [`IndexStats`] report, writes the per-scale table (with a nested
+//! shard-sweep table) into `BENCH_search.json`, and prints the lines
+//! recorded in EXPERIMENTS.md §Performance.
 //!
 //! Two extra modes, both used by `scripts/verify.sh`:
 //!
 //! * `-- --quick` — smoke check: the same differential pipeline on the
 //!   small world with 100 queries, no JSON artifact.
 //! * `-- --gate`  — regression gate: measures paper-scale pruned
-//!   throughput only and fails (panics) if it has regressed more than
-//!   20% against the committed `BENCH_search.json`.
+//!   throughput and 100×-scale 4-shard throughput and fails (panics) if
+//!   either has regressed more than 20% against the committed
+//!   `BENCH_search.json`.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -27,7 +32,7 @@ use shift_bench::STUDY_SEED;
 use shift_corpus::{World, WorldConfig};
 use shift_queries::ranking_queries;
 use shift_search::query::reference;
-use shift_search::{EvalMode, QueryScratch, RankingParams, SearchEngine};
+use shift_search::{EvalMode, QueryScratch, RankingParams, SearchEngine, ShardedIndex};
 use std::hint::black_box;
 
 const K: usize = 10;
@@ -36,6 +41,11 @@ const K: usize = 10;
 const GATE_FLOOR: f64 = 0.8;
 /// Workspace-root artifact path (benches run with the package dir as cwd).
 const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+/// Shard counts swept at every scale; 1 is the unsharded kernel and the
+/// speedup baseline.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Shard count whose 100×-scale throughput is committed and gated.
+const GATE_SHARDS: usize = 4;
 
 fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
@@ -56,12 +66,42 @@ fn measure_qps(queries: &[String], rounds: usize, mut f: impl FnMut(&str)) -> f6
     queries.len() as f64 / best
 }
 
+/// One row of a scale's shard sweep.
+struct ShardRow {
+    shards: usize,
+    /// Pruned-kernel throughput through the sharded dispatch path.
+    qps: f64,
+    /// Relative to the 1-shard (unsharded) row of the same scale.
+    speedup_vs_1shard: f64,
+    /// Documents fully scored over one serial query pass (the serial
+    /// path carries the threshold shard-to-shard deterministically; the
+    /// parallel path's counters depend on cross-shard race timing).
+    docs_scored: u64,
+    /// Matching documents never scored (vs the exhaustive total).
+    docs_skipped: u64,
+}
+
+impl ShardRow {
+    fn json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"qps\":{:.1},\"ms_per_query\":{:.6},\
+             \"speedup_vs_1shard\":{:.3},\"docs_scored\":{},\"docs_skipped\":{}}}",
+            self.shards,
+            self.qps,
+            1e3 / self.qps,
+            self.speedup_vs_1shard,
+            self.docs_scored,
+            self.docs_skipped,
+        )
+    }
+}
+
 /// One row of the scale sweep.
 struct ScaleRow {
     scale: &'static str,
     docs: usize,
     queries: usize,
-    /// Pruned-kernel throughput (the production path).
+    /// Pruned-kernel throughput (the production path, unsharded).
     qps: f64,
     /// Exhaustive-merge throughput (the PR-2 kernel, pruning disabled).
     exhaustive_qps: f64,
@@ -73,14 +113,16 @@ struct ScaleRow {
     /// scores every matching document exactly once, so the difference
     /// of the two counters is exact).
     docs_skipped: u64,
+    /// Shard sweep at this scale, in [`SHARD_COUNTS`] order.
+    shards: Vec<ShardRow>,
 }
 
 impl ScaleRow {
     fn json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"scale\":\"{}\",\"docs\":{},\"queries\":{},\"k\":{K},\
              \"qps\":{:.1},\"ms_per_query\":{:.6},\"exhaustive_qps\":{:.1},\
-             \"speedup\":{:.3},\"docs_scored\":{},\"docs_skipped\":{}}}",
+             \"speedup\":{:.3},\"docs_scored\":{},\"docs_skipped\":{},\"shards\":[",
             self.scale,
             self.docs,
             self.queries,
@@ -90,13 +132,28 @@ impl ScaleRow {
             self.speedup,
             self.docs_scored,
             self.docs_skipped,
-        )
+        );
+        for (i, row) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&row.json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn sharded_qps(&self, shards: usize) -> Option<f64> {
+        self.shards
+            .iter()
+            .find(|r| r.shards == shards)
+            .map(|r| r.qps)
     }
 }
 
 /// Builds one scale's engine, checks byte-identity on a query sample,
-/// collects pruning-effectiveness counters, and measures both kernel
-/// modes.
+/// collects pruning-effectiveness counters, measures both kernel modes,
+/// and sweeps the sharded dispatch path over [`SHARD_COUNTS`].
 fn run_scale(
     scale: &'static str,
     config: &WorldConfig,
@@ -170,6 +227,75 @@ fn run_scale(
     }
     let qps = queries.len() as f64 / pruned_best;
     let exhaustive_qps = queries.len() as f64 / exhaustive_best;
+
+    // Shard sweep: the same queries through document-partitioned
+    // [`ShardedIndex`] views of the very same index. Count 1 is the
+    // unsharded kernel measured above. Every sharded engine must return
+    // byte-identical SERPs to the unsharded one — checked on the same
+    // sample stride before anything is timed.
+    let mut shard_rows = vec![ShardRow {
+        shards: 1,
+        qps,
+        speedup_vs_1shard: 1.0,
+        docs_scored: pruned_stats.docs_scored,
+        docs_skipped,
+    }];
+    for &n in SHARD_COUNTS.iter().filter(|&&n| n > 1) {
+        let sharded_engine = SearchEngine::with_sharded_index(
+            Arc::new(ShardedIndex::build(engine.index_handle(), n)),
+            engine.params().clone(),
+        );
+        for q in queries.iter().step_by(sample_stride) {
+            let sharded = sharded_engine.search_with(&mut scratch, q, K);
+            let flat = engine.search(q, K);
+            assert_eq!(
+                sharded.urls(),
+                flat.urls(),
+                "[{scale}] {n}-shard SERP diverged on {q:?}"
+            );
+            for (a, b) in sharded.results.iter().zip(&flat.results) {
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "[{scale}] {n}-shard score bits diverged on {q:?}"
+                );
+            }
+        }
+        scratch.take_stats();
+        for q in &queries {
+            black_box(sharded_engine.search_with_mode_serial(&mut scratch, q, K, EvalMode::Pruned));
+        }
+        let stats = scratch.take_stats();
+        assert!(
+            exhaustive_stats.docs_scored >= stats.docs_scored,
+            "[{scale}] {n}-shard pruned pass scored more docs than exhaustive"
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for q in &queries {
+                black_box(sharded_engine.search_with(&mut scratch, black_box(q), K));
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let sharded_qps = queries.len() as f64 / best;
+        println!(
+            "[{scale}] {n} shards: {sharded_qps:.0} q/s ({:.3} ms/q), {:.2}x vs 1 shard; \
+             scored {} docs, skipped {}",
+            1e3 / sharded_qps,
+            sharded_qps / qps,
+            stats.docs_scored,
+            exhaustive_stats.docs_scored - stats.docs_scored,
+        );
+        shard_rows.push(ShardRow {
+            shards: n,
+            qps: sharded_qps,
+            speedup_vs_1shard: sharded_qps / qps,
+            docs_scored: stats.docs_scored,
+            docs_skipped: exhaustive_stats.docs_scored - stats.docs_scored,
+        });
+    }
+
     let row = ScaleRow {
         scale,
         docs,
@@ -179,6 +305,7 @@ fn run_scale(
         speedup: qps / exhaustive_qps,
         docs_scored: pruned_stats.docs_scored,
         docs_skipped,
+        shards: shard_rows,
     };
     println!(
         "[{scale}] exhaustive {exhaustive_qps:.0} q/s ({:.3} ms/q) → pruned {qps:.0} q/s \
@@ -205,8 +332,9 @@ fn json_number_field(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// `--gate`: measure paper-scale pruned throughput and fail on a >20%
-/// regression against the committed artifact.
+/// `--gate`: measure paper-scale pruned throughput and 100×-scale
+/// [`GATE_SHARDS`]-shard throughput; fail on a >20% regression of either
+/// against the committed artifact.
 fn run_gate() {
     let committed = std::fs::read_to_string(BENCH_JSON)
         .unwrap_or_else(|e| panic!("gate: cannot read {BENCH_JSON}: {e}"));
@@ -233,6 +361,31 @@ fn run_gate() {
     println!(
         "bench gate OK: pruned kernel {qps:.0} q/s vs committed {baseline:.0} q/s \
          ({:+.1}%)",
+        100.0 * (ratio - 1.0)
+    );
+
+    let sharded_baseline = json_number_field(&committed, "x100_sharded_qps")
+        .unwrap_or_else(|| panic!("gate: no x100_sharded_qps in {BENCH_JSON}"));
+    let world = World::generate(&WorldConfig::scaled(100), STUDY_SEED);
+    let engine = SearchEngine::build_sharded(&world, RankingParams::google(), GATE_SHARDS);
+    let queries: Vec<String> = ranking_queries(&world, 1000, STUDY_SEED)
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+    let qps = measure_qps(&queries, 2, |q| {
+        black_box(engine.search_with(&mut scratch, black_box(q), K));
+    });
+    let ratio = qps / sharded_baseline;
+    assert!(
+        ratio >= GATE_FLOOR,
+        "bench gate FAILED: 100×-scale {GATE_SHARDS}-shard kernel at {qps:.0} q/s is \
+         {:.0}% of the committed {sharded_baseline:.0} q/s (floor {:.0}%)",
+        100.0 * ratio,
+        100.0 * GATE_FLOOR,
+    );
+    println!(
+        "bench gate OK: {GATE_SHARDS}-shard 100× kernel {qps:.0} q/s vs committed \
+         {sharded_baseline:.0} q/s ({:+.1}%)",
         100.0 * (ratio - 1.0)
     );
 }
@@ -267,6 +420,9 @@ fn bench(c: &mut Criterion) {
                 row.scale
             );
         }
+        let x100_sharded_qps = x100_row
+            .sharded_qps(GATE_SHARDS)
+            .expect("100x sweep includes the gate shard count");
 
         // The historical comparison kept from PR 2: pruned kernel vs the
         // frozen term-at-a-time reference, paper scale only (the
@@ -286,7 +442,9 @@ fn bench(c: &mut Criterion) {
         write!(
             json,
             "{{\"seed\":{STUDY_SEED},\"k\":{K},\"paper_pruned_qps\":{:.1},\
-             \"reference_qps\":{reference_qps:.1},\"reference_speedup\":{:.3},\"scales\":[",
+             \"reference_qps\":{reference_qps:.1},\"reference_speedup\":{:.3},\
+             \"x100_sharded_shards\":{GATE_SHARDS},\"x100_sharded_qps\":{x100_sharded_qps:.1},\
+             \"scales\":[",
             paper_row.qps,
             paper_row.qps / reference_qps,
         )

@@ -22,6 +22,7 @@
 pub mod answer;
 pub mod fault;
 pub mod persona;
+pub mod serp_cache;
 pub mod stack;
 
 pub use answer::{Citation, EngineAnswer};
@@ -29,8 +30,10 @@ pub use fault::{
     EngineError, FallibleEngines, FaultDecision, FaultInjector, FaultPlan, OutageWindow,
 };
 pub use persona::{EngineKind, Persona};
+pub use serp_cache::{SerpCache, SerpCacheConfig, SerpCacheKey, SerpCacheStats};
 pub use stack::AnswerEngines;
 
 // Re-exported so serving workers can hold a per-worker retrieval
-// scratch without depending on `shift-search` directly.
-pub use shift_search::QueryScratch;
+// scratch (and report its kernel counters) without depending on
+// `shift-search` directly.
+pub use shift_search::{KernelStats, QueryScratch};

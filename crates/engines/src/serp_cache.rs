@@ -1,0 +1,394 @@
+//! SERP-level retrieval cache.
+//!
+//! The five personas re-run near-identical retrievals for every study
+//! query (Gemini even grounds through Google's own ranking), and the
+//! serving layer replays popular queries endlessly — so the stack puts
+//! a small sharded LRU *in front of the retrieval kernel*, keyed on
+//! `(analyzed query, RankingParams fingerprint, k)`.
+//!
+//! The key normalizes the query through [`shift_textkit::analyze`] —
+//! the exact pipeline [`shift_search::SearchEngine`] feeds the kernel —
+//! so two raw queries share an entry precisely when the kernel would
+//! see identical term lists. The one byte of a [`Serp`] that depends on
+//! the *raw* text (its `query` echo field) is patched back on every
+//! hit, which makes the cache perfectly transparent: a hit returns the
+//! same bytes a kernel run would have.
+//!
+//! Each shard is an independent `parking_lot::Mutex` around a
+//! slab-backed intrusive LRU list (the same shape as `shift-serve`'s
+//! answer cache), so concurrent lookups on different shards never
+//! contend; counters are relaxed atomics surfaced through
+//! [`SerpCache::stats`] into the serving metrics → report JSON path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use shift_search::Serp;
+use shift_textkit::analyze;
+
+/// Geometry of one [`SerpCache`].
+#[derive(Debug, Clone)]
+pub struct SerpCacheConfig {
+    /// Number of independent shards (rounded up to at least 1).
+    pub shards: usize,
+    /// LRU capacity of each shard; 0 disables the cache entirely.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for SerpCacheConfig {
+    fn default() -> SerpCacheConfig {
+        SerpCacheConfig {
+            shards: 8,
+            capacity_per_shard: 256,
+        }
+    }
+}
+
+impl SerpCacheConfig {
+    /// A configuration that caches nothing.
+    pub fn disabled() -> SerpCacheConfig {
+        SerpCacheConfig {
+            shards: 1,
+            capacity_per_shard: 0,
+        }
+    }
+}
+
+/// Identity of a cacheable SERP: the kernel-normalized query terms, the
+/// exact ranking parameterization (by bit-level fingerprint) and the
+/// requested depth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SerpCacheKey {
+    /// Query text after [`analyze`] (the terms the kernel scores),
+    /// joined with single spaces.
+    pub normalized: String,
+    /// [`shift_search::RankingParams::fingerprint`] of the engine the
+    /// SERP came from.
+    pub params_fingerprint: u64,
+    /// Requested result-list depth.
+    pub k: usize,
+}
+
+impl SerpCacheKey {
+    /// Builds a key, normalizing `query` through the retrieval
+    /// analyzer.
+    pub fn new(query: &str, params_fingerprint: u64, k: usize) -> SerpCacheKey {
+        SerpCacheKey {
+            normalized: analyze(query).join(" "),
+            params_fingerprint,
+            k,
+        }
+    }
+
+    /// FNV-1a hash of the key, used for shard routing.
+    fn route_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in self.params_fingerprint.to_le_bytes() {
+            eat(b);
+        }
+        for b in (self.k as u64).to_le_bytes() {
+            eat(b);
+        }
+        for b in self.normalized.as_bytes() {
+            eat(*b);
+        }
+        h
+    }
+}
+
+/// Monotonic counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerpCacheStats {
+    /// Lookups that returned a resident SERP.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Successful inserts (including overwrites of an existing key).
+    pub inserts: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl SerpCacheStats {
+    /// Hits as a fraction of all lookups (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: SerpCacheKey,
+    serp: Serp,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a slab of entries threaded onto an intrusive MRU→LRU
+/// list, plus a key→slot map. All list surgery is O(1).
+struct Shard {
+    map: HashMap<SerpCacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        self.unlink(slot);
+        self.map.remove(&self.slab[slot].key);
+        self.free.push(slot);
+    }
+}
+
+/// A sharded LRU mapping [`SerpCacheKey`]s to [`Serp`]s. No TTL: the
+/// index is immutable for the lifetime of a stack, so a cached SERP
+/// never goes stale.
+pub struct SerpCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SerpCache {
+    /// Builds a cache with the given geometry.
+    pub fn new(config: &SerpCacheConfig) -> SerpCache {
+        SerpCache {
+            shards: (0..config.shards.max(1))
+                .map(|_| Mutex::new(Shard::new(config.capacity_per_shard)))
+                .collect(),
+            capacity_per_shard: config.capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the cache stores nothing (capacity 0).
+    pub fn is_disabled(&self) -> bool {
+        self.capacity_per_shard == 0
+    }
+
+    /// Resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a key, refreshing its recency on hit. The returned SERP
+    /// echoes `raw_query` verbatim (the only field of a [`Serp`] that
+    /// depends on the un-normalized text), so a hit is byte-identical
+    /// to what the kernel would have produced for this exact call.
+    pub fn get(&self, key: &SerpCacheKey, raw_query: &str) -> Option<Serp> {
+        if self.is_disabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shards[self.shard_for(key)].lock();
+        let Some(&slot) = shard.map.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        shard.unlink(slot);
+        shard.push_front(slot);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let mut serp = shard.slab[slot].serp.clone();
+        serp.query.clear();
+        serp.query.push_str(raw_query);
+        Some(serp)
+    }
+
+    /// Inserts (or overwrites) a SERP, evicting the least-recently-used
+    /// entry of the target shard if it is full.
+    pub fn insert(&self, key: SerpCacheKey, serp: Serp) {
+        if self.is_disabled() {
+            return;
+        }
+        let mut shard = self.shards[self.shard_for(&key)].lock();
+        if let Some(&slot) = shard.map.get(&key) {
+            shard.slab[slot].serp = serp;
+            shard.unlink(slot);
+            shard.push_front(slot);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if shard.map.len() >= self.capacity_per_shard {
+            let victim = shard.tail;
+            debug_assert_ne!(victim, NIL);
+            shard.remove_slot(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = Entry {
+            key: key.clone(),
+            serp,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match shard.free.pop() {
+            Some(slot) => {
+                shard.slab[slot] = entry;
+                slot
+            }
+            None => {
+                shard.slab.push(entry);
+                shard.slab.len() - 1
+            }
+        };
+        shard.map.insert(key, slot);
+        shard.push_front(slot);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots the counters.
+    pub fn stats(&self) -> SerpCacheStats {
+        SerpCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_for(&self, key: &SerpCacheKey) -> usize {
+        (key.route_hash() % self.shards.len() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serp(query: &str) -> Serp {
+        Serp {
+            query: query.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    fn single_shard(capacity: usize) -> SerpCache {
+        SerpCache::new(&SerpCacheConfig {
+            shards: 1,
+            capacity_per_shard: capacity,
+        })
+    }
+
+    #[test]
+    fn key_normalizes_through_the_retrieval_analyzer() {
+        let a = SerpCacheKey::new("Best Laptops,  2025!?", 1, 10);
+        let b = SerpCacheKey::new("best laptops 2025", 1, 10);
+        assert_eq!(a, b);
+        // Different params or k are different entries.
+        assert_ne!(a, SerpCacheKey::new("best laptops 2025", 2, 10));
+        assert_ne!(a, SerpCacheKey::new("best laptops 2025", 1, 20));
+    }
+
+    #[test]
+    fn hit_echoes_the_raw_query() {
+        let cache = single_shard(4);
+        let key = SerpCacheKey::new("Best Laptops", 9, 10);
+        cache.insert(key.clone(), serp("Best Laptops"));
+        // A differently-cased raw query normalizing to the same key
+        // hits, but the echoed query field is this call's raw text.
+        let hit = cache.get(&key, "best LAPTOPS").expect("hit");
+        assert_eq!(hit.query, "best LAPTOPS");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = single_shard(2);
+        let k1 = SerpCacheKey::new("alpha", 0, 10);
+        let k2 = SerpCacheKey::new("beta", 0, 10);
+        let k3 = SerpCacheKey::new("gamma", 0, 10);
+        cache.insert(k1.clone(), serp("alpha"));
+        cache.insert(k2.clone(), serp("beta"));
+        assert!(cache.get(&k1, "alpha").is_some()); // k2 becomes LRU
+        cache.insert(k3.clone(), serp("gamma"));
+        assert!(cache.get(&k1, "alpha").is_some());
+        assert!(cache.get(&k2, "beta").is_none(), "k2 must be evicted");
+        assert!(cache.get(&k3, "gamma").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = SerpCache::new(&SerpCacheConfig::disabled());
+        let k = SerpCacheKey::new("anything", 0, 10);
+        cache.insert(k.clone(), serp("anything"));
+        assert!(cache.get(&k, "anything").is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let cache = single_shard(4);
+        let k = SerpCacheKey::new("same query", 3, 10);
+        cache.insert(k.clone(), serp("same query"));
+        cache.insert(k.clone(), serp("same query"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&k, "same query").is_some());
+        assert_eq!(cache.stats().inserts, 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

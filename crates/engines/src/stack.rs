@@ -12,6 +12,7 @@ use shift_search::{with_thread_scratch, QueryScratch, RankingParams, SearchEngin
 
 use crate::answer::{Citation, EngineAnswer};
 use crate::persona::{EngineKind, Persona};
+use crate::serp_cache::{SerpCache, SerpCacheConfig, SerpCacheKey, SerpCacheStats};
 
 /// All five answer systems built over one world, one index build and one
 /// pre-trained LLM. The world is shared via [`Arc`], so a stack is
@@ -22,6 +23,11 @@ pub struct AnswerEngines {
     retrievers: HashMap<EngineKind, SearchEngine>,
     personas: HashMap<EngineKind, Persona>,
     llm: Llm,
+    // SERP-level retrieval cache shared by every persona: entries are
+    // keyed on (analyzed query, params fingerprint, k), so Gemini's
+    // grounding through Google's ranking and repeated serving traffic
+    // hit the same entries their first run populated.
+    serp_cache: SerpCache,
 }
 
 // The serving layer (`shift-serve`) and the parallel study runner share
@@ -45,16 +51,44 @@ impl AnswerEngines {
     /// Builds the stack with a custom LLM configuration (used by the
     /// pre-training ablations).
     pub fn build_with_llm_config(world: Arc<World>, llm_config: LlmConfig) -> AnswerEngines {
+        Self::build_inner(world, llm_config, 1)
+    }
+
+    /// Builds the stack with every retrieval engine running over a
+    /// document-partitioned index at `shard_count` shards (SERPs stay
+    /// byte-identical to the unsharded stack for any count; 0 and 1
+    /// both mean unsharded).
+    pub fn build_sharded(world: Arc<World>, shard_count: usize) -> AnswerEngines {
+        Self::build_inner(world, LlmConfig::default(), shard_count)
+    }
+
+    fn build_inner(world: Arc<World>, llm_config: LlmConfig, shard_count: usize) -> AnswerEngines {
         let google = SearchEngine::build(&world, RankingParams::google());
         let index = google.index_handle();
+        // One partition layout serves every parameterization: the view
+        // holds only doc ranges, posting subranges and block summaries,
+        // all params-independent.
+        let sharded = (shard_count > 1).then(|| {
+            Arc::new(shift_search::ShardedIndex::build(
+                index.clone(),
+                shard_count,
+            ))
+        });
+        let google = match &sharded {
+            Some(view) => SearchEngine::with_sharded_index(view.clone(), RankingParams::google()),
+            None => google,
+        };
         let mut retrievers = HashMap::new();
         let mut personas = HashMap::new();
         for kind in EngineKind::GENERATIVE {
             let persona = Persona::for_kind(kind);
-            retrievers.insert(
-                kind,
-                SearchEngine::with_index(index.clone(), persona.retrieval.clone()),
-            );
+            let engine = match &sharded {
+                Some(view) => {
+                    SearchEngine::with_sharded_index(view.clone(), persona.retrieval.clone())
+                }
+                None => SearchEngine::with_index(index.clone(), persona.retrieval.clone()),
+            };
+            retrievers.insert(kind, engine);
             personas.insert(kind, persona);
         }
         let llm = Llm::pretrain(&world, llm_config);
@@ -64,7 +98,38 @@ impl AnswerEngines {
             retrievers,
             personas,
             llm,
+            serp_cache: SerpCache::new(&SerpCacheConfig::default()),
         }
+    }
+
+    /// Number of index shards retrievals fan out over (1 = unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.google.shard_count()
+    }
+
+    /// Snapshot of the SERP-level retrieval cache counters.
+    pub fn serp_cache_stats(&self) -> SerpCacheStats {
+        self.serp_cache.stats()
+    }
+
+    /// Retrieval through the SERP cache: a hit returns the cached
+    /// result list with this call's raw query echoed back (making hits
+    /// byte-identical to kernel runs); a miss runs the kernel and
+    /// populates the cache.
+    fn cached_serp(
+        &self,
+        engine: &SearchEngine,
+        scratch: &mut QueryScratch,
+        query: &str,
+        k: usize,
+    ) -> Serp {
+        let key = SerpCacheKey::new(query, engine.params().fingerprint(), k);
+        if let Some(hit) = self.serp_cache.get(&key, query) {
+            return hit;
+        }
+        let serp = engine.search_with(scratch, query, k);
+        self.serp_cache.insert(key, serp.clone());
+        serp
     }
 
     /// The world the stack runs over.
@@ -84,12 +149,12 @@ impl AnswerEngines {
 
     /// Google's organic SERP (the study's reference ranking).
     pub fn google_serp(&self, query: &str, k: usize) -> Serp {
-        self.google.search(query, k)
+        with_thread_scratch(|scratch| self.google_serp_with(scratch, query, k))
     }
 
     /// Google's organic SERP using an explicitly managed query scratch.
     pub fn google_serp_with(&self, scratch: &mut QueryScratch, query: &str, k: usize) -> Serp {
-        self.google.search_with(scratch, query, k)
+        self.cached_serp(&self.google, scratch, query, k)
     }
 
     /// The persona of a generative engine.
@@ -196,7 +261,7 @@ impl AnswerEngines {
         // others run their persona retrieval parameters.
         let pool = match kind {
             EngineKind::Gemini => self.google_serp_with(scratch, query, persona.pool_size),
-            _ => self.retrievers[&kind].search_with(scratch, query, persona.pool_size),
+            _ => self.cached_serp(&self.retrievers[&kind], scratch, query, persona.pool_size),
         };
         let snippets = self.snippets_from_serp(&pool);
 
@@ -518,6 +583,66 @@ mod tests {
             .iter()
             .any(|e| a.text.contains(&w.entity(*e).name));
         assert!(named, "answer text: {}", a.text);
+    }
+
+    #[test]
+    fn serp_cache_hits_are_byte_identical_to_kernel_runs() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        let q = "Best Laptops for Students";
+        let first = stack.google_serp(q, 10);
+        let miss_stats = stack.serp_cache_stats();
+        assert!(miss_stats.inserts > 0);
+        let second = stack.google_serp(q, 10);
+        let hit_stats = stack.serp_cache_stats();
+        assert!(hit_stats.hits > miss_stats.hits, "second run must hit");
+        assert_eq!(first.query, second.query);
+        assert_eq!(first.results.len(), second.results.len());
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.snippet, b.snippet);
+        }
+        // A raw query normalizing identically hits the same entry but
+        // echoes its own text.
+        let cased = stack.google_serp("best laptops FOR students?", 10);
+        assert_eq!(cased.query, "best laptops FOR students?");
+        assert_eq!(cased.urls(), first.urls());
+        assert!(stack.serp_cache_stats().hits > hit_stats.hits);
+    }
+
+    #[test]
+    fn full_answers_are_identical_with_and_without_cache() {
+        let w = world();
+        let stack = AnswerEngines::build(w.clone());
+        for kind in EngineKind::ALL {
+            let cold = stack.answer(kind, "Top 10 most reliable SUVs", 10, 1);
+            let warm = stack.answer(kind, "Top 10 most reliable SUVs", 10, 1);
+            assert_eq!(cold.domains(), warm.domains());
+            assert_eq!(cold.text, warm.text);
+            assert_eq!(cold.snippets.len(), warm.snippets.len());
+        }
+        assert!(stack.serp_cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn sharded_stack_answers_match_unsharded() {
+        let w = world();
+        let flat = AnswerEngines::build(w.clone());
+        let sharded = AnswerEngines::build_sharded(w.clone(), 4);
+        assert_eq!(flat.shard_count(), 1);
+        assert_eq!(sharded.shard_count(), 4);
+        for kind in EngineKind::ALL {
+            for q in ["Top 10 most reliable SUVs", "best laptops 2025"] {
+                let a = flat.answer(kind, q, 10, 1);
+                let b = sharded.answer(kind, q, 10, 1);
+                assert_eq!(a.domains(), b.domains(), "{kind:?} {q}");
+                assert_eq!(a.text, b.text);
+                let urls_a: Vec<_> = a.citations.iter().map(|c| &c.url).collect();
+                let urls_b: Vec<_> = b.citations.iter().map(|c| &c.url).collect();
+                assert_eq!(urls_a, urls_b);
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use parking_lot::RwLock;
 use shift_corpus::{PageId, SourceType, World};
 use shift_textkit::analyze;
 
-use crate::bm25::{idf, term_score_bound, Bm25Params};
+use crate::bm25::{idf, term_score_bound, term_score_idf, Bm25Params};
 use crate::postings::{DocNum, PostingsStore, TermId};
 
 /// Per-document metadata kept alongside the postings.
@@ -82,8 +82,8 @@ pub struct StaticTable {
 /// are folded in at query time by the kernel.
 #[derive(Debug)]
 pub struct BoundTable {
-    list_ub: Vec<f64>,
-    block_ub: Vec<Vec<f64>>,
+    pub(crate) list_ub: Vec<f64>,
+    pub(crate) block_ub: Vec<Vec<f64>>,
 }
 
 impl BoundTable {
@@ -104,6 +104,36 @@ impl BoundTable {
         let blocks: u64 = self.block_ub.iter().map(|b| b.len() as u64).sum();
         (self.list_ub.len() as u64 + blocks) * std::mem::size_of::<f64>() as u64
             + self.block_ub.len() as u64 * std::mem::size_of::<Vec<f64>>() as u64
+    }
+}
+
+/// Precomputed per-posting BM25 contributions ("impact scores") for one
+/// BM25 parameterization.
+///
+/// `scores[t][i]` is exactly `term_score_idf` evaluated for posting `i`
+/// of term `t` — the same function the reference scorer calls, invoked
+/// once at table-build time instead of once per scored document, so
+/// summing cached impacts is *bit-identical* to recomputing them. The
+/// kernel's scoring loop becomes one array load per matched cursor (no
+/// division, no document-length fetch); positions are still read from
+/// the posting for the proximity sweep.
+#[derive(Debug)]
+pub struct ScoreTable {
+    pub(crate) scores: Vec<Vec<f64>>,
+}
+
+impl ScoreTable {
+    /// Impact scores of one term's posting list, in list order.
+    #[inline]
+    pub fn impacts(&self, term: TermId) -> &[f64] {
+        &self.scores[term as usize]
+    }
+
+    /// Estimated heap bytes held by the table.
+    pub fn heap_bytes(&self) -> u64 {
+        let entries: u64 = self.scores.iter().map(|s| s.len() as u64).sum();
+        entries * std::mem::size_of::<f64>() as u64
+            + self.scores.len() as u64 * std::mem::size_of::<Vec<f64>>() as u64
     }
 }
 
@@ -129,14 +159,14 @@ impl StaticKey {
 /// Cache key for [`BoundTable`]s: the exact bits of the BM25 parameters
 /// the bounds depend on (collection statistics are fixed per index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct BoundKey {
+pub(crate) struct BoundKey {
     k1: u64,
     b: u64,
     title_weight: u64,
 }
 
 impl BoundKey {
-    fn new(params: &Bm25Params) -> BoundKey {
+    pub(crate) fn new(params: &Bm25Params) -> BoundKey {
         BoundKey {
             k1: params.k1.to_bits(),
             b: params.b.to_bits(),
@@ -157,6 +187,8 @@ pub struct SearchIndex {
     static_cache: RwLock<Vec<(StaticKey, Arc<StaticTable>)>>,
     // Lazily built pruning bound tables, one per distinct BM25 triple.
     bound_cache: RwLock<Vec<(BoundKey, Arc<BoundTable>)>>,
+    // Lazily built per-posting impact-score tables, one per BM25 triple.
+    score_cache: RwLock<Vec<(BoundKey, Arc<ScoreTable>)>>,
 }
 
 impl SearchIndex {
@@ -193,6 +225,7 @@ impl SearchIndex {
             host_count: hosts.len() as u32,
             static_cache: RwLock::new(Vec::new()),
             bound_cache: RwLock::new(Vec::new()),
+            score_cache: RwLock::new(Vec::new()),
         }
     }
 
@@ -309,6 +342,47 @@ impl SearchIndex {
         table
     }
 
+    /// The per-posting impact scores for one BM25 parameterization,
+    /// computing and caching them on first request.
+    ///
+    /// Each entry calls [`term_score_idf`] with exactly the arguments
+    /// the kernel's scoring path used to pass per scored document, so
+    /// reading the table is bit-identical to recomputing the score.
+    pub fn score_table(&self, params: &Bm25Params) -> Arc<ScoreTable> {
+        let key = BoundKey::new(params);
+        {
+            let cache = self.score_cache.read();
+            if let Some((_, table)) = cache.iter().find(|(k, _)| *k == key) {
+                return Arc::clone(table);
+            }
+        }
+        let store = &self.postings;
+        let doc_count = store.doc_count();
+        let avg_len = store.avg_doc_len();
+        let vocab = store.vocabulary_size();
+        let mut scores = Vec::with_capacity(vocab);
+        for term in 0..vocab as TermId {
+            let term_idf = idf(doc_count, store.doc_freq_by_id(term));
+            scores.push(
+                store
+                    .postings_by_id(term)
+                    .iter()
+                    .map(|p| {
+                        let doc_len = f64::from(self.docs[p.doc as usize].token_len);
+                        term_score_idf(params, p, term_idf, doc_len, avg_len)
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        let table = Arc::new(ScoreTable { scores });
+        let mut cache = self.score_cache.write();
+        if let Some((_, existing)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(existing);
+        }
+        cache.push((key, Arc::clone(&table)));
+        table
+    }
+
     /// Number of cached static-score parameterizations (for tests).
     pub fn static_cache_len(&self) -> usize {
         self.static_cache.read().len()
@@ -317,6 +391,11 @@ impl SearchIndex {
     /// Number of cached pruning-bound parameterizations (for tests).
     pub fn bound_cache_len(&self) -> usize {
         self.bound_cache.read().len()
+    }
+
+    /// Number of cached impact-score parameterizations (for tests).
+    pub fn score_cache_len(&self) -> usize {
+        self.score_cache.read().len()
     }
 
     /// Size and estimated-heap-footprint report over the whole index:
@@ -337,6 +416,12 @@ impl SearchIndex {
             .iter()
             .map(|(_, t)| t.heap_bytes())
             .sum();
+        let score_table_bytes: u64 = self
+            .score_cache
+            .read()
+            .iter()
+            .map(|(_, t)| t.heap_bytes())
+            .sum();
         let static_table_bytes: u64 = self.static_cache.read().len() as u64
             * self.docs.len() as u64
             * std::mem::size_of::<(f64, f64)>() as u64;
@@ -351,11 +436,13 @@ impl SearchIndex {
             block_entries: p.block_entries,
             block_bytes: p.block_bytes,
             bound_table_bytes,
+            score_table_bytes,
             doc_meta_bytes,
             estimated_heap_bytes: p.postings_bytes
                 + p.positions_bytes
                 + p.block_bytes
                 + bound_table_bytes
+                + score_table_bytes
                 + static_table_bytes
                 + doc_meta_bytes,
         }
@@ -395,6 +482,8 @@ pub struct IndexStats {
     pub block_bytes: u64,
     /// Estimated heap bytes of cached pruning bound tables.
     pub bound_table_bytes: u64,
+    /// Estimated heap bytes of cached per-posting impact-score tables.
+    pub score_table_bytes: u64,
     /// Estimated heap bytes of document metadata (incl. raw text).
     pub doc_meta_bytes: u64,
     /// Estimated total heap footprint of the index.
@@ -429,6 +518,11 @@ impl fmt::Display for IndexStats {
             self.block_entries,
             mib(self.block_bytes),
             mib(self.bound_table_bytes)
+        )?;
+        writeln!(
+            f,
+            "  impacts   {:>34.2} MiB (cached per-posting scores)",
+            mib(self.score_table_bytes)
         )?;
         writeln!(f, "  doc meta  {:>34.2} MiB", mib(self.doc_meta_bytes))?;
         write!(

@@ -51,12 +51,15 @@
 //! the differential suite in `tests/differential_search.rs`.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-use crate::bm25::{idf, term_score_idf, window_bonus};
-use crate::index::{BoundTable, SearchIndex, StaticTable};
-use crate::postings::{DocNum, PostingsStore, TermId, BLOCK_LEN};
+use crate::bm25::window_bonus;
+use crate::index::{BoundTable, ScoreTable, SearchIndex, StaticTable};
+use crate::postings::{BlockSummary, DocNum, PostingsStore, TermId, BLOCK_LEN};
 use crate::query::RankingParams;
 use crate::serp::{extract_snippet, SerpResult};
+use crate::shard::{IndexShard, ShardedIndex};
 
 /// Which evaluation strategy the kernel uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,6 +86,117 @@ pub enum EvalMode {
 /// document's scoring.
 const BOUND_SLOP: f64 = 1.0 + 1e-9;
 
+/// The heap-threshold broadcast shared by concurrently evaluating
+/// shards: a monotonically tightening lower bound on the score a
+/// document must *strictly* beat to enter the merged overfetch pool.
+///
+/// Stored as the raw bits of a positive `f64` in an atomic `u64` — for
+/// positive IEEE-754 doubles the bit patterns order exactly like the
+/// values, so `fetch_max` over bits is `max` over scores, lock-free and
+/// wait-free. Zero bits (`+0.0`) is the "nothing published yet"
+/// sentinel, read back as `-∞` (real match scores are strictly
+/// positive, so no published threshold is ever `0.0`).
+///
+/// Admissibility under races: a shard publishes its local heap root
+/// only once the heap holds `overfetch` entries, so a read value θ
+/// proves ≥ overfetch documents score ≥ θ somewhere. A candidate whose
+/// inflated bound is ≤ θ therefore has a true score *strictly* below θ
+/// ([`BOUND_SLOP`]) and strictly below those pooled documents — it can
+/// never reach the merged pool, no matter how stale or fresh the read
+/// was. Pruning decisions (and so `KernelStats`) depend on timing;
+/// merged SERPs do not.
+pub(crate) struct SharedTheta(AtomicU64);
+
+impl SharedTheta {
+    pub(crate) fn new() -> SharedTheta {
+        SharedTheta(AtomicU64::new(0))
+    }
+
+    /// The tightest threshold published so far, or `-∞`.
+    #[inline]
+    fn get(&self) -> f64 {
+        let bits = self.0.load(Ordering::Relaxed);
+        if bits == 0 {
+            f64::NEG_INFINITY
+        } else {
+            f64::from_bits(bits)
+        }
+    }
+
+    /// Publishes a full local heap's root score; keeps the maximum.
+    #[inline]
+    fn raise(&self, score: f64) {
+        if score > 0.0 {
+            self.0.fetch_max(score.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// One shard's read view of the postings: either the full global lists
+/// or a per-term subrange with shard-local block summaries. Cursor
+/// positions (`TermCursor::next`) and block indices are relative to the
+/// view; [`ShardLists::base`] converts back to global posting indices
+/// for the impact-score table.
+#[derive(Clone, Copy)]
+pub(crate) struct ShardLists<'a> {
+    store: &'a PostingsStore,
+    shard: Option<&'a IndexShard>,
+}
+
+impl<'a> ShardLists<'a> {
+    pub(crate) fn full(store: &'a PostingsStore) -> ShardLists<'a> {
+        ShardLists { store, shard: None }
+    }
+
+    pub(crate) fn shard(store: &'a PostingsStore, shard: &'a IndexShard) -> ShardLists<'a> {
+        ShardLists {
+            store,
+            shard: Some(shard),
+        }
+    }
+
+    #[inline]
+    fn store(&self) -> &'a PostingsStore {
+        self.store
+    }
+
+    /// The view's dense doc-number slice of one term — same indices as
+    /// the term's posting slice, 4 bytes per entry. All DAAT navigation
+    /// (seeks, merges, candidate scans) runs over this mirror; position
+    /// data for scored documents comes from the store's flat CSR
+    /// arrays, so the kernel never touches the 40-byte posting structs.
+    #[inline]
+    fn docs(&self, term: TermId) -> &'a [DocNum] {
+        let docs = self.store.doc_ids_by_id(term);
+        match self.shard {
+            None => docs,
+            Some(s) => {
+                let (a, b) = s.ranges[term as usize];
+                &docs[a as usize..b as usize]
+            }
+        }
+    }
+
+    /// Global posting index of the view's first posting of `term`.
+    #[inline]
+    fn base(&self, term: TermId) -> usize {
+        match self.shard {
+            None => 0,
+            Some(s) => s.ranges[term as usize].0 as usize,
+        }
+    }
+
+    /// The view's block-max summaries of one term (indices relative to
+    /// the view's posting slice).
+    #[inline]
+    fn blocks(&self, term: TermId) -> &'a [BlockSummary] {
+        match self.shard {
+            None => self.store.blocks_by_id(term),
+            Some(s) => &s.blocks[term as usize],
+        }
+    }
+}
+
 /// One query-term occurrence's walk position in its posting list.
 ///
 /// Duplicate query terms get one cursor each (the reference scorer
@@ -96,7 +210,9 @@ struct TermCursor {
     /// passes read scratch memory instead of chasing into the posting
     /// structs (whose inline position vectors make `doc` loads sparse).
     cur: DocNum,
-    idf: f64,
+    /// Global posting index of the cursor's view slice start (0 for an
+    /// unsharded view) — `base + next` addresses the impact table.
+    base: u32,
     /// Upper bound on this term's BM25 contribution in any document
     /// (from the engine's [`BoundTable`]).
     ub: f64,
@@ -122,6 +238,16 @@ pub struct KernelStats {
     /// scoring. Block jumps skip further documents that never surface
     /// as candidates at all, so this undercounts total skipped work.
     pub candidates_pruned: u64,
+}
+
+impl KernelStats {
+    /// Accumulates another counter set into this one — how per-shard
+    /// counters aggregate into a query total, and how serving workers
+    /// fold per-scratch counters into service-wide telemetry.
+    pub fn merge(&mut self, other: KernelStats) {
+        self.docs_scored += other.docs_scored;
+        self.candidates_pruned += other.candidates_pruned;
+    }
 }
 
 /// Reusable query workspace: every buffer the kernel needs, grown once
@@ -150,6 +276,10 @@ pub struct QueryScratch {
     host_counts: Vec<u32>,
     host_stamp: Vec<u32>,
     generation: u32,
+    // Per-shard child scratches for sharded execution, grown to the
+    // shard count on first sharded query and reused afterwards (each
+    // worker's children warm up exactly like the parent).
+    children: Vec<QueryScratch>,
 }
 
 impl QueryScratch {
@@ -159,14 +289,32 @@ impl QueryScratch {
     }
 
     /// The pruning counters accumulated since the last
-    /// [`QueryScratch::take_stats`].
+    /// [`QueryScratch::take_stats`] — aggregated across the per-shard
+    /// child scratches, so sharded and unsharded execution report
+    /// through the same counters.
     pub fn stats(&self) -> KernelStats {
-        self.stats
+        let mut total = self.stats;
+        for child in &self.children {
+            total.merge(child.stats());
+        }
+        total
     }
 
-    /// Returns and resets the accumulated pruning counters.
+    /// Returns and resets the accumulated pruning counters (including
+    /// every per-shard child scratch's).
     pub fn take_stats(&mut self) -> KernelStats {
-        std::mem::take(&mut self.stats)
+        let mut total = std::mem::take(&mut self.stats);
+        for child in &mut self.children {
+            total.merge(child.take_stats());
+        }
+        total
+    }
+
+    /// Grows the per-shard child scratch pool to at least `n` entries.
+    fn ensure_children(&mut self, n: usize) {
+        while self.children.len() < n {
+            self.children.push(QueryScratch::new());
+        }
     }
 
     /// Advances the crowding generation, resetting all stamps on the
@@ -182,6 +330,19 @@ impl QueryScratch {
 
 thread_local! {
     static THREAD_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
+/// Hardware threads available to this process, resolved once. Gates
+/// the sharded fan-out: spawning per-query scoped threads on a
+/// single-CPU host is pure overhead, so the dispatcher falls back to
+/// the (byte-identical) serial path there.
+pub(crate) fn hardware_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `f` with this thread's shared [`QueryScratch`].
@@ -277,11 +438,17 @@ fn min_cover_span(tagged: &[(u32, u32)], counts: &mut Vec<u32>, k: usize) -> u32
 
 /// The immutable context every scoring call needs.
 struct ScoreCtx<'a> {
-    store: &'a PostingsStore,
-    index: &'a SearchIndex,
+    lists: ShardLists<'a>,
+    /// Precomputed per-posting BM25 contributions (global indices).
+    impacts: &'a ScoreTable,
     params: &'a RankingParams,
     statics: &'a [(f64, f64)],
-    avg_len: f64,
+    /// Whether position lists are worth collecting: false for
+    /// single-cursor queries and proximity-disabled parameterizations,
+    /// where the bonus is identically zero (adding `+0.0` to a strictly
+    /// positive score is a bitwise no-op, so skipping the sweep cannot
+    /// change output bytes).
+    collect_positions: bool,
 }
 
 /// Postings scanned linearly by [`seek`] before falling back to block
@@ -290,49 +457,57 @@ struct ScoreCtx<'a> {
 const SEEK_PROBE: usize = 8;
 
 /// Lands `c` on posting index `i`, refreshing the cached doc number.
+/// `docs` is the cursor's view of the dense doc-number mirror.
 #[inline]
-fn land(c: &mut TermCursor, list: &[crate::postings::Posting], i: usize) {
+fn land(c: &mut TermCursor, docs: &[DocNum], i: usize) {
     c.next = i as u32;
-    c.cur = list.get(i).map_or(DocNum::MAX, |p| p.doc);
+    c.cur = docs.get(i).copied().unwrap_or(DocNum::MAX);
 }
 
 /// Advances `c` to its first posting with doc ≥ `target`: a short
 /// linear probe for small gaps, then whole-block skips via the block
 /// table's `last_doc` pointers and a binary search only inside the
-/// destination block.
-fn seek(store: &PostingsStore, c: &mut TermCursor, target: DocNum) {
+/// destination block. All indices are relative to the cursor's view,
+/// and all memory touched is the 4-byte-per-posting doc mirror (plus
+/// the block table) — never the posting structs.
+fn seek(lists: &ShardLists<'_>, c: &mut TermCursor, target: DocNum) {
     if c.cur >= target {
         return;
     }
     // `c.cur < target ≤ MAX` implies the cursor sits on a real posting.
-    let list = store.postings_by_id(c.term);
+    let docs = lists.docs(c.term);
     let mut i = c.next as usize + 1;
-    let probe_end = (i + SEEK_PROBE).min(list.len());
-    while i < probe_end && list[i].doc < target {
+    let probe_end = (i + SEEK_PROBE).min(docs.len());
+    while i < probe_end && docs[i] < target {
         i += 1;
     }
-    if i < probe_end || i == list.len() {
-        land(c, list, i);
+    if i < probe_end || i == docs.len() {
+        land(c, docs, i);
         return;
     }
-    let blocks = store.blocks_by_id(c.term);
+    let blocks = lists.blocks(c.term);
     let mut blk = i / BLOCK_LEN;
     while blocks[blk].last_doc < target {
         blk += 1;
         if blk == blocks.len() {
-            land(c, list, list.len());
+            land(c, docs, docs.len());
             return;
         }
     }
     let start = (blk * BLOCK_LEN).max(i);
-    let end = ((blk + 1) * BLOCK_LEN).min(list.len());
-    let within = list[start..end].partition_point(|p| p.doc < target);
-    land(c, list, start + within);
+    let end = ((blk + 1) * BLOCK_LEN).min(docs.len());
+    let within = docs[start..end].partition_point(|&d| d < target);
+    land(c, docs, start + within);
 }
 
 /// Scores `doc` with every float op in the reference scorer's exact
 /// sequence, advancing the cursors that matched. Precondition: every
 /// cursor is positioned at its first posting with doc ≥ `doc`.
+///
+/// The BM25 term contributions come from the precomputed
+/// [`ScoreTable`] — each entry is `term_score_idf` evaluated at
+/// build time with the same arguments this function used to pass, so
+/// the summation sequence (query-term order) is bit-identical.
 fn score_doc(
     ctx: &ScoreCtx<'_>,
     doc: DocNum,
@@ -341,8 +516,6 @@ fn score_doc(
     window_counts: &mut Vec<u32>,
     coord: &[f64],
 ) -> f64 {
-    let meta = ctx.index.doc(doc);
-    let doc_len = f64::from(meta.token_len);
     let mut score = 0.0;
     let mut matched = 0u32;
     tagged.clear();
@@ -350,14 +523,15 @@ fn score_doc(
     // happen in exactly the reference scorer's sequence.
     for c in cursors.iter_mut() {
         if c.cur == doc {
-            let list = ctx.store.postings_by_id(c.term);
-            let p = &list[c.next as usize];
-            score += term_score_idf(&ctx.params.bm25, p, c.idf, doc_len, ctx.avg_len);
-            for &pos in &p.positions {
-                tagged.push((pos, matched));
+            let at = c.base as usize + c.next as usize;
+            score += ctx.impacts.impacts(c.term)[at];
+            if ctx.collect_positions {
+                for &pos in ctx.lists.store().positions_by_id(c.term, at) {
+                    tagged.push((pos, matched));
+                }
             }
             matched += 1;
-            land(c, list, c.next as usize + 1);
+            land(c, ctx.lists.docs(c.term), c.next as usize + 1);
         }
     }
 
@@ -446,6 +620,7 @@ fn run_pruned(
     prox_ub: f64,
     bound_factor: f64,
     stats: &mut KernelStats,
+    shared: Option<&SharedTheta>,
 ) {
     let n = cursors.len();
     order.clear();
@@ -474,9 +649,22 @@ fn run_pruned(
     // monotonically as the threshold rises.
     let mut m = 0usize;
     loop {
-        let full = heap.len() == overfetch;
-        let theta = if full { heap[0].0 } else { f64::NEG_INFINITY };
-        if full {
+        // The effective threshold: the local heap root once the local
+        // heap is full, tightened by whatever other shards broadcast.
+        // Either source alone is admissible (a full heap — local or
+        // remote — proves `overfetch` documents rank strictly above
+        // anything bounded ≤ θ), so their max is too.
+        let local = if heap.len() == overfetch {
+            heap[0].0
+        } else {
+            f64::NEG_INFINITY
+        };
+        let theta = match shared {
+            Some(s) => local.max(s.get()),
+            None => local,
+        };
+        let active = theta > f64::NEG_INFINITY;
+        if active {
             while m < n && (prefix[m + 1] + prox_at(m + 1)) * coord[m + 1] * bound_factor <= theta {
                 m += 1;
             }
@@ -496,7 +684,7 @@ fn run_pruned(
             break;
         }
 
-        if full {
+        if active {
             // Refine the bound for d in one pass over the essential
             // lists: the at-d lists contribute their *current block's*
             // bound (memoized in the cursor, refreshed only on block
@@ -520,7 +708,7 @@ fn run_pruned(
                     if blk != c.blk {
                         c.blk = blk;
                         c.blk_ub = bounds.block_ubs(c.term)[blk as usize];
-                        c.blk_last = ctx.store.blocks_by_id(c.term)[blk as usize].last_doc;
+                        c.blk_last = ctx.lists.blocks(c.term)[blk as usize].last_doc;
                     }
                     blk_sum += c.blk_ub;
                     block_end = block_end.min(c.blk_last);
@@ -538,7 +726,7 @@ fn run_pruned(
                 for &i in &order[m..] {
                     let c = &mut cursors[i as usize];
                     if c.cur == d {
-                        seek(ctx.store, c, target);
+                        seek(&ctx.lists, c, target);
                     }
                 }
                 stats.candidates_pruned += 1;
@@ -549,45 +737,52 @@ fn run_pruned(
         // Survivor: pull every cursor (including non-essential ones)
         // up to d and score it exactly like the exhaustive path.
         for c in cursors.iter_mut() {
-            seek(ctx.store, c, d);
+            seek(&ctx.lists, c, d);
         }
         let score = score_doc(ctx, d, cursors, tagged, window_counts, coord);
         heap_push(heap, overfetch, (score, d));
         stats.docs_scored += 1;
+        // Broadcast the tightened local threshold to the other shards.
+        if let Some(s) = shared {
+            if heap.len() == overfetch {
+                s.raise(heap[0].0);
+            }
+        }
     }
 }
 
-/// Executes one query document-at-a-time and returns the final,
-/// host-crowded, truncated result list (snippets extracted only for
-/// the survivors).
+/// Fills one scratch's candidate heap with a shard view's top
+/// `overfetch` documents: cursor setup, coordination table, then the
+/// exhaustive or pruned merge. The heap is left unsorted; callers
+/// order (and, for sharded execution, merge) it in [`finalize`].
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn execute(
-    index: &SearchIndex,
+fn gather(
+    lists: ShardLists<'_>,
     params: &RankingParams,
     statics: &StaticTable,
     bounds: &BoundTable,
+    impacts: &ScoreTable,
     scratch: &mut QueryScratch,
     terms: &[String],
-    k: usize,
+    overfetch: usize,
     mode: EvalMode,
-) -> Vec<SerpResult> {
-    let store = index.postings();
-    let doc_count = store.doc_count();
-    let avg_len = store.avg_doc_len();
-
+    shared: Option<&SharedTheta>,
+) {
+    let store = lists.store();
+    // The heap is NOT cleared here: callers own it. `execute` clears it
+    // per query; the serial sharded path deliberately carries it across
+    // shards so the threshold evolves exactly as in the unsharded scan.
     // Resolve each query-term occurrence to a cursor: one dictionary
-    // probe per term, IDF computed once instead of once per posting.
+    // probe per term.
     scratch.cursors.clear();
     for term in terms {
         if let Some(id) = store.term_id(term) {
+            let docs = lists.docs(id);
             scratch.cursors.push(TermCursor {
                 term: id,
                 next: 0,
-                cur: store
-                    .postings_by_id(id)
-                    .first()
-                    .map_or(DocNum::MAX, |p| p.doc),
-                idf: idf(doc_count, store.doc_freq_by_id(id)),
+                cur: docs.first().copied().unwrap_or(DocNum::MAX),
+                base: lists.base(id) as u32,
                 ub: bounds.list_ub(id),
                 blk: u32::MAX,
                 blk_ub: 0.0,
@@ -596,7 +791,7 @@ pub(crate) fn execute(
         }
     }
     if scratch.cursors.is_empty() {
-        return Vec::new();
+        return;
     }
 
     // Coordination table: coverage^coordination for every possible
@@ -612,9 +807,6 @@ pub(crate) fn execute(
         scratch.coord.resize(terms.len() + 1, 1.0);
     }
 
-    let overfetch = (k * 4).max(k + 8);
-    scratch.heap.clear();
-
     let QueryScratch {
         cursors,
         heap,
@@ -628,11 +820,11 @@ pub(crate) fn execute(
     } = &mut *scratch;
 
     let ctx = ScoreCtx {
-        store,
-        index,
+        lists,
+        impacts,
         params,
         statics: &statics.factors,
-        avg_len,
+        collect_positions: cursors.len() >= 2 && params.proximity_bonus != 0.0,
     };
     match mode {
         EvalMode::Exhaustive => run_exhaustive(
@@ -671,13 +863,31 @@ pub(crate) fn execute(
                 prox_ub,
                 bound_factor,
                 stats,
+                shared,
             )
         }
     }
+}
 
+/// Orders the gathered candidates, truncates to the overfetch pool,
+/// applies host crowding and extracts snippets for the survivors —
+/// the exact tail of the unsharded path, shared by the sharded merge
+/// (the merged heap may hold up to `shards × overfetch` entries; the
+/// truncation is what restores the reference pool semantics).
+fn finalize(
+    index: &SearchIndex,
+    params: &RankingParams,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    k: usize,
+    overfetch: usize,
+) -> Vec<SerpResult> {
     // Order the surviving candidates: same comparator the reference
-    // full sort uses, over at most `overfetch` entries.
-    heap.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    // full sort uses.
+    scratch
+        .heap
+        .sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    scratch.heap.truncate(overfetch);
 
     // Host crowding + truncation fused: walk the ranked candidates,
     // dropping any beyond `max_per_host` for its host, stopping at `k`.
@@ -718,6 +928,163 @@ pub(crate) fn execute(
         }
     }
     results
+}
+
+/// Executes one query document-at-a-time over the full (unsharded)
+/// index and returns the final, host-crowded, truncated result list
+/// (snippets extracted only for the survivors).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute(
+    index: &SearchIndex,
+    params: &RankingParams,
+    statics: &StaticTable,
+    bounds: &BoundTable,
+    impacts: &ScoreTable,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    k: usize,
+    mode: EvalMode,
+) -> Vec<SerpResult> {
+    let overfetch = (k * 4).max(k + 8);
+    scratch.heap.clear();
+    gather(
+        ShardLists::full(index.postings()),
+        params,
+        statics,
+        bounds,
+        impacts,
+        scratch,
+        terms,
+        overfetch,
+        mode,
+        None,
+    );
+    finalize(index, params, scratch, terms, k, overfetch)
+}
+
+/// Executes one query over a document-partitioned [`ShardedIndex`].
+///
+/// With `parallel`, each shard gathers its own top-`overfetch`
+/// candidates on its own child scratch over scoped threads, the heaps
+/// are merged, and the exact unsharded tail — sort by (score bits,
+/// doc id), truncate to the overfetch pool, host-crowd, snippet — runs
+/// on the union. Exactness: each shard's heap holds its local top
+/// `overfetch` by the global total order, so the union is a superset
+/// of the global top-`overfetch` pool — any document of the global
+/// pool beats at least `global_rank ≤ overfetch` documents overall,
+/// hence at most `overfetch − 1` within its own shard. Sorting the
+/// union and truncating to `overfetch` therefore reproduces the global
+/// pool exactly, and the shared crowding walk does the rest. In
+/// [`EvalMode::Pruned`] the shards tighten each other's thresholds
+/// through a [`SharedTheta`] broadcast; the resulting `KernelStats`
+/// depend on thread timing (SERPs never do).
+///
+/// Without `parallel`, the shards — contiguous doc-id ranges visited
+/// in order — accumulate into a single heap, so the document visit
+/// sequence and threshold trajectory are exactly the unsharded scan's:
+/// outputs *and* counters are deterministic and match the unsharded
+/// kernel. Scored documents run the same float sequence in every
+/// configuration, so SERPs are byte-identical for every shard count
+/// and either dispatch (differentially tested in
+/// `tests/differential_search.rs`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_sharded(
+    sharded: &ShardedIndex,
+    params: &RankingParams,
+    statics: &StaticTable,
+    bounds: &[BoundTable],
+    impacts: &ScoreTable,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    k: usize,
+    mode: EvalMode,
+    parallel: bool,
+) -> Vec<SerpResult> {
+    let index = sharded.index();
+    let shards = sharded.shards();
+    let n = shards.len();
+    debug_assert_eq!(bounds.len(), n);
+    let overfetch = (k * 4).max(k + 8);
+
+    let store = index.postings();
+    if parallel && n > 1 {
+        scratch.ensure_children(n);
+        let theta = SharedTheta::new();
+        let shared = match mode {
+            EvalMode::Pruned => Some(&theta),
+            EvalMode::Exhaustive => None,
+        };
+        let (first_child, rest) = scratch.children.split_first_mut().expect("n >= 1 children");
+        crossbeam::thread::scope(|scope| {
+            for ((child, shard), bound) in rest.iter_mut().zip(&shards[1..]).zip(&bounds[1..]) {
+                scope.spawn(move || {
+                    child.heap.clear();
+                    gather(
+                        ShardLists::shard(store, shard),
+                        params,
+                        statics,
+                        bound,
+                        impacts,
+                        child,
+                        terms,
+                        overfetch,
+                        mode,
+                        shared,
+                    );
+                });
+            }
+            // The first shard runs on the calling thread while the
+            // spawned shards work.
+            first_child.heap.clear();
+            gather(
+                ShardLists::shard(store, &shards[0]),
+                params,
+                statics,
+                &bounds[0],
+                impacts,
+                first_child,
+                terms,
+                overfetch,
+                mode,
+                shared,
+            );
+        })
+        .expect("shard gather panicked");
+
+        // Merge: concatenate the per-shard heaps into the parent heap;
+        // `finalize` sorts and truncates the union back to the exact
+        // global overfetch pool.
+        scratch.heap.clear();
+        for child in &mut scratch.children[..n] {
+            scratch.heap.extend_from_slice(&child.heap);
+            child.heap.clear();
+        }
+    } else {
+        // Serial sharded execution accumulates into ONE heap carried
+        // across shards. Shards partition the doc-id space contiguously
+        // and are visited in order, so the document visit sequence — and
+        // therefore the threshold trajectory, the scored set, and the
+        // final heap — is exactly the unsharded scan's. No shared-θ
+        // broadcast is needed (the local heap bound *is* the global
+        // bound), stats match the unsharded kernel, and the heap never
+        // exceeds `overfetch` entries.
+        scratch.heap.clear();
+        for (shard, bound) in shards.iter().zip(bounds) {
+            gather(
+                ShardLists::shard(store, shard),
+                params,
+                statics,
+                bound,
+                impacts,
+                scratch,
+                terms,
+                overfetch,
+                mode,
+                None,
+            );
+        }
+    }
+    finalize(index, params, scratch, terms, k, overfetch)
 }
 
 #[cfg(test)]
@@ -810,13 +1177,13 @@ mod tests {
                 term: id,
                 next: start,
                 cur: list.get(start as usize).map_or(DocNum::MAX, |p| p.doc),
-                idf: 0.0,
+                base: 0,
                 ub: 0.0,
                 blk: u32::MAX,
                 blk_ub: 0.0,
                 blk_last: 0,
             };
-            seek(store, &mut c, target);
+            seek(&ShardLists::full(store), &mut c, target);
             c.next as usize
         };
         // Every posting is findable from the start of the list.
@@ -879,5 +1246,55 @@ mod tests {
             "single-term pruning scored everything: {pruned:?} vs {exhaustive:?}"
         );
         assert!(pruned.candidates_pruned > 0);
+    }
+
+    /// Forces the crossbeam fan-out regardless of the host's CPU count
+    /// (the public dispatcher downgrades to serial on single-CPU
+    /// hosts, which would otherwise leave the parallel branch
+    /// untested there) and checks it against the unsharded kernel
+    /// byte-for-byte in both evaluation modes.
+    #[test]
+    fn parallel_fanout_matches_unsharded_bytes() {
+        use crate::query::{RankingParams, SearchEngine};
+        use crate::shard::ShardedIndex;
+        use shift_textkit::analyze;
+        use std::sync::Arc;
+
+        let world = World::generate(&WorldConfig::small(), 4040);
+        let unsharded = SearchEngine::build(&world, RankingParams::google());
+        let view = Arc::new(ShardedIndex::build(unsharded.index_handle(), 3));
+        let engine = SearchEngine::with_sharded_index(Arc::clone(&view), RankingParams::google());
+        let mut scratch = QueryScratch::new();
+        let queries = [
+            "best smartphones 2025",
+            "top 10 hotels for students",
+            "review laptops battery battery",
+            "buy espresso machines",
+            "best",
+        ];
+        for q in queries {
+            let terms = analyze(q);
+            let want = unsharded.search_with(&mut scratch, q, 10);
+            for mode in [EvalMode::Pruned, EvalMode::Exhaustive] {
+                let got = execute_sharded(
+                    &view,
+                    engine.params(),
+                    engine.statics(),
+                    engine.shard_bounds(),
+                    engine.impacts(),
+                    &mut scratch,
+                    &terms,
+                    10,
+                    mode,
+                    true, // force the scoped-thread branch
+                );
+                assert_eq!(got.len(), want.results.len(), "{q} ({mode:?})");
+                for (g, w) in got.iter().zip(&want.results) {
+                    assert_eq!(g.url, w.url, "{q} ({mode:?})");
+                    assert_eq!(g.score.to_bits(), w.score.to_bits(), "{q} ({mode:?})");
+                    assert_eq!(g.snippet, w.snippet, "{q} ({mode:?})");
+                }
+            }
+        }
     }
 }

@@ -47,10 +47,12 @@ pub mod kernel;
 pub mod postings;
 pub mod query;
 pub mod serp;
+pub mod shard;
 
 pub use bm25::Bm25Params;
-pub use index::{BoundTable, IndexStats, SearchIndex, StaticTable};
+pub use index::{BoundTable, IndexStats, ScoreTable, SearchIndex, StaticTable};
 pub use kernel::{with_thread_scratch, EvalMode, KernelStats, QueryScratch};
 pub use postings::{PostingsStats, BLOCK_LEN};
 pub use query::{RankingParams, SearchEngine};
 pub use serp::{Serp, SerpResult};
+pub use shard::{ShardStats, ShardedIndex, ShardedIndexStats};

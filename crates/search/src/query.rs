@@ -11,9 +11,10 @@ use shift_corpus::World;
 use shift_textkit::analyze;
 
 use crate::bm25::Bm25Params;
-use crate::index::{BoundTable, SearchIndex, StaticTable};
+use crate::index::{BoundTable, ScoreTable, SearchIndex, StaticTable};
 use crate::kernel::{self, EvalMode, QueryScratch};
 use crate::serp::Serp;
+use crate::shard::ShardedIndex;
 
 /// Full ranking parameterization: relevance + priors + result shaping.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +78,36 @@ impl RankingParams {
     }
 }
 
+impl RankingParams {
+    /// A stable 64-bit fingerprint of the full parameterization —
+    /// FNV-1a over every field's bit pattern, in declaration order.
+    /// Two parameterizations collide only if every field is bitwise
+    /// equal, which is exactly when they produce identical SERPs; used
+    /// as the cache key discriminant for SERP-level caching.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.bm25.k1.to_bits());
+        mix(self.bm25.b.to_bits());
+        mix(self.bm25.title_weight.to_bits());
+        mix(self.proximity_bonus.to_bits());
+        mix(self.authority_weight.to_bits());
+        mix(self.freshness_weight.to_bits());
+        mix(self.freshness_half_life.to_bits());
+        mix(self.coordination.to_bits());
+        mix(self.max_per_host as u64);
+        mix(self.snippet_width as u64);
+        h
+    }
+}
+
 impl Default for RankingParams {
     fn default() -> Self {
         RankingParams::google()
@@ -91,6 +122,10 @@ impl Default for RankingParams {
 #[derive(Debug)]
 pub struct SearchEngine {
     index: Arc<SearchIndex>,
+    // Document-partitioned view of the same index; when present,
+    // queries run the per-shard gather + exact merge (byte-identical
+    // SERPs for every shard count, gated differentially).
+    sharded: Option<Arc<ShardedIndex>>,
     params: RankingParams,
     // This engine's handle into the index's per-params static-score
     // cache, resolved on first search. Engines sharing an index and a
@@ -99,6 +134,12 @@ pub struct SearchEngine {
     // This engine's handle into the index's per-BM25-params pruning
     // bound cache (per-term and per-block score upper bounds).
     bounds: OnceLock<Arc<BoundTable>>,
+    // Per-shard bound tables (shard-local block bounds, global IDF),
+    // resolved on first sharded search.
+    shard_bounds: OnceLock<Arc<Vec<BoundTable>>>,
+    // The precomputed per-posting BM25 impact table for this engine's
+    // BM25 parameters, shared through the index's cache.
+    impacts: OnceLock<Arc<ScoreTable>>,
 }
 
 impl SearchEngine {
@@ -106,9 +147,12 @@ impl SearchEngine {
     pub fn build(world: &World, params: RankingParams) -> SearchEngine {
         SearchEngine {
             index: Arc::new(SearchIndex::build(world)),
+            sharded: None,
             params,
             statics: OnceLock::new(),
             bounds: OnceLock::new(),
+            shard_bounds: OnceLock::new(),
+            impacts: OnceLock::new(),
         }
     }
 
@@ -117,10 +161,41 @@ impl SearchEngine {
     pub fn with_index(index: Arc<SearchIndex>, params: RankingParams) -> SearchEngine {
         SearchEngine {
             index,
+            sharded: None,
             params,
             statics: OnceLock::new(),
             bounds: OnceLock::new(),
+            shard_bounds: OnceLock::new(),
+            impacts: OnceLock::new(),
         }
+    }
+
+    /// Builds an index over `world`, partitions it into `shard_count`
+    /// document-range shards, and wraps it with `params`.
+    pub fn build_sharded(world: &World, params: RankingParams, shard_count: usize) -> SearchEngine {
+        let index = Arc::new(SearchIndex::build(world));
+        let sharded = Arc::new(ShardedIndex::build(Arc::clone(&index), shard_count));
+        SearchEngine::with_sharded_index(sharded, params)
+    }
+
+    /// Wraps an existing shared sharded view (lets several
+    /// parameterizations — and several shard layouts — share one index
+    /// build).
+    pub fn with_sharded_index(sharded: Arc<ShardedIndex>, params: RankingParams) -> SearchEngine {
+        SearchEngine {
+            index: sharded.index_handle(),
+            sharded: Some(sharded),
+            params,
+            statics: OnceLock::new(),
+            bounds: OnceLock::new(),
+            shard_bounds: OnceLock::new(),
+            impacts: OnceLock::new(),
+        }
+    }
+
+    /// Number of shards queries fan out over (1 when unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |s| s.shard_count())
     }
 
     /// Clones the shared index handle.
@@ -140,7 +215,7 @@ impl SearchEngine {
 
     /// This engine's static score factors (lazily built, then cached on
     /// the shared index keyed by the parameter triple).
-    fn statics(&self) -> &Arc<StaticTable> {
+    pub(crate) fn statics(&self) -> &Arc<StaticTable> {
         self.statics.get_or_init(|| {
             self.index.static_scores(
                 self.params.authority_weight,
@@ -155,6 +230,26 @@ impl SearchEngine {
     fn bounds(&self) -> &Arc<BoundTable> {
         self.bounds
             .get_or_init(|| self.index.bound_table(&self.params.bm25))
+    }
+
+    /// This engine's per-shard bound tables (lazily built, then cached
+    /// on the sharded view keyed by the BM25 parameter triple). Only
+    /// called on the sharded path.
+    pub(crate) fn shard_bounds(&self) -> &Arc<Vec<BoundTable>> {
+        self.shard_bounds.get_or_init(|| {
+            self.sharded
+                .as_ref()
+                .expect("shard_bounds on an unsharded engine")
+                .bound_tables(&self.params.bm25)
+        })
+    }
+
+    /// This engine's precomputed per-posting impact table (lazily
+    /// built, then cached on the shared index keyed by the BM25
+    /// parameter triple).
+    pub(crate) fn impacts(&self) -> &Arc<ScoreTable> {
+        self.impacts
+            .get_or_init(|| self.index.score_table(&self.params.bm25))
     }
 
     /// Executes a query and returns the top-`k` SERP.
@@ -178,13 +273,44 @@ impl SearchEngine {
 
     /// Executes a query with an explicit evaluation mode — the hook
     /// benches and differential tests use to compare the pruned kernel
-    /// against the exhaustive merge on identical inputs.
+    /// against the exhaustive merge on identical inputs. On a sharded
+    /// engine the shards run concurrently over scoped threads when the
+    /// host has more than one hardware thread; on a single-CPU host
+    /// the dispatcher uses the serial path instead (byte-identical
+    /// SERPs, deterministic counters, no spawn overhead).
     pub fn search_with_mode(
         &self,
         scratch: &mut QueryScratch,
         query: &str,
         k: usize,
         mode: EvalMode,
+    ) -> Serp {
+        self.run_query(scratch, query, k, mode, true)
+    }
+
+    /// Like [`SearchEngine::search_with_mode`], but a sharded engine
+    /// visits its shards serially in shard order, carrying the pruning
+    /// threshold forward. SERPs are byte-identical to the parallel
+    /// path; unlike it, the accumulated [`crate::KernelStats`] are also
+    /// deterministic — which is what benches and differential
+    /// assertions record.
+    pub fn search_with_mode_serial(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &str,
+        k: usize,
+        mode: EvalMode,
+    ) -> Serp {
+        self.run_query(scratch, query, k, mode, false)
+    }
+
+    fn run_query(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &str,
+        k: usize,
+        mode: EvalMode,
+        parallel: bool,
     ) -> Serp {
         let terms = analyze(query);
         let mut serp = Serp {
@@ -194,16 +320,31 @@ impl SearchEngine {
         if terms.is_empty() || k == 0 || self.index.is_empty() {
             return serp;
         }
-        serp.results = kernel::execute(
-            &self.index,
-            &self.params,
-            self.statics(),
-            self.bounds(),
-            scratch,
-            &terms,
-            k,
-            mode,
-        );
+        serp.results = match &self.sharded {
+            Some(sharded) => kernel::execute_sharded(
+                sharded,
+                &self.params,
+                self.statics(),
+                self.shard_bounds(),
+                self.impacts(),
+                scratch,
+                &terms,
+                k,
+                mode,
+                parallel && kernel::hardware_threads() > 1,
+            ),
+            None => kernel::execute(
+                &self.index,
+                &self.params,
+                self.statics(),
+                self.bounds(),
+                self.impacts(),
+                scratch,
+                &terms,
+                k,
+                mode,
+            ),
+        };
         serp
     }
 }

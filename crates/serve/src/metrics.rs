@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use shift_engines::EngineKind;
+use shift_engines::{EngineKind, KernelStats, SerpCacheStats};
 use shift_metrics::{mean, percentile, Histogram};
 
 use crate::cache::CacheStats;
@@ -36,6 +36,11 @@ pub struct ServiceMetrics {
     breaker_rejections: AtomicU64,
     failed: AtomicU64,
     refreshes: AtomicU64,
+    // Retrieval-kernel counters, folded in per job from each worker's
+    // scratch (shard-aware: a scratch aggregates its per-shard
+    // children before reporting).
+    docs_scored: AtomicU64,
+    candidates_pruned: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -61,6 +66,8 @@ impl ServiceMetrics {
             breaker_rejections: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
+            docs_scored: AtomicU64::new(0),
+            candidates_pruned: AtomicU64::new(0),
         }
     }
 
@@ -129,6 +136,18 @@ impl ServiceMetrics {
         self.refreshes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Fold one job's retrieval-kernel counters into the service totals.
+    ///
+    /// Workers call this with [`shift_engines::QueryScratch::take_stats`]
+    /// after each job, so sharded runs report the sum over every shard
+    /// the job touched.
+    pub fn record_kernel(&self, stats: KernelStats) {
+        self.docs_scored
+            .fetch_add(stats.docs_scored, Ordering::Relaxed);
+        self.candidates_pruned
+            .fetch_add(stats.candidates_pruned, Ordering::Relaxed);
+    }
+
     /// Retry attempts so far.
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
@@ -145,7 +164,7 @@ impl ServiceMetrics {
     }
 
     /// Materialize percentiles, throughput, and the histogram.
-    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+    pub fn snapshot(&self, cache: CacheStats, serp_cache: SerpCacheStats) -> MetricsSnapshot {
         let mut histogram = Histogram::new(0.0, HISTOGRAM_MAX_MS, HISTOGRAM_BINS);
         let mut engines = Vec::with_capacity(EngineKind::ALL.len());
         let mut all: Vec<f64> = Vec::new();
@@ -181,6 +200,11 @@ impl ServiceMetrics {
             engines,
             histogram,
             cache,
+            serp_cache,
+            kernel: KernelStats {
+                docs_scored: self.docs_scored.load(Ordering::Relaxed),
+                candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -258,11 +282,21 @@ mod tests {
         );
         m.record_overloaded();
         m.record_timed_out();
-        let snap = m.snapshot(CacheStats::default());
+        m.record_kernel(KernelStats {
+            docs_scored: 40,
+            candidates_pruned: 7,
+        });
+        m.record_kernel(KernelStats {
+            docs_scored: 2,
+            candidates_pruned: 3,
+        });
+        let snap = m.snapshot(CacheStats::default(), SerpCacheStats::default());
         assert_eq!(snap.completed, 3);
         assert_eq!(snap.cache_hits_served, 1);
         assert_eq!(snap.overloaded, 1);
         assert_eq!(snap.timed_out, 1);
+        assert_eq!(snap.kernel.docs_scored, 42);
+        assert_eq!(snap.kernel.candidates_pruned, 10);
         let google = &snap.engines[EngineKind::Google.index()];
         assert_eq!(google.summary.count, 2);
         let gemini = &snap.engines[EngineKind::Gemini.index()];
@@ -292,7 +326,7 @@ mod tests {
         m.record_breaker_rejection();
         m.record_failed();
         m.record_refresh();
-        let snap = m.snapshot(CacheStats::default());
+        let snap = m.snapshot(CacheStats::default(), SerpCacheStats::default());
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.served_stale, 1, "only the stale serve counts stale");
         assert_eq!(

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use shift_engines::EngineKind;
+use shift_engines::{EngineKind, KernelStats, SerpCacheStats};
 use shift_freshness::json::{to_string as json_to_string, Value};
 use shift_metrics::Histogram;
 
@@ -69,6 +69,12 @@ pub struct MetricsSnapshot {
     pub histogram: Histogram,
     /// Answer-cache counters.
     pub cache: CacheStats,
+    /// SERP-cache counters from the engine stack (retrieval-level
+    /// cache, below the answer cache).
+    pub serp_cache: SerpCacheStats,
+    /// Retrieval-kernel work totals, summed across every shard of
+    /// every query the service ran.
+    pub kernel: KernelStats,
 }
 
 impl MetricsSnapshot {
@@ -87,6 +93,18 @@ impl MetricsSnapshot {
             self.cache.hit_rate() * 100.0,
             self.cache.evictions,
             self.cache.expirations,
+        ));
+        out.push_str(&format!(
+            "serp cache: {} hits / {} misses (hit rate {:.1}%), {} inserts, {} evictions\n",
+            self.serp_cache.hits,
+            self.serp_cache.misses,
+            self.serp_cache.hit_rate() * 100.0,
+            self.serp_cache.inserts,
+            self.serp_cache.evictions,
+        ));
+        out.push_str(&format!(
+            "retrieval: {} docs scored, {} candidates pruned\n",
+            self.kernel.docs_scored, self.kernel.candidates_pruned,
         ));
         out.push_str(&format!(
             "resilience: {} retries, {} engine failures, {} breaker rejections, \
@@ -158,6 +176,24 @@ impl MetricsSnapshot {
         );
         cache.insert("inserts".to_string(), num(self.cache.inserts as f64));
         cache.insert("stale_hits".to_string(), num(self.cache.stale_hits as f64));
+        let mut serp_cache = BTreeMap::new();
+        serp_cache.insert("hits".to_string(), num(self.serp_cache.hits as f64));
+        serp_cache.insert("misses".to_string(), num(self.serp_cache.misses as f64));
+        serp_cache.insert("hit_rate".to_string(), num(self.serp_cache.hit_rate()));
+        serp_cache.insert("inserts".to_string(), num(self.serp_cache.inserts as f64));
+        serp_cache.insert(
+            "evictions".to_string(),
+            num(self.serp_cache.evictions as f64),
+        );
+        let mut kernel = BTreeMap::new();
+        kernel.insert(
+            "docs_scored".to_string(),
+            num(self.kernel.docs_scored as f64),
+        );
+        kernel.insert(
+            "candidates_pruned".to_string(),
+            num(self.kernel.candidates_pruned as f64),
+        );
         let mut resilience = BTreeMap::new();
         resilience.insert("retries".to_string(), num(self.retries as f64));
         resilience.insert("served_stale".to_string(), num(self.served_stale as f64));
@@ -188,6 +224,8 @@ impl MetricsSnapshot {
         root.insert("overall".to_string(), summary_json(&self.overall));
         root.insert("engines".to_string(), Value::Object(engines));
         root.insert("cache".to_string(), Value::Object(cache));
+        root.insert("serp_cache".to_string(), Value::Object(serp_cache));
+        root.insert("kernel".to_string(), Value::Object(kernel));
         root.insert("resilience".to_string(), Value::Object(resilience));
         root.insert(
             "histogram_counts".to_string(),
@@ -245,6 +283,16 @@ mod tests {
                 inserts: 1,
                 stale_hits: 1,
             },
+            serp_cache: SerpCacheStats {
+                hits: 6,
+                misses: 4,
+                inserts: 4,
+                evictions: 2,
+            },
+            kernel: KernelStats {
+                docs_scored: 1234,
+                candidates_pruned: 567,
+            },
         }
     }
 
@@ -281,6 +329,16 @@ mod tests {
             .get("cache")
             .and_then(|c| c.get("stale_hits"))
             .is_some());
+        assert_eq!(
+            parsed.get("serp_cache").and_then(|c| c.get("hit_rate")),
+            Some(&Value::Number(0.6)),
+            "serp cache counters survive the round trip"
+        );
+        assert_eq!(
+            parsed.get("kernel").and_then(|k| k.get("docs_scored")),
+            Some(&Value::Number(1234.0)),
+            "kernel counters survive the round trip"
+        );
     }
 
     #[test]

@@ -290,7 +290,8 @@ impl AnswerService {
 
     /// Live metrics (percentiles computed on the spot).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache.stats())
+        self.metrics
+            .snapshot(self.cache.stats(), self.engines.serp_cache_stats())
     }
 
     /// The shared answer cache (for tests and warm-up).
@@ -312,6 +313,7 @@ impl AnswerService {
     /// return the final metrics.
     pub fn shutdown(self) -> MetricsSnapshot {
         let AnswerService {
+            engines,
             cache,
             metrics,
             tx,
@@ -324,7 +326,7 @@ impl AnswerService {
         for handle in workers {
             let _ = handle.join();
         }
-        metrics.snapshot(cache.stats())
+        metrics.snapshot(cache.stats(), engines.serp_cache_stats())
     }
 }
 
@@ -335,16 +337,19 @@ fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<Job>) {
     let mut scratch = QueryScratch::new();
     while let Ok(job) = rx.recv() {
         serve_job(ctx, &mut scratch, job);
+        ctx.metrics.record_kernel(scratch.take_stats());
         // Foreground jobs take priority; between them, work off at most
         // one pending stale-while-revalidate refresh.
         if let Ok(refresh) = ctx.refresh_rx.try_recv() {
             run_refresh(ctx, &mut scratch, &refresh);
+            ctx.metrics.record_kernel(scratch.take_stats());
         }
     }
     // Admission is closed and the queue is drained: finish the refresh
     // backlog so stale entries enqueued late still get revalidated.
     while let Ok(refresh) = ctx.refresh_rx.try_recv() {
         run_refresh(ctx, &mut scratch, &refresh);
+        ctx.metrics.record_kernel(scratch.take_stats());
     }
 }
 

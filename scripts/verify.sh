@@ -26,13 +26,20 @@ cargo test -q -p shift-serve --test chaos_serve
 echo "== resilience: chaos smoke + availability gate (vs committed BENCH_serve.json) =="
 cargo run --release --example run_serve -- --chaos
 
-echo "== retrieval kernel: differential suite (kernel == reference) =="
+echo "== retrieval kernel: differential suite (kernel == reference, sharded == unsharded) =="
 cargo test -q -p shift-search
 
-echo "== retrieval kernel: bench smoke (small world, checks byte-identity) =="
+echo "== retrieval kernel: sharded differential tests =="
+cargo test -q -p shift-search --test differential_search sharded
+
+echo "== engine stack: SERP cache + sharded-stack identity =="
+cargo test -q -p shift-engines serp_cache
+cargo test -q -p shift-engines stack
+
+echo "== retrieval kernel: bench smoke (small world, byte-identity incl. shard sweep) =="
 cargo bench -p shift-bench --bench search_kernel -- --quick
 
-echo "== retrieval kernel: throughput gate (paper scale vs committed BENCH_search.json) =="
+echo "== retrieval kernel: throughput gates (paper pruned + 100x sharded vs committed BENCH_search.json) =="
 cargo bench -p shift-bench --bench search_kernel -- --gate
 
 echo "verify.sh: all checks passed"
