@@ -29,8 +29,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use shift_bench::STUDY_SEED;
-use shift_corpus::{World, WorldConfig};
+use shift_corpus::{EventKind, Timeline, TimelineConfig, World, WorldConfig};
 use shift_queries::ranking_queries;
+use shift_search::live::{LiveDoc, LiveIndex, LiveIndexConfig, LiveIndexStats, LiveSearcher};
 use shift_search::query::reference;
 use shift_search::{EvalMode, QueryScratch, RankingParams, SearchEngine, ShardedIndex};
 use std::hint::black_box;
@@ -115,6 +116,8 @@ struct ScaleRow {
     docs_skipped: u64,
     /// Shard sweep at this scale, in [`SHARD_COUNTS`] order.
     shards: Vec<ShardRow>,
+    /// Pre-rendered byte-breakdown object from [`shift_search::IndexStats`].
+    index_bytes_json: String,
 }
 
 impl ScaleRow {
@@ -139,7 +142,9 @@ impl ScaleRow {
             }
             out.push_str(&row.json());
         }
-        out.push_str("]}");
+        out.push_str("],\"index_bytes\":");
+        out.push_str(&self.index_bytes_json);
+        out.push('}');
         out
     }
 
@@ -296,6 +301,22 @@ fn run_scale(
         });
     }
 
+    // Captured after the timed passes so the lazily-built per-params
+    // caches (bound tables, impact tables) are populated and counted.
+    let index_stats = engine.index().stats();
+    let index_bytes_json = format!(
+        "{{\"postings_bytes\":{},\"positions_bytes\":{},\"block_bytes\":{},\
+         \"dict_bytes\":{},\"bound_table_bytes\":{},\"score_table_bytes\":{},\
+         \"doc_meta_bytes\":{},\"estimated_heap_bytes\":{}}}",
+        index_stats.postings_bytes,
+        index_stats.positions_bytes,
+        index_stats.block_bytes,
+        index_stats.dict_bytes,
+        index_stats.bound_table_bytes,
+        index_stats.score_table_bytes,
+        index_stats.doc_meta_bytes,
+        index_stats.estimated_heap_bytes,
+    );
     let row = ScaleRow {
         scale,
         docs,
@@ -306,6 +327,7 @@ fn run_scale(
         docs_scored: pruned_stats.docs_scored,
         docs_skipped,
         shards: shard_rows,
+        index_bytes_json,
     };
     println!(
         "[{scale}] exhaustive {exhaustive_qps:.0} q/s ({:.3} ms/q) → pruned {qps:.0} q/s \
@@ -318,6 +340,84 @@ fn run_scale(
         100.0 * docs_skipped as f64 / exhaustive_stats.docs_scored.max(1) as f64,
     );
     (engine, queries, row)
+}
+
+/// Replays the whole seeded corpus timeline into a [`LiveIndex`] and
+/// renders the per-segment byte breakdown plus roll-up that sits next
+/// to the batch scale rows in `BENCH_search.json` — the live index's
+/// storage cost at the end of a full churn run, same seed as the study.
+fn live_json() -> String {
+    let t = Instant::now();
+    let world = World::generate(&WorldConfig::small(), STUDY_SEED);
+    let timeline = Timeline::generate(&world, &TimelineConfig::standard(), STUDY_SEED);
+    let mut live = LiveIndex::new(LiveIndexConfig::standard(STUDY_SEED));
+    for event in timeline.events() {
+        match event.kind {
+            EventKind::Delete => live.delete(event.page.id),
+            EventKind::Publish | EventKind::Update => {
+                live.upsert(LiveDoc::from_page(&world, &event.page));
+            }
+        }
+    }
+    let counters = live.counters();
+    let searcher = LiveSearcher::new(Arc::new(live.snapshot()), RankingParams::google());
+    let per_segment = searcher.segment_stats();
+    let rollup = LiveIndexStats::rollup(&per_segment);
+    println!(
+        "[live] {} events → {} segments, {} stored / {} alive docs \
+         ({:.3}x read amplification), built in {:.2?}",
+        counters.applied,
+        rollup.segments,
+        rollup.docs,
+        rollup.alive,
+        rollup.read_amplification(),
+        t.elapsed(),
+    );
+    let mut out = String::from("{\"segments\":[");
+    for (i, s) in per_segment.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"segment\":{},\"docs\":{},\"alive\":{},\"tombstones\":{},\
+             \"postings_bytes\":{},\"positions_bytes\":{},\"block_bytes\":{},\
+             \"dict_bytes\":{},\"impact_bytes\":{}}}",
+            s.segment,
+            s.docs,
+            s.alive,
+            s.tombstones,
+            s.postings_bytes,
+            s.positions_bytes,
+            s.block_bytes,
+            s.dict_bytes,
+            s.impact_bytes,
+        )
+        .unwrap();
+    }
+    write!(
+        out,
+        "],\"rollup\":{{\"segments\":{},\"stored_docs\":{},\"alive_docs\":{},\
+         \"tombstones\":{},\"postings_bytes\":{},\"positions_bytes\":{},\
+         \"block_bytes\":{},\"dict_bytes\":{},\"impact_bytes\":{},\
+         \"read_amplification\":{:.6}}},\
+         \"events\":{},\"flushes\":{},\"compactions\":{}}}",
+        rollup.segments,
+        rollup.docs,
+        rollup.alive,
+        rollup.tombstones,
+        rollup.postings_bytes,
+        rollup.positions_bytes,
+        rollup.block_bytes,
+        rollup.dict_bytes,
+        rollup.impact_bytes,
+        rollup.read_amplification(),
+        counters.applied,
+        counters.flushes,
+        counters.compactions,
+    )
+    .unwrap();
+    out
 }
 
 /// Extracts a numeric field from the flat committed JSON without a JSON
@@ -455,7 +555,9 @@ fn bench(c: &mut Criterion) {
             }
             json.push_str(&row.json());
         }
-        json.push_str("]}\n");
+        json.push_str("],\"live\":");
+        json.push_str(&live_json());
+        json.push_str("}\n");
         std::fs::write(BENCH_JSON, &json).expect("write BENCH_search.json");
         println!("wrote {BENCH_JSON}");
         if paper_row.speedup < 1.3 {

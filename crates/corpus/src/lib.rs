@@ -42,6 +42,7 @@ pub mod page;
 pub mod source;
 pub mod stats;
 pub mod text_gen;
+pub mod timeline;
 pub mod topics;
 pub mod world;
 
@@ -51,5 +52,6 @@ pub use ids::{DomainId, EntityId, PageId, TopicId};
 pub use inject::{InjectError, InjectedPageSpec};
 pub use page::{DateMarkup, Page, PageKind};
 pub use source::SourceType;
+pub use timeline::{Event, EventKind, Timeline, TimelineConfig};
 pub use topics::{topic_by_key, topic_specs, TopicSpec, Vertical};
 pub use world::{World, WorldConfig};

@@ -1,0 +1,358 @@
+//! A deterministic event timeline over a generated world: the churn
+//! feed behind the live index (`shift-search`'s `live` module).
+//!
+//! The paper's freshness findings are measured against a frozen corpus
+//! snapshot, but the phenomena they describe — answer engines lagging a
+//! moving web — are temporal. The timeline turns a static [`World`]
+//! into a simulated stream of publish/update/delete events along the
+//! world's own day axis:
+//!
+//! * every base page is **published** at its `published_day`, in
+//!   `(published_day, id)` order;
+//! * inside a configurable churn window ending at [`World::now_day`],
+//!   a seeded generator **updates** live pages (a new version with a
+//!   refreshed `published_day` and an appended editor's note) and
+//!   **deletes** others.
+//!
+//! Everything is a pure function of `(world, config, seed)`: two calls
+//! produce identical event streams, so any consumer — the live index,
+//! a benchmark, a differential test — can replay the same churn.
+//!
+//! [`Timeline::world_at`] materializes the **batch oracle** for a cut
+//! point: a rebuilt world holding exactly the live page versions after
+//! the first `cut` events, with their *original* page ids. An index
+//! built over that world is the ground truth a live-index snapshot at
+//! the same cut must reproduce byte-for-byte.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::PageId;
+use crate::page::Page;
+use crate::world::World;
+
+/// What one timeline event does to the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new page goes live.
+    Publish,
+    /// An existing page is replaced by a newer version (same id and
+    /// URL, refreshed `published_day`, amended body).
+    Update,
+    /// An existing page is taken down.
+    Delete,
+}
+
+/// One publish/update/delete event on the simulated time axis.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Position in the stream (dense, ascending).
+    pub seq: u64,
+    /// Simulated day the event happens on (non-decreasing across the
+    /// stream).
+    pub day: i64,
+    /// What happens.
+    pub kind: EventKind,
+    /// The page version this event carries: the new version for
+    /// `Publish`/`Update`, the last live version for `Delete`.
+    pub page: Page,
+}
+
+/// Knobs of the churn generator.
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Length of the churn window (days before `now_day`, inclusive)
+    /// in which updates and deletes happen.
+    pub churn_days: i64,
+    /// Update events attempted per churn day.
+    pub updates_per_day: usize,
+    /// Delete events attempted per churn day.
+    pub deletes_per_day: usize,
+}
+
+impl TimelineConfig {
+    /// The standard churn used by benchmarks: a 90-day window with a
+    /// handful of updates and a couple of takedowns per day.
+    pub fn standard() -> TimelineConfig {
+        TimelineConfig {
+            churn_days: 90,
+            updates_per_day: 5,
+            deletes_per_day: 2,
+        }
+    }
+
+    /// A short, dense window for tests: heavy churn over few days, so
+    /// small event prefixes already contain updates and deletes.
+    pub fn dense() -> TimelineConfig {
+        TimelineConfig {
+            churn_days: 20,
+            updates_per_day: 12,
+            deletes_per_day: 6,
+        }
+    }
+}
+
+/// A fully materialized, seeded event stream over one world.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    events: Vec<Event>,
+}
+
+/// Retry budget when a sampled churn target turns out to be deleted.
+const PICK_ATTEMPTS: usize = 8;
+
+impl Timeline {
+    /// Generates the event stream for `world`: every base page's
+    /// publish in `(published_day, id)` order, interleaved with seeded
+    /// updates and deletes inside the churn window. Deterministic in
+    /// `(world, config, seed)`.
+    pub fn generate(world: &World, config: &TimelineConfig, seed: u64) -> Timeline {
+        let mut order: Vec<&Page> = world.pages().iter().collect();
+        order.sort_by_key(|p| (p.published_day, p.id));
+
+        let churn_start = world.now_day() - config.churn_days + 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events: Vec<Event> = Vec::with_capacity(order.len());
+        // Pages published so far (churn candidates), the deleted set,
+        // and the latest version of every page touched by an update.
+        let mut pool: Vec<PageId> = Vec::with_capacity(order.len());
+        let mut deleted: HashSet<PageId> = HashSet::new();
+        let mut latest: HashMap<PageId, Page> = HashMap::new();
+        let mut revisions: HashMap<PageId, u32> = HashMap::new();
+
+        let mut next = 0usize;
+
+        // Bulk history: everything published before the churn window.
+        publish_through(&order, &mut events, &mut pool, &mut next, churn_start - 1);
+
+        for day in churn_start..=world.now_day() {
+            publish_through(&order, &mut events, &mut pool, &mut next, day);
+            for _ in 0..config.updates_per_day {
+                if let Some(id) = pick_live(&pool, &deleted, &mut rng) {
+                    let base = latest
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| world.page(id).clone());
+                    let rev = revisions.entry(id).or_insert(0);
+                    *rev += 1;
+                    let mut page = base;
+                    page.published_day = day;
+                    page.body.push_str(&format!(
+                        " Editor's note: revision {} of this piece rechecked prices, \
+                         availability and rankings.",
+                        *rev
+                    ));
+                    latest.insert(id, page.clone());
+                    push(&mut events, day, EventKind::Update, page);
+                }
+            }
+            for _ in 0..config.deletes_per_day {
+                if let Some(id) = pick_live(&pool, &deleted, &mut rng) {
+                    deleted.insert(id);
+                    let page = latest
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| world.page(id).clone());
+                    push(&mut events, day, EventKind::Delete, page);
+                }
+            }
+        }
+        // Anything dated after now_day (none in practice — page days are
+        // clamped to the world clock) would publish at the end.
+        publish_through(&order, &mut events, &mut pool, &mut next, i64::MAX);
+
+        Timeline { events }
+    }
+
+    /// The full event stream, in replay order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The live page set after applying the first `cut` events: the
+    /// newest version of every published-and-not-deleted page, sorted
+    /// by (original) page id.
+    pub fn live_pages_at(&self, cut: usize) -> Vec<Page> {
+        let mut live: BTreeMap<u32, Page> = BTreeMap::new();
+        for event in &self.events[..cut.min(self.events.len())] {
+            match event.kind {
+                EventKind::Publish | EventKind::Update => {
+                    live.insert(event.page.id.0, event.page.clone());
+                }
+                EventKind::Delete => {
+                    live.remove(&event.page.id.0);
+                }
+            }
+        }
+        live.into_values().collect()
+    }
+
+    /// The **batch oracle** world at a cut point: `base` rebuilt around
+    /// the live page set after the first `cut` events, keeping original
+    /// page ids, domains, entities and the reference clock. A search
+    /// index built over this world is the ground truth for a live-index
+    /// snapshot at the same cut (document order is page-id order on
+    /// both sides).
+    ///
+    /// Note the page list is *sparse* in ids (deleted pages leave
+    /// gaps), so positional lookups ([`World::page`]) on the returned
+    /// world are out of contract; index builds and by-URL lookups are
+    /// fine.
+    pub fn world_at(&self, base: &World, cut: usize) -> World {
+        base.rebuild_with_pages(self.live_pages_at(cut))
+    }
+}
+
+/// Appends one event, stamping the next dense sequence number.
+fn push(events: &mut Vec<Event>, day: i64, kind: EventKind, page: Page) {
+    let seq = events.len() as u64;
+    events.push(Event {
+        seq,
+        day,
+        kind,
+        page,
+    });
+}
+
+/// Emits publish events (and pool entries) for every base page dated on
+/// or before `day` that has not been emitted yet.
+fn publish_through(
+    order: &[&Page],
+    events: &mut Vec<Event>,
+    pool: &mut Vec<PageId>,
+    next: &mut usize,
+    day: i64,
+) {
+    while *next < order.len() && order[*next].published_day <= day {
+        let page = order[*next];
+        push(events, page.published_day, EventKind::Publish, page.clone());
+        pool.push(page.id);
+        *next += 1;
+    }
+}
+
+/// Samples a not-yet-deleted page id from `pool`, giving up after a
+/// few collisions with the deleted set (keeps the draw sequence — and
+/// so the whole stream — deterministic either way).
+fn pick_live(pool: &[PageId], deleted: &HashSet<PageId>, rng: &mut StdRng) -> Option<PageId> {
+    if pool.is_empty() {
+        return None;
+    }
+    for _ in 0..PICK_ATTEMPTS {
+        let id = pool[rng.gen_range(0..pool.len())];
+        if !deleted.contains(&id) {
+            return Some(id);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(), 4040)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let a = Timeline::generate(&w, &TimelineConfig::dense(), 7);
+        let b = Timeline::generate(&w, &TimelineConfig::dense(), 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.page.id, y.page.id);
+            assert_eq!(x.page.body, y.page.body);
+            assert_eq!(x.page.published_day, y.page.published_day);
+        }
+    }
+
+    #[test]
+    fn stream_is_day_ordered_and_contains_all_kinds() {
+        let w = world();
+        let t = Timeline::generate(&w, &TimelineConfig::dense(), 7);
+        let mut last = i64::MIN;
+        let mut kinds = [0usize; 3];
+        for e in t.events() {
+            assert!(e.day >= last, "events must be day-ordered");
+            last = e.day;
+            kinds[match e.kind {
+                EventKind::Publish => 0,
+                EventKind::Update => 1,
+                EventKind::Delete => 2,
+            }] += 1;
+        }
+        assert_eq!(kinds[0], w.pages().len(), "every base page publishes");
+        assert!(kinds[1] > 0, "dense config must produce updates");
+        assert!(kinds[2] > 0, "dense config must produce deletes");
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn live_set_tracks_updates_and_deletes() {
+        let w = world();
+        let t = Timeline::generate(&w, &TimelineConfig::dense(), 7);
+        let full = t.live_pages_at(t.len());
+        let deletes = t
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Delete)
+            .count();
+        assert_eq!(full.len(), w.pages().len() - deletes);
+        // Sorted by id, no duplicates.
+        assert!(full.windows(2).all(|p| p[0].id < p[1].id));
+        // An updated page carries the newest body.
+        let updated = t
+            .events()
+            .iter()
+            .rev()
+            .find(|e| e.kind == EventKind::Update && full.iter().any(|p| p.id == e.page.id))
+            .expect("some update survives");
+        let live = full.iter().find(|p| p.id == updated.page.id).unwrap();
+        assert!(live.body.contains("Editor's note"));
+        assert_eq!(live.body, updated.page.body);
+    }
+
+    #[test]
+    fn cut_zero_is_empty_and_prefixes_grow() {
+        let w = world();
+        let t = Timeline::generate(&w, &TimelineConfig::dense(), 7);
+        assert!(t.live_pages_at(0).is_empty());
+        let a = t.live_pages_at(t.len() / 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn oracle_world_keeps_ids_domains_and_clock() {
+        let w = world();
+        let t = Timeline::generate(&w, &TimelineConfig::dense(), 7);
+        let cut = t.len();
+        let oracle = t.world_at(&w, cut);
+        assert_eq!(oracle.now_day(), w.now_day());
+        assert_eq!(oracle.seed(), w.seed());
+        let live = t.live_pages_at(cut);
+        assert_eq!(oracle.pages().len(), live.len());
+        for (a, b) in oracle.pages().iter().zip(&live) {
+            assert_eq!(a.id, b.id, "original ids survive the rebuild");
+            assert_eq!(a.url, b.url);
+        }
+    }
+}

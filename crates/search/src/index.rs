@@ -435,12 +435,14 @@ impl SearchIndex {
             positions_bytes: p.positions_bytes,
             block_entries: p.block_entries,
             block_bytes: p.block_bytes,
+            dict_bytes: p.dict_bytes,
             bound_table_bytes,
             score_table_bytes,
             doc_meta_bytes,
             estimated_heap_bytes: p.postings_bytes
                 + p.positions_bytes
                 + p.block_bytes
+                + p.dict_bytes
                 + bound_table_bytes
                 + score_table_bytes
                 + static_table_bytes
@@ -480,6 +482,8 @@ pub struct IndexStats {
     pub block_entries: u64,
     /// Estimated heap bytes of the block-max tables.
     pub block_bytes: u64,
+    /// Estimated heap bytes of the term dictionary (strings + entries).
+    pub dict_bytes: u64,
     /// Estimated heap bytes of cached pruning bound tables.
     pub bound_table_bytes: u64,
     /// Estimated heap bytes of cached per-posting impact-score tables.
@@ -524,6 +528,7 @@ impl fmt::Display for IndexStats {
             "  impacts   {:>34.2} MiB (cached per-posting scores)",
             mib(self.score_table_bytes)
         )?;
+        writeln!(f, "  dict      {:>34.2} MiB", mib(self.dict_bytes))?;
         writeln!(f, "  doc meta  {:>34.2} MiB", mib(self.doc_meta_bytes))?;
         write!(
             f,
@@ -667,6 +672,7 @@ mod tests {
         assert_eq!(s.vocabulary, idx.postings().vocabulary_size());
         assert!(s.postings > 0 && s.positions >= s.postings);
         assert!(s.block_entries > 0 && s.bound_table_bytes > 0);
+        assert!(s.dict_bytes > 0, "dictionary footprint must be reported");
         assert!(
             s.estimated_heap_bytes
                 >= s.postings_bytes + s.positions_bytes + s.block_bytes + s.doc_meta_bytes

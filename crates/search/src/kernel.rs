@@ -55,7 +55,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::bm25::window_bonus;
-use crate::index::{BoundTable, ScoreTable, SearchIndex, StaticTable};
+use crate::index::{BoundTable, DocMeta, ScoreTable, SearchIndex, StaticTable};
 use crate::postings::{BlockSummary, DocNum, PostingsStore, TermId, BLOCK_LEN};
 use crate::query::RankingParams;
 use crate::serp::{extract_snippet, SerpResult};
@@ -449,6 +449,22 @@ struct ScoreCtx<'a> {
     /// positive score is a bitwise no-op, so skipping the sweep cannot
     /// change output bytes).
     collect_positions: bool,
+    /// Per-document liveness filter (live-index segments only; `None`
+    /// for batch indexes, which contain no dead documents). A dead
+    /// document — shadowed by a newer version in a younger segment, or
+    /// tombstoned — is still *scored* (its cursors must advance, and
+    /// counting it in `docs_scored` keeps the read-amplification
+    /// telemetry honest) but never enters the candidate heap, so it can
+    /// neither surface in a SERP nor raise the pruning threshold.
+    alive: Option<&'a [bool]>,
+}
+
+impl ScoreCtx<'_> {
+    /// Whether `doc` may enter the candidate heap.
+    #[inline]
+    fn is_live(&self, doc: DocNum) -> bool {
+        self.alive.is_none_or(|a| a[doc as usize])
+    }
 }
 
 /// Postings scanned linearly by [`seek`] before falling back to block
@@ -578,7 +594,9 @@ fn run_exhaustive(
             break;
         }
         let score = score_doc(ctx, doc, cursors, tagged, window_counts, coord);
-        heap_push(heap, overfetch, (score, doc));
+        if ctx.is_live(doc) {
+            heap_push(heap, overfetch, (score, doc));
+        }
         stats.docs_scored += 1;
     }
 }
@@ -740,14 +758,17 @@ fn run_pruned(
             seek(&ctx.lists, c, d);
         }
         let score = score_doc(ctx, d, cursors, tagged, window_counts, coord);
-        heap_push(heap, overfetch, (score, d));
-        stats.docs_scored += 1;
-        // Broadcast the tightened local threshold to the other shards.
-        if let Some(s) = shared {
-            if heap.len() == overfetch {
-                s.raise(heap[0].0);
+        if ctx.is_live(d) {
+            heap_push(heap, overfetch, (score, d));
+            // Broadcast the tightened local threshold to the other
+            // shards (the heap only changes for live documents).
+            if let Some(s) = shared {
+                if heap.len() == overfetch {
+                    s.raise(heap[0].0);
+                }
             }
         }
+        stats.docs_scored += 1;
     }
 }
 
@@ -767,6 +788,7 @@ fn gather(
     overfetch: usize,
     mode: EvalMode,
     shared: Option<&SharedTheta>,
+    alive: Option<&[bool]>,
 ) {
     let store = lists.store();
     // The heap is NOT cleared here: callers own it. `execute` clears it
@@ -825,6 +847,7 @@ fn gather(
         params,
         statics: &statics.factors,
         collect_positions: cursors.len() >= 2 && params.proximity_bonus != 0.0,
+        alive,
     };
     match mode {
         EvalMode::Exhaustive => run_exhaustive(
@@ -958,6 +981,7 @@ pub(crate) fn execute(
         overfetch,
         mode,
         None,
+        None,
     );
     finalize(index, params, scratch, terms, k, overfetch)
 }
@@ -1030,6 +1054,7 @@ pub(crate) fn execute_sharded(
                         overfetch,
                         mode,
                         shared,
+                        None,
                     );
                 });
             }
@@ -1047,6 +1072,7 @@ pub(crate) fn execute_sharded(
                 overfetch,
                 mode,
                 shared,
+                None,
             );
         })
         .expect("shard gather panicked");
@@ -1081,10 +1107,165 @@ pub(crate) fn execute_sharded(
                 overfetch,
                 mode,
                 None,
+                None,
             );
         }
     }
     finalize(index, params, scratch, terms, k, overfetch)
+}
+
+/// One live-index segment's read view for a snapshot query: its own
+/// postings store, score/bound/static tables built against the
+/// *snapshot-global* collection statistics, the per-local-doc liveness
+/// bitmap, and the map from segment-local document numbers to
+/// snapshot-global ones (ascending — documents within a segment are
+/// stored in page-id order, the same order the global numbering uses).
+pub(crate) struct SegmentRun<'a> {
+    pub(crate) store: &'a PostingsStore,
+    pub(crate) statics: &'a StaticTable,
+    pub(crate) bounds: &'a BoundTable,
+    pub(crate) impacts: &'a ScoreTable,
+    pub(crate) alive: Option<&'a [bool]>,
+    pub(crate) global_of: &'a [DocNum],
+}
+
+/// The [`finalize`] tail for live snapshots: identical sort, overfetch
+/// truncation, host crowding and snippet extraction, but document
+/// metadata and interned host ids come from the snapshot (via
+/// `host_ids` and `meta_of`) instead of a [`SearchIndex`].
+#[allow(clippy::too_many_arguments)]
+fn finalize_live<'a>(
+    params: &RankingParams,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    k: usize,
+    overfetch: usize,
+    host_ids: &[u32],
+    host_count: u32,
+    meta_of: &dyn Fn(DocNum) -> &'a DocMeta,
+) -> Vec<SerpResult> {
+    scratch
+        .heap
+        .sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    scratch.heap.truncate(overfetch);
+
+    scratch.bump_generation();
+    let generation = scratch.generation;
+    let host_n = host_count as usize;
+    if scratch.host_stamp.len() < host_n {
+        scratch.host_stamp.resize(host_n, 0);
+        scratch.host_counts.resize(host_n, 0);
+    }
+    let mut results = Vec::with_capacity(k.min(scratch.heap.len()));
+    for &(score, doc) in scratch.heap.iter() {
+        let meta = meta_of(doc);
+        if params.max_per_host > 0 {
+            let h = host_ids[doc as usize] as usize;
+            if scratch.host_stamp[h] != generation {
+                scratch.host_stamp[h] = generation;
+                scratch.host_counts[h] = 0;
+            }
+            scratch.host_counts[h] += 1;
+            if scratch.host_counts[h] as usize > params.max_per_host {
+                continue;
+            }
+        }
+        results.push(SerpResult {
+            page: meta.page,
+            url: meta.url.clone(),
+            host: meta.host.clone(),
+            score,
+            title: meta.title.clone(),
+            snippet: extract_snippet(&meta.body, terms, params.snippet_width),
+            source_type: meta.source_type,
+            age_days: meta.age_days,
+        });
+        if results.len() == k {
+            break;
+        }
+    }
+    results
+}
+
+/// Executes one query over a live-index snapshot: the DAAT kernel runs
+/// per segment (newest first or oldest first — order does not affect
+/// output), candidates are remapped to snapshot-global document
+/// numbers, and the union goes through the exact sharded-merge tail.
+///
+/// Exactness against a batch build of the same live document set
+/// (DESIGN.md §3 "Live index" gives the full argument):
+///
+/// * within a segment, local document order is monotone with the
+///   global page-id order, so a segment's bounded heap — tie-broken by
+///   local doc number — holds exactly its live documents' global
+///   top-`overfetch` prefix; the union over segments is a superset of
+///   the global overfetch pool, and the shared sort + truncate
+///   restores it exactly (the PR 5 sharded-merge argument, verbatim);
+/// * each segment's impact/static/bound tables are built against the
+///   *snapshot-global* statistics (live doc count, exact integer token
+///   total, per-term union document frequencies), so a live document's
+///   score is computed by the same float ops, on the same inputs, in
+///   the same order as in the batch index;
+/// * dead documents (shadowed or tombstoned) are filtered by the
+///   segment's `alive` bitmap at the heap boundary — they are scored
+///   (read amplification the telemetry reports honestly) but can never
+///   enter a pool or raise a threshold.
+///
+/// In [`EvalMode::Pruned`], a [`SharedTheta`] carries the tightening
+/// threshold across the (serially executed) segments: a published root
+/// proves `overfetch` live documents score strictly above it globally,
+/// so later segments may prune against it — admissible for the same
+/// reason as the cross-shard broadcast.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_live<'a>(
+    params: &RankingParams,
+    segments: &[SegmentRun<'_>],
+    host_ids: &[u32],
+    host_count: u32,
+    meta_of: &dyn Fn(DocNum) -> &'a DocMeta,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    k: usize,
+    mode: EvalMode,
+) -> Vec<SerpResult> {
+    let overfetch = (k * 4).max(k + 8);
+    scratch.heap.clear();
+    let theta = SharedTheta::new();
+    let shared = match mode {
+        EvalMode::Pruned => Some(&theta),
+        EvalMode::Exhaustive => None,
+    };
+    scratch.ensure_children(1);
+    for seg in segments {
+        {
+            let child = &mut scratch.children[0];
+            child.heap.clear();
+            gather(
+                ShardLists::full(seg.store),
+                params,
+                seg.statics,
+                seg.bounds,
+                seg.impacts,
+                child,
+                terms,
+                overfetch,
+                mode,
+                shared,
+                seg.alive,
+            );
+        }
+        // Remap the segment's candidates to snapshot-global document
+        // numbers and append to the union pool (indexing sidesteps a
+        // simultaneous children/heap borrow; the loop is ≤ overfetch
+        // long).
+        for i in 0..scratch.children[0].heap.len() {
+            let (score, local) = scratch.children[0].heap[i];
+            scratch.heap.push((score, seg.global_of[local as usize]));
+        }
+    }
+    finalize_live(
+        params, scratch, terms, k, overfetch, host_ids, host_count, meta_of,
+    )
 }
 
 #[cfg(test)]

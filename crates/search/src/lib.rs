@@ -21,6 +21,10 @@
 //!   freshness), host-crowding limits, snippet extraction.
 //! * [`query`] — the user-facing [`SearchEngine`] handle, plus the frozen
 //!   term-at-a-time oracle in [`query::reference`].
+//! * [`live`] — the incremental path: LSM-style [`live::LiveIndex`]
+//!   (WAL, memtable, immutable segments, deterministic compaction) with
+//!   point-in-time [`live::LiveSnapshot`] readers whose SERPs are
+//!   byte-identical to a batch build over the same live page set.
 //!
 //! Two parameterizations matter for the study: [`RankingParams::google`]
 //! (authority-heavy, mild freshness — classic organic ranking) and
@@ -44,6 +48,7 @@
 pub mod bm25;
 pub mod index;
 pub mod kernel;
+pub mod live;
 pub mod postings;
 pub mod query;
 pub mod serp;
@@ -52,6 +57,9 @@ pub mod shard;
 pub use bm25::Bm25Params;
 pub use index::{BoundTable, IndexStats, ScoreTable, SearchIndex, StaticTable};
 pub use kernel::{with_thread_scratch, EvalMode, KernelStats, QueryScratch};
+pub use live::{
+    LiveCounters, LiveDoc, LiveIndex, LiveIndexConfig, LiveIndexStats, LiveSearcher, LiveSnapshot,
+};
 pub use postings::{PostingsStats, BLOCK_LEN};
 pub use query::{RankingParams, SearchEngine};
 pub use serp::{Serp, SerpResult};

@@ -131,7 +131,7 @@ impl PostingsStore {
     fn push_posting(&mut self, id: TermId, posting: Posting, doc_len: u32) {
         let list = &mut self.lists[id as usize];
         let blocks = &mut self.blocks[id as usize];
-        if list.len() % BLOCK_LEN == 0 {
+        if list.len().is_multiple_of(BLOCK_LEN) {
             blocks.push(BlockSummary {
                 last_doc: posting.doc,
                 max_title_tf: posting.title_tf,
@@ -240,6 +240,14 @@ impl PostingsStore {
         self.lists.len()
     }
 
+    /// Iterates the term dictionary as `(term, id)` pairs, in arbitrary
+    /// (hash) order. Snapshot readers use this to union per-segment
+    /// document frequencies into collection-wide statistics; consumers
+    /// that need a stable order must sort.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, TermId)> {
+        self.dict.iter().map(|(s, &id)| (s.as_str(), id))
+    }
+
     /// Size and estimated-footprint report over the store — the raw
     /// material for [`crate::index::IndexStats`] and the groundwork for
     /// the postings-compression follow-on (how many bytes delta/varint
@@ -259,6 +267,12 @@ impl PostingsStore {
         let positions_bytes = 2 * positions * std::mem::size_of::<u32>() as u64
             + (postings + self.lists.len() as u64) * std::mem::size_of::<u32>() as u64;
         let block_bytes = block_entries * std::mem::size_of::<BlockSummary>() as u64;
+        // Dictionary footprint: the owned term strings plus the hash-map
+        // entry overhead (key struct + id + control byte, approximated
+        // by the entry size).
+        let dict_bytes: u64 = self.dict.keys().map(|k| k.len() as u64).sum::<u64>()
+            + self.dict.len() as u64
+                * (std::mem::size_of::<String>() + std::mem::size_of::<TermId>()) as u64;
         PostingsStats {
             vocabulary: self.lists.len(),
             postings,
@@ -267,6 +281,7 @@ impl PostingsStore {
             positions_bytes,
             block_entries,
             block_bytes,
+            dict_bytes,
         }
     }
 }
@@ -288,6 +303,8 @@ pub struct PostingsStats {
     pub block_entries: u64,
     /// Estimated heap bytes of the block-max tables.
     pub block_bytes: u64,
+    /// Estimated heap bytes of the term dictionary (strings + entries).
+    pub dict_bytes: u64,
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 //!   [`ServeError::Overloaded`] / [`ServeError::TimedOut`] rejections),
 //!   per-request deadlines, and graceful drain-then-join shutdown.
 //! * [`cache`] — [`AnswerCache`]: a sharded, TTL-aware LRU keyed by
-//!   token-normalized query text ([`shift_textkit::tokenize`]) + engine
-//!   + depth + seed, with per-shard `parking_lot` locks and hit / miss /
-//!   eviction counters.
+//!   token-normalized query text ([`shift_textkit::tokenize`]) plus
+//!   engine, depth, and seed, with per-shard `parking_lot` locks and
+//!   hit / miss / eviction counters.
 //! * [`metrics`] — [`ServiceMetrics`]: per-engine latency recording with
 //!   p50/p95/p99 via [`shift_metrics::percentile`], throughput, and a
 //!   renderable [`report::MetricsSnapshot`].
@@ -61,7 +61,7 @@ pub use loadgen::{
     run_chaos, run_load, ChaosConfig, ChaosReport, LoadConfig, LoadMode, LoadOutcome, Workload,
 };
 pub use metrics::ServiceMetrics;
-pub use report::MetricsSnapshot;
+pub use report::{LiveServeStats, MetricsSnapshot};
 pub use resilience::{
     Admission, BreakerSet, BreakerState, CircuitBreaker, Degradation, ResilienceConfig,
 };

@@ -9,7 +9,7 @@ use shift_engines::{EngineKind, KernelStats, SerpCacheStats};
 use shift_metrics::{mean, percentile, Histogram};
 
 use crate::cache::CacheStats;
-use crate::report::{EngineLatency, MetricsSnapshot};
+use crate::report::{EngineLatency, LiveServeStats, MetricsSnapshot};
 use crate::resilience::Degradation;
 
 /// Upper bound of the latency histogram, in milliseconds. Latencies above
@@ -41,6 +41,14 @@ pub struct ServiceMetrics {
     // children before reporting).
     docs_scored: AtomicU64,
     candidates_pruned: AtomicU64,
+    // Live-index counters (monotone) and shape gauges (last set wins),
+    // fed by the churn benchmark's ingest loop.
+    live_events: AtomicU64,
+    live_flushes: AtomicU64,
+    live_compactions: AtomicU64,
+    live_segments: AtomicU64,
+    live_memtable_docs: AtomicU64,
+    live_docs: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -68,6 +76,12 @@ impl ServiceMetrics {
             refreshes: AtomicU64::new(0),
             docs_scored: AtomicU64::new(0),
             candidates_pruned: AtomicU64::new(0),
+            live_events: AtomicU64::new(0),
+            live_flushes: AtomicU64::new(0),
+            live_compactions: AtomicU64::new(0),
+            live_segments: AtomicU64::new(0),
+            live_memtable_docs: AtomicU64::new(0),
+            live_docs: AtomicU64::new(0),
         }
     }
 
@@ -148,6 +162,30 @@ impl ServiceMetrics {
             .fetch_add(stats.candidates_pruned, Ordering::Relaxed);
     }
 
+    /// Record live-index mutations applied (upserts + deletes).
+    pub fn record_live_events(&self, n: u64) {
+        self.live_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record live-index memtable flushes.
+    pub fn record_live_flushes(&self, n: u64) {
+        self.live_flushes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record live-index compaction merges.
+    pub fn record_live_compactions(&self, n: u64) {
+        self.live_compactions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Set the live-index shape gauges: current segment count, buffered
+    /// memtable versions, and visible documents.
+    pub fn set_live_shape(&self, segments: u64, memtable_docs: u64, live_docs: u64) {
+        self.live_segments.store(segments, Ordering::Relaxed);
+        self.live_memtable_docs
+            .store(memtable_docs, Ordering::Relaxed);
+        self.live_docs.store(live_docs, Ordering::Relaxed);
+    }
+
     /// Retry attempts so far.
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
@@ -204,6 +242,14 @@ impl ServiceMetrics {
             kernel: KernelStats {
                 docs_scored: self.docs_scored.load(Ordering::Relaxed),
                 candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+            },
+            live: LiveServeStats {
+                events: self.live_events.load(Ordering::Relaxed),
+                flushes: self.live_flushes.load(Ordering::Relaxed),
+                compactions: self.live_compactions.load(Ordering::Relaxed),
+                segments: self.live_segments.load(Ordering::Relaxed),
+                memtable_docs: self.live_memtable_docs.load(Ordering::Relaxed),
+                live_docs: self.live_docs.load(Ordering::Relaxed),
             },
         }
     }

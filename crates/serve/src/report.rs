@@ -75,6 +75,27 @@ pub struct MetricsSnapshot {
     /// Retrieval-kernel work totals, summed across every shard of
     /// every query the service ran.
     pub kernel: KernelStats,
+    /// Live-index counters and shape gauges (all zero unless a churn
+    /// workload fed the service; see `examples/run_live.rs`).
+    pub live: LiveServeStats,
+}
+
+/// Live-index counters carried through [`crate::ServiceMetrics`]:
+/// monotone event/flush/compaction totals plus the latest shape gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveServeStats {
+    /// Mutations applied (upserts + deletes).
+    pub events: u64,
+    /// Memtable flushes.
+    pub flushes: u64,
+    /// Compaction merges.
+    pub compactions: u64,
+    /// Current segment count.
+    pub segments: u64,
+    /// Currently buffered memtable versions.
+    pub memtable_docs: u64,
+    /// Currently visible documents.
+    pub live_docs: u64,
 }
 
 impl MetricsSnapshot {
@@ -106,6 +127,18 @@ impl MetricsSnapshot {
             "retrieval: {} docs scored, {} candidates pruned\n",
             self.kernel.docs_scored, self.kernel.candidates_pruned,
         ));
+        if self.live.events > 0 {
+            out.push_str(&format!(
+                "live index: {} events, {} flushes, {} compactions; \
+                 {} segments, {} memtable docs, {} live docs\n",
+                self.live.events,
+                self.live.flushes,
+                self.live.compactions,
+                self.live.segments,
+                self.live.memtable_docs,
+                self.live.live_docs,
+            ));
+        }
         out.push_str(&format!(
             "resilience: {} retries, {} engine failures, {} breaker rejections, \
              {} stale / {} degraded serves, {} refreshes, {} failed\n",
@@ -227,6 +260,19 @@ impl MetricsSnapshot {
         root.insert("serp_cache".to_string(), Value::Object(serp_cache));
         root.insert("kernel".to_string(), Value::Object(kernel));
         root.insert("resilience".to_string(), Value::Object(resilience));
+        if self.live.events > 0 {
+            let mut live = BTreeMap::new();
+            live.insert("events".to_string(), num(self.live.events as f64));
+            live.insert("flushes".to_string(), num(self.live.flushes as f64));
+            live.insert("compactions".to_string(), num(self.live.compactions as f64));
+            live.insert("segments".to_string(), num(self.live.segments as f64));
+            live.insert(
+                "memtable_docs".to_string(),
+                num(self.live.memtable_docs as f64),
+            );
+            live.insert("live_docs".to_string(), num(self.live.live_docs as f64));
+            root.insert("live".to_string(), Value::Object(live));
+        }
         root.insert(
             "histogram_counts".to_string(),
             Value::Array(
@@ -293,6 +339,14 @@ mod tests {
                 docs_scored: 1234,
                 candidates_pruned: 567,
             },
+            live: LiveServeStats {
+                events: 90,
+                flushes: 4,
+                compactions: 1,
+                segments: 3,
+                memtable_docs: 12,
+                live_docs: 80,
+            },
         }
     }
 
@@ -339,6 +393,24 @@ mod tests {
             Some(&Value::Number(1234.0)),
             "kernel counters survive the round trip"
         );
+        assert_eq!(
+            parsed.get("live").and_then(|l| l.get("flushes")),
+            Some(&Value::Number(4.0)),
+            "live-index counters survive the round trip"
+        );
+    }
+
+    #[test]
+    fn live_section_is_omitted_without_events() {
+        let mut snap = snapshot();
+        snap.live = LiveServeStats::default();
+        let json = snap.to_json_string();
+        let parsed = shift_freshness::json::parse(&json).expect("valid JSON");
+        assert!(
+            parsed.get("live").is_none(),
+            "no live section without live events"
+        );
+        assert!(!snap.render().contains("live index"));
     }
 
     #[test]

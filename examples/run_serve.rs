@@ -200,6 +200,16 @@ fn main() {
         "chaos".to_string(),
         chaos_json(&chaos_config, &chaos_report),
     );
+    // The churn benchmark (`run_live`) owns the "live" section; carry
+    // the committed one over so a serve rerun doesn't drop it.
+    if let Ok(committed) = std::fs::read_to_string("BENCH_serve.json") {
+        if let Some(live) = json_parse(&committed)
+            .ok()
+            .and_then(|parsed| parsed.get("live").cloned())
+        {
+            root.insert("live".to_string(), live);
+        }
+    }
     let path = "BENCH_serve.json";
     std::fs::write(path, json_to_string(&Value::Object(root)) + "\n")
         .expect("write BENCH_serve.json");

@@ -26,11 +26,21 @@ cargo test -q -p shift-serve --test chaos_serve
 echo "== resilience: chaos smoke + availability gate (vs committed BENCH_serve.json) =="
 cargo run --release --example run_serve -- --chaos
 
-echo "== retrieval kernel: differential suite (kernel == reference, sharded == unsharded) =="
-cargo test -q -p shift-search
+echo "== retrieval kernel: unit suite (incl. live memtable/segment/WAL/compaction) =="
+cargo test -q -p shift-search --lib
 
-echo "== retrieval kernel: sharded differential tests =="
-cargo test -q -p shift-search --test differential_search sharded
+echo "== retrieval kernel: differential suite (kernel == reference, sharded == unsharded) =="
+cargo test -q -p shift-search --test differential_search
+cargo test -q -p shift-search --test proptest_search
+
+echo "== live index: differential suite (snapshots == batch-built oracle at every cut) =="
+cargo test -q -p shift-search --test differential_live
+
+echo "== live index: WAL crash-cut recovery suite =="
+cargo test -q -p shift-search --test live_wal
+
+echo "== live index: churn-throughput gate (vs committed BENCH_serve.json) =="
+cargo run --release --example run_live -- --gate
 
 echo "== engine stack: SERP cache + sharded-stack identity =="
 cargo test -q -p shift-engines serp_cache
