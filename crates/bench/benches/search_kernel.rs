@@ -3,7 +3,12 @@
 //! reference scorer, swept over three corpus scales (the paper's
 //! ≈2,700-document world, 10×, and 100× via [`WorldConfig::scaled`]) and,
 //! at every scale, over shard counts 1/2/4/8 of the document-partitioned
-//! [`ShardedIndex`].
+//! [`ShardedIndex`]. Every scale also builds a *compressed* twin of the
+//! same index (delta/bit-packed postings, packed impacts, dictionary
+//! metadata), re-checks byte-identity against the raw engine, and
+//! measures the decode tax; a fourth, compressed-only 1000× tier
+//! (~2M documents) reports held bytes against the raw-layout
+//! extrapolation.
 //!
 //! Run with `cargo bench -p shift-bench --bench search_kernel`. The full
 //! run re-checks a differential sample at every scale and shard count
@@ -19,8 +24,10 @@
 //! * `-- --quick` — smoke check: the same differential pipeline on the
 //!   small world with 100 queries, no JSON artifact.
 //! * `-- --gate`  — regression gate: measures paper-scale pruned
-//!   throughput and 100×-scale 4-shard throughput and fails (panics) if
-//!   either has regressed more than 20% against the committed
+//!   throughput, 100×-scale 4-shard throughput and 100×-scale
+//!   *compressed* throughput (fails on a >20% regression of any), and
+//!   the 100× compressed/raw byte ratio (fails if it rises >10% above
+//!   the committed value) — all against the committed
 //!   `BENCH_search.json`.
 
 use std::fmt::Write as _;
@@ -47,6 +54,10 @@ const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_searc
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Shard count whose 100×-scale throughput is committed and gated.
 const GATE_SHARDS: usize = 4;
+/// `--gate` fails when the fresh 100× compressed/raw byte ratio rises
+/// above the committed ratio by more than this factor (>10% regression
+/// in compression effectiveness).
+const RATIO_GATE_CEIL: f64 = 1.1;
 
 fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
@@ -118,6 +129,13 @@ struct ScaleRow {
     shards: Vec<ShardRow>,
     /// Pre-rendered byte-breakdown object from [`shift_search::IndexStats`].
     index_bytes_json: String,
+    /// Pre-rendered compressed-layout object: held vs raw bytes, ratio,
+    /// and the decode tax (compressed pruned q/s vs the raw engine's).
+    compressed_json: String,
+    /// Pruned throughput through the compressed read path.
+    compressed_qps: f64,
+    /// Held-over-raw byte ratio of the compressed index.
+    compressed_ratio: f64,
 }
 
 impl ScaleRow {
@@ -144,6 +162,8 @@ impl ScaleRow {
         }
         out.push_str("],\"index_bytes\":");
         out.push_str(&self.index_bytes_json);
+        out.push_str(",\"compressed\":");
+        out.push_str(&self.compressed_json);
         out.push('}');
         out
     }
@@ -301,6 +321,68 @@ fn run_scale(
         });
     }
 
+    // The compressed companion: the same world through the compressed
+    // read path. Byte-identity is re-checked on the sample before the
+    // decode tax is timed — the tax number is only meaningful while the
+    // packed cursors return bit-identical SERPs.
+    let t = Instant::now();
+    let compressed_engine = SearchEngine::build_compressed(&world, RankingParams::google());
+    println!("[{scale}] compressed index built in {:.2?}", t.elapsed());
+    for q in queries.iter().step_by(sample_stride) {
+        let packed = compressed_engine.search(q, K);
+        let flat = engine.search(q, K);
+        assert_eq!(
+            packed.urls(),
+            flat.urls(),
+            "[{scale}] compressed SERP diverged on {q:?}"
+        );
+        for (a, b) in packed.results.iter().zip(&flat.results) {
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "[{scale}] compressed score bits diverged on {q:?}"
+            );
+        }
+    }
+    let mut compressed_best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for q in &queries {
+            black_box(compressed_engine.search_with(&mut scratch, black_box(q), K));
+        }
+        compressed_best = compressed_best.min(start.elapsed().as_secs_f64());
+    }
+    let compressed_qps = queries.len() as f64 / compressed_best;
+    // Captured after the timed pass so the lazily-built per-params
+    // caches (packed impact tables, bounds) are populated and counted.
+    let cstats = compressed_engine.index().stats();
+    println!("{cstats}");
+    println!(
+        "[{scale}] compressed pruned {compressed_qps:.0} q/s vs raw {qps:.0} q/s \
+         (decode tax {:+.1}%); {} held bytes vs {} raw ({:.3} ratio)",
+        100.0 * (qps / compressed_qps - 1.0),
+        cstats.compressed_bytes,
+        cstats.raw_bytes,
+        cstats.ratio(),
+    );
+    let compressed_json = format!(
+        "{{\"qps\":{compressed_qps:.1},\"ms_per_query\":{:.6},\"decode_tax_pct\":{:.2},\
+         \"postings_bytes\":{},\"positions_bytes\":{},\"score_table_bytes\":{},\
+         \"doc_meta_bytes\":{},\"estimated_heap_bytes\":{},\"raw_bytes\":{},\
+         \"compressed_bytes\":{},\"ratio\":{:.4}}}",
+        1e3 / compressed_qps,
+        100.0 * (qps / compressed_qps - 1.0),
+        cstats.postings_bytes,
+        cstats.positions_bytes,
+        cstats.score_table_bytes,
+        cstats.doc_meta_bytes,
+        cstats.estimated_heap_bytes,
+        cstats.raw_bytes,
+        cstats.compressed_bytes,
+        cstats.ratio(),
+    );
+    drop(compressed_engine);
+
     // Captured after the timed passes so the lazily-built per-params
     // caches (bound tables, impact tables) are populated and counted.
     let index_stats = engine.index().stats();
@@ -328,6 +410,9 @@ fn run_scale(
         docs_skipped,
         shards: shard_rows,
         index_bytes_json,
+        compressed_json,
+        compressed_qps,
+        compressed_ratio: cstats.ratio(),
     };
     println!(
         "[{scale}] exhaustive {exhaustive_qps:.0} q/s ({:.3} ms/q) → pruned {qps:.0} q/s \
@@ -340,6 +425,85 @@ fn run_scale(
         100.0 * docs_skipped as f64 / exhaustive_stats.docs_scored.max(1) as f64,
     );
     (engine, queries, row)
+}
+
+/// The 1000×-scale tier (~2M documents): compressed-only — the point
+/// of the compressed layout is that this world stays comfortably in
+/// memory where the raw layout would not. No raw twin is built at this
+/// scale; byte-identity is checked internally (pruned vs exhaustive on
+/// the same compressed index — the small-scale differential suites
+/// anchor compressed-vs-raw identity). Reports compressed pruned
+/// throughput and held bytes against the raw-layout extrapolation
+/// carried by [`shift_search::IndexStats`].
+fn run_scale_1000x() -> String {
+    let t = Instant::now();
+    let world = World::generate(&WorldConfig::scaled(1000), STUDY_SEED);
+    println!("[1000x] world generated in {:.2?}", t.elapsed());
+    let t = Instant::now();
+    let engine = SearchEngine::build_compressed(&world, RankingParams::google());
+    let docs = engine.index().len();
+    println!(
+        "[1000x] {docs} docs, compressed index built in {:.2?}",
+        t.elapsed()
+    );
+    let queries: Vec<String> = ranking_queries(&world, 200, STUDY_SEED)
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+    let sample_stride = (queries.len() / 10).max(1);
+    for q in queries.iter().step_by(sample_stride) {
+        let fast = engine.search(q, K);
+        let slow = engine.search_with_mode(&mut QueryScratch::new(), q, K, EvalMode::Exhaustive);
+        assert_eq!(fast.urls(), slow.urls(), "[1000x] pruned diverged on {q:?}");
+        for (a, b) in fast.results.iter().zip(&slow.results) {
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "[1000x] score bits diverged on {q:?}"
+            );
+        }
+    }
+    let mut scratch = QueryScratch::new();
+    let qps = measure_qps(&queries, 2, |q| {
+        black_box(engine.search_with(&mut scratch, black_box(q), K));
+    });
+    let exhaustive_qps = measure_qps(&queries, 1, |q| {
+        black_box(engine.search_with_mode(&mut scratch, q, K, EvalMode::Exhaustive));
+    });
+    let stats = engine.index().stats();
+    println!("{stats}");
+    println!(
+        "[1000x] compressed pruned {qps:.0} q/s, exhaustive {exhaustive_qps:.0} q/s \
+         (speedup {:.2}x); {} held bytes vs {} raw extrapolated ({:.3} ratio)",
+        qps / exhaustive_qps,
+        stats.compressed_bytes,
+        stats.raw_bytes,
+        stats.ratio(),
+    );
+    if stats.ratio() > 0.45 {
+        eprintln!(
+            "WARNING: 1000x compressed/raw ratio {:.3} above the 0.45 acceptance bar",
+            stats.ratio()
+        );
+    }
+    format!(
+        "{{\"scale\":\"1000x\",\"docs\":{docs},\"queries\":{},\"k\":{K},\
+         \"qps\":{qps:.1},\"ms_per_query\":{:.6},\"exhaustive_qps\":{exhaustive_qps:.1},\
+         \"speedup\":{:.3},\"postings_bytes\":{},\"positions_bytes\":{},\
+         \"score_table_bytes\":{},\"doc_meta_bytes\":{},\"estimated_heap_bytes\":{},\
+         \"raw_bytes\":{},\"compressed_bytes\":{},\"ratio\":{:.4}}}",
+        queries.len(),
+        1e3 / qps,
+        qps / exhaustive_qps,
+        stats.postings_bytes,
+        stats.positions_bytes,
+        stats.score_table_bytes,
+        stats.doc_meta_bytes,
+        stats.estimated_heap_bytes,
+        stats.raw_bytes,
+        stats.compressed_bytes,
+        stats.ratio(),
+    )
 }
 
 /// Replays the whole seeded corpus timeline into a [`LiveIndex`] and
@@ -382,7 +546,8 @@ fn live_json() -> String {
             out,
             "{{\"segment\":{},\"docs\":{},\"alive\":{},\"tombstones\":{},\
              \"postings_bytes\":{},\"positions_bytes\":{},\"block_bytes\":{},\
-             \"dict_bytes\":{},\"impact_bytes\":{}}}",
+             \"dict_bytes\":{},\"impact_bytes\":{},\"raw_bytes\":{},\
+             \"compressed_bytes\":{},\"ratio\":{:.4}}}",
             s.segment,
             s.docs,
             s.alive,
@@ -392,6 +557,9 @@ fn live_json() -> String {
             s.block_bytes,
             s.dict_bytes,
             s.impact_bytes,
+            s.raw_bytes,
+            s.compressed_bytes,
+            s.ratio(),
         )
         .unwrap();
     }
@@ -400,6 +568,7 @@ fn live_json() -> String {
         "],\"rollup\":{{\"segments\":{},\"stored_docs\":{},\"alive_docs\":{},\
          \"tombstones\":{},\"postings_bytes\":{},\"positions_bytes\":{},\
          \"block_bytes\":{},\"dict_bytes\":{},\"impact_bytes\":{},\
+         \"raw_bytes\":{},\"compressed_bytes\":{},\"ratio\":{:.4},\
          \"read_amplification\":{:.6}}},\
          \"events\":{},\"flushes\":{},\"compactions\":{}}}",
         rollup.segments,
@@ -411,6 +580,9 @@ fn live_json() -> String {
         rollup.block_bytes,
         rollup.dict_bytes,
         rollup.impact_bytes,
+        rollup.raw_bytes,
+        rollup.compressed_bytes,
+        rollup.ratio(),
         rollup.read_amplification(),
         counters.applied,
         counters.flushes,
@@ -488,6 +660,40 @@ fn run_gate() {
          {sharded_baseline:.0} q/s ({:+.1}%)",
         100.0 * (ratio - 1.0)
     );
+
+    // Compressed-layout gates on the same 100× world: the decode path
+    // must hold its throughput (same 20% floor), and the held/raw byte
+    // ratio must not drift more than 10% above the committed value.
+    let compressed_baseline = json_number_field(&committed, "x100_compressed_qps")
+        .unwrap_or_else(|| panic!("gate: no x100_compressed_qps in {BENCH_JSON}"));
+    let ratio_baseline = json_number_field(&committed, "x100_compressed_ratio")
+        .unwrap_or_else(|| panic!("gate: no x100_compressed_ratio in {BENCH_JSON}"));
+    let engine = SearchEngine::build_compressed(&world, RankingParams::google());
+    let qps = measure_qps(&queries, 2, |q| {
+        black_box(engine.search_with(&mut scratch, black_box(q), K));
+    });
+    let throughput_ratio = qps / compressed_baseline;
+    assert!(
+        throughput_ratio >= GATE_FLOOR,
+        "bench gate FAILED: 100×-scale compressed kernel at {qps:.0} q/s is {:.0}% of the \
+         committed {compressed_baseline:.0} q/s (floor {:.0}%)",
+        100.0 * throughput_ratio,
+        100.0 * GATE_FLOOR,
+    );
+    // Stats captured after the timed pass so the lazily-built packed
+    // impact tables are populated and counted, matching the full run.
+    let size_ratio = engine.index().stats().ratio();
+    assert!(
+        size_ratio <= ratio_baseline * RATIO_GATE_CEIL,
+        "bench gate FAILED: 100×-scale compressed/raw byte ratio {size_ratio:.4} regressed \
+         more than 10% above the committed {ratio_baseline:.4}",
+    );
+    println!(
+        "bench gate OK: compressed 100× kernel {qps:.0} q/s vs committed \
+         {compressed_baseline:.0} q/s ({:+.1}%); byte ratio {size_ratio:.4} vs committed \
+         {ratio_baseline:.4}",
+        100.0 * (throughput_ratio - 1.0),
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -523,6 +729,7 @@ fn bench(c: &mut Criterion) {
         let x100_sharded_qps = x100_row
             .sharded_qps(GATE_SHARDS)
             .expect("100x sweep includes the gate shard count");
+        let x1000_json = run_scale_1000x();
 
         // The historical comparison kept from PR 2: pruned kernel vs the
         // frozen term-at-a-time reference, paper scale only (the
@@ -544,9 +751,12 @@ fn bench(c: &mut Criterion) {
             "{{\"seed\":{STUDY_SEED},\"k\":{K},\"paper_pruned_qps\":{:.1},\
              \"reference_qps\":{reference_qps:.1},\"reference_speedup\":{:.3},\
              \"x100_sharded_shards\":{GATE_SHARDS},\"x100_sharded_qps\":{x100_sharded_qps:.1},\
+             \"x100_compressed_qps\":{:.1},\"x100_compressed_ratio\":{:.4},\
              \"scales\":[",
             paper_row.qps,
             paper_row.qps / reference_qps,
+            x100_row.compressed_qps,
+            x100_row.compressed_ratio,
         )
         .unwrap();
         for (i, row) in rows.iter().enumerate() {
@@ -555,7 +765,9 @@ fn bench(c: &mut Criterion) {
             }
             json.push_str(&row.json());
         }
-        json.push_str("],\"live\":");
+        json.push_str("],\"scale_1000x\":");
+        json.push_str(&x1000_json);
+        json.push_str(",\"live\":");
         json.push_str(&live_json());
         json.push_str("}\n");
         std::fs::write(BENCH_JSON, &json).expect("write BENCH_search.json");

@@ -60,7 +60,30 @@ pub fn term_score_idf(
     doc_len: f64,
     avg_len: f64,
 ) -> f64 {
-    let tf = posting.title_tf as f64 * params.title_weight + posting.body_tf as f64;
+    term_score_tf(
+        params,
+        posting.title_tf,
+        posting.body_tf,
+        idf,
+        doc_len,
+        avg_len,
+    )
+}
+
+/// BM25 contribution from bare term frequencies — the same expression
+/// as [`term_score_idf`] without requiring a materialized [`Posting`],
+/// so the compressed read path (which decodes `(title_tf, body_tf)`
+/// pairs from packed blocks) computes bit-equal scores.
+#[inline]
+pub fn term_score_tf(
+    params: &Bm25Params,
+    title_tf: u32,
+    body_tf: u32,
+    idf: f64,
+    doc_len: f64,
+    avg_len: f64,
+) -> f64 {
+    let tf = title_tf as f64 * params.title_weight + body_tf as f64;
     let norm = if avg_len > 0.0 {
         1.0 - params.b + params.b * doc_len / avg_len
     } else {

@@ -21,8 +21,10 @@ use parking_lot::RwLock;
 use shift_corpus::{PageId, SourceType, World};
 use shift_textkit::analyze;
 
-use crate::bm25::{idf, term_score_bound, term_score_idf, Bm25Params};
+use crate::bm25::{idf, term_score_bound, term_score_tf, Bm25Params};
+use crate::docstore::{raw_doc_meta_bytes, CompactDocs, DocFields};
 use crate::postings::{DocNum, PostingsStore, TermId};
+use crate::sizing::{postings_size, SizePair};
 
 /// Per-document metadata kept alongside the postings.
 #[derive(Debug, Clone)]
@@ -110,30 +112,147 @@ impl BoundTable {
 /// Precomputed per-posting BM25 contributions ("impact scores") for one
 /// BM25 parameterization.
 ///
-/// `scores[t][i]` is exactly `term_score_idf` evaluated for posting `i`
-/// of term `t` — the same function the reference scorer calls, invoked
-/// once at table-build time instead of once per scored document, so
-/// summing cached impacts is *bit-identical* to recomputing them. The
-/// kernel's scoring loop becomes one array load per matched cursor (no
-/// division, no document-length fetch); positions are still read from
-/// the posting for the proximity sweep.
+/// Logically `scores[t][i]` is exactly `term_score_idf` evaluated for
+/// posting `i` of term `t` — the same function the reference scorer
+/// calls, invoked once at table-build time instead of once per scored
+/// document, so summing cached impacts is *bit-identical* to
+/// recomputing them. The kernel's scoring loop becomes one
+/// [`ScoreTable::at`] load per matched cursor (no division, no
+/// document-length fetch).
+///
+/// Physically a term's impacts are either a plain `f64` array or — on
+/// compressed indexes, when a list has few *distinct* impact values
+/// (BM25 over small integer tfs and quantized doc lengths collides
+/// heavily) — a dictionary of the distinct values plus a fixed-width
+/// bit-packed index per posting. The dictionary stores the exact `f64`
+/// bits, so packing is lossless and byte-identity is preserved.
 #[derive(Debug)]
 pub struct ScoreTable {
-    pub(crate) scores: Vec<Vec<f64>>,
+    terms: Vec<TermScores>,
+}
+
+/// One term's physical impact representation (see [`ScoreTable`]).
+#[derive(Debug)]
+enum TermScores {
+    /// Plain per-posting impact array.
+    Raw(Vec<f64>),
+    /// Dictionary of distinct impact bit patterns (first-seen order)
+    /// plus per-posting dictionary indices, bit-packed at fixed
+    /// `width`; `bits` carries 8 padding bytes so any index can be
+    /// extracted with one aligned-window `u64` read.
+    Packed {
+        values: Vec<f64>,
+        width: u8,
+        bits: Vec<u8>,
+    },
+}
+
+/// Pack a term's impact list into a dictionary + bit-packed indices
+/// when the distinct-value count makes it worthwhile; keep it raw
+/// otherwise.
+fn pack_scores(raw: Vec<f64>) -> TermScores {
+    let mut dict: HashMap<u64, u32> = HashMap::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut idx: Vec<u32> = Vec::with_capacity(raw.len());
+    for &s in &raw {
+        let next = values.len() as u32;
+        let i = *dict.entry(s.to_bits()).or_insert_with(|| {
+            values.push(s);
+            next
+        });
+        idx.push(i);
+    }
+    // Below 2 distinct values per posting the packed form is a clear
+    // win; otherwise the dictionary overhead can exceed the savings.
+    if values.len() * 2 > raw.len() {
+        return TermScores::Raw(raw);
+    }
+    let width = crate::codec::bits_for(values.len().saturating_sub(1) as u32);
+    let mut bits = Vec::new();
+    crate::codec::pack_bits(&mut bits, &idx, width);
+    bits.extend_from_slice(&[0u8; 8]);
+    TermScores::Packed {
+        values,
+        width,
+        bits,
+    }
 }
 
 impl ScoreTable {
-    /// Impact scores of one term's posting list, in list order.
-    #[inline]
-    pub fn impacts(&self, term: TermId) -> &[f64] {
-        &self.scores[term as usize]
+    /// Builds a table from per-term impact lists, dictionary-packing
+    /// each list when `pack` is set (the live searcher builds its
+    /// per-segment tables through this, so segment impact storage
+    /// matches the batch index's layout choice).
+    pub(crate) fn from_term_lists(lists: Vec<Vec<f64>>, pack: bool) -> ScoreTable {
+        ScoreTable {
+            terms: lists
+                .into_iter()
+                .map(|l| {
+                    if pack {
+                        pack_scores(l)
+                    } else {
+                        TermScores::Raw(l)
+                    }
+                })
+                .collect(),
+        }
     }
 
-    /// Estimated heap bytes held by the table.
+    /// Impact score of posting `i` (global list index) of `term`.
+    #[inline]
+    pub fn at(&self, term: TermId, i: usize) -> f64 {
+        match &self.terms[term as usize] {
+            TermScores::Raw(v) => v[i],
+            TermScores::Packed {
+                values,
+                width,
+                bits,
+            } => {
+                let bitpos = i * *width as usize;
+                let byte = bitpos >> 3;
+                let window = u64::from_le_bytes(bits[byte..byte + 8].try_into().expect("8 bytes"));
+                let mask = (1u64 << *width) - 1;
+                values[((window >> (bitpos & 7)) & mask) as usize]
+            }
+        }
+    }
+
+    /// Impact scores of one term's posting list, in list order. Only
+    /// available when the term's impacts are stored raw (always true on
+    /// uncompressed indexes); the compressed path reads through
+    /// [`ScoreTable::at`].
+    #[inline]
+    pub fn impacts(&self, term: TermId) -> &[f64] {
+        match &self.terms[term as usize] {
+            TermScores::Raw(v) => v,
+            TermScores::Packed { .. } => {
+                panic!("impacts() requires raw impact storage; use ScoreTable::at")
+            }
+        }
+    }
+
+    /// Estimated heap bytes held by the table as stored.
     pub fn heap_bytes(&self) -> u64 {
-        let entries: u64 = self.scores.iter().map(|s| s.len() as u64).sum();
-        entries * std::mem::size_of::<f64>() as u64
-            + self.scores.len() as u64 * std::mem::size_of::<Vec<f64>>() as u64
+        let payload: u64 = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                TermScores::Raw(v) => (v.len() * std::mem::size_of::<f64>()) as u64,
+                TermScores::Packed { values, bits, .. } => {
+                    (values.len() * std::mem::size_of::<f64>() + bits.len()) as u64
+                }
+            })
+            .sum();
+        payload + self.terms.len() as u64 * std::mem::size_of::<TermScores>() as u64
+    }
+
+    /// Number of terms whose impacts are dictionary-packed (for tests
+    /// and size reporting).
+    pub fn packed_terms(&self) -> usize {
+        self.terms
+            .iter()
+            .filter(|t| matches!(t, TermScores::Packed { .. }))
+            .count()
     }
 }
 
@@ -175,11 +294,36 @@ impl BoundKey {
     }
 }
 
+/// Document metadata in one of two physical layouts: plain per-document
+/// structs (raw indexes) or the dictionary-encoded columnar form of
+/// [`CompactDocs`] (compressed indexes). Reads that must work on both
+/// go through [`SearchIndex::doc_fields`] / [`SearchIndex::token_len`].
+#[derive(Debug)]
+enum DocStore {
+    /// One owned struct per document.
+    Raw(Vec<DocMeta>),
+    /// Columnar + dictionary-encoded (see [`crate::docstore`]).
+    Compact(Box<CompactDocs>),
+}
+
+impl DocStore {
+    fn len(&self) -> usize {
+        match self {
+            DocStore::Raw(v) => v.len(),
+            DocStore::Compact(c) => c.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The inverted index over a generated world.
 #[derive(Debug)]
 pub struct SearchIndex {
     postings: PostingsStore,
-    docs: Vec<DocMeta>,
+    docs: DocStore,
     host_count: u32,
     // Lazily built static-score tables, one per distinct parameter
     // triple. A handful of personas share an index, so a linear scan
@@ -192,9 +336,25 @@ pub struct SearchIndex {
 }
 
 impl SearchIndex {
-    /// Builds the index from every page of a world.
+    /// Builds the index from every page of a world in the raw layout.
     pub fn build(world: &World) -> SearchIndex {
-        let mut postings = PostingsStore::new();
+        SearchIndex::build_with_layout(world, false)
+    }
+
+    /// Builds the index from every page of a world in the compressed
+    /// layout: delta/varint block-coded postings, packed impact tables
+    /// and dictionary-encoded document metadata. SERPs are
+    /// byte-identical to [`SearchIndex::build`] over the same world.
+    pub fn build_compressed(world: &World) -> SearchIndex {
+        SearchIndex::build_with_layout(world, true)
+    }
+
+    fn build_with_layout(world: &World, compressed: bool) -> SearchIndex {
+        let mut postings = if compressed {
+            PostingsStore::new_compressed()
+        } else {
+            PostingsStore::new()
+        };
         let mut docs = Vec::with_capacity(world.pages().len());
         let mut hosts: HashMap<&str, u32> = HashMap::new();
         for page in world.pages() {
@@ -219,10 +379,23 @@ impl SearchIndex {
                 title: page.title.clone(),
             });
         }
+        postings.finish();
+        let host_count = hosts.len() as u32;
+        let docs = if compressed {
+            // Host dictionary in interned (first-seen) id order, so the
+            // compact layout resolves exactly the ids the build assigned.
+            let mut host_names = vec![String::new(); hosts.len()];
+            for (name, id) in hosts {
+                host_names[id as usize] = name.to_string();
+            }
+            DocStore::Compact(Box::new(CompactDocs::from_metas(&docs, host_names)))
+        } else {
+            DocStore::Raw(docs)
+        };
         SearchIndex {
             postings,
             docs,
-            host_count: hosts.len() as u32,
+            host_count,
             static_cache: RwLock::new(Vec::new()),
             bound_cache: RwLock::new(Vec::new()),
             score_cache: RwLock::new(Vec::new()),
@@ -234,15 +407,67 @@ impl SearchIndex {
         &self.postings
     }
 
-    /// Document metadata by dense document number.
-    #[inline]
-    pub fn doc(&self, doc: DocNum) -> &DocMeta {
-        &self.docs[doc as usize]
+    /// True when this index holds the compressed layout.
+    pub fn is_compressed(&self) -> bool {
+        self.postings.is_compressed()
     }
 
-    /// All documents.
+    /// Document metadata by dense document number. Raw layout only —
+    /// the compressed layout has no materialized [`DocMeta`]s; use
+    /// [`SearchIndex::doc_fields`].
+    #[inline]
+    pub fn doc(&self, doc: DocNum) -> &DocMeta {
+        match &self.docs {
+            DocStore::Raw(v) => &v[doc as usize],
+            DocStore::Compact(_) => {
+                panic!("doc() requires the raw layout; use doc_fields()")
+            }
+        }
+    }
+
+    /// All documents. Raw layout only (see [`SearchIndex::doc`]).
     pub fn docs(&self) -> &[DocMeta] {
-        &self.docs
+        match &self.docs {
+            DocStore::Raw(v) => v,
+            DocStore::Compact(_) => {
+                panic!("docs() requires the raw layout; use doc_fields()")
+            }
+        }
+    }
+
+    /// A borrowed view of one document's metadata, available on both
+    /// layouts (the compressed layout re-materializes only the URL).
+    #[inline]
+    pub fn doc_fields(&self, doc: DocNum) -> DocFields<'_> {
+        match &self.docs {
+            DocStore::Raw(v) => {
+                let m = &v[doc as usize];
+                DocFields {
+                    page: m.page,
+                    url: std::borrow::Cow::Borrowed(m.url.as_str()),
+                    host: &m.host,
+                    host_id: m.host_id,
+                    authority: m.authority,
+                    age_days: m.age_days,
+                    source_type: m.source_type,
+                    token_len: m.token_len,
+                    title_len: m.title_len,
+                    title: &m.title,
+                    body: &m.body,
+                }
+            }
+            DocStore::Compact(c) => c.fields(doc),
+        }
+    }
+
+    /// Total token count of one document (hot path for impact builds),
+    /// available on both layouts.
+    #[inline]
+    pub fn token_len(&self, doc: DocNum) -> u32 {
+        match &self.docs {
+            DocStore::Raw(v) => v[doc as usize].token_len,
+            DocStore::Compact(c) => c.token_len(doc),
+        }
     }
 
     /// Number of distinct hosts (host ids are dense below this).
@@ -267,17 +492,17 @@ impl SearchIndex {
                 return Arc::clone(table);
             }
         }
-        let factors: StaticScores = self
-            .docs
-            .iter()
-            .map(|meta| {
-                let fresh = (-meta.age_days / freshness_half_life).exp();
-                (
-                    1.0 + authority_weight * meta.authority,
-                    1.0 + freshness_weight * fresh,
-                )
-            })
-            .collect();
+        let factor = |authority: f64, age_days: f64| {
+            let fresh = (-age_days / freshness_half_life).exp();
+            (
+                1.0 + authority_weight * authority,
+                1.0 + freshness_weight * fresh,
+            )
+        };
+        let factors: StaticScores = match &self.docs {
+            DocStore::Raw(v) => v.iter().map(|m| factor(m.authority, m.age_days)).collect(),
+            DocStore::Compact(c) => c.static_inputs().map(|(a, age)| factor(a, age)).collect(),
+        };
         let max_factor = factors.iter().fold(0.0_f64, |m, &(a, f)| m.max(a * f));
         let table = Arc::new(StaticTable {
             factors,
@@ -360,21 +585,27 @@ impl SearchIndex {
         let doc_count = store.doc_count();
         let avg_len = store.avg_doc_len();
         let vocab = store.vocabulary_size();
-        let mut scores = Vec::with_capacity(vocab);
+        let compressed = store.is_compressed();
+        let mut terms = Vec::with_capacity(vocab);
         for term in 0..vocab as TermId {
             let term_idf = idf(doc_count, store.doc_freq_by_id(term));
-            scores.push(
-                store
-                    .postings_by_id(term)
-                    .iter()
-                    .map(|p| {
-                        let doc_len = f64::from(self.docs[p.doc as usize].token_len);
-                        term_score_idf(params, p, term_idf, doc_len, avg_len)
-                    })
-                    .collect::<Vec<f64>>(),
-            );
+            let mut raw = Vec::with_capacity(store.doc_freq_by_id(term) as usize);
+            store.for_each_posting(term, |_, doc, title_tf, body_tf| {
+                let doc_len = f64::from(self.token_len(doc));
+                raw.push(term_score_tf(
+                    params, title_tf, body_tf, term_idf, doc_len, avg_len,
+                ));
+            });
+            // Raw indexes keep plain arrays (the `impacts()` slice
+            // accessor stays available); compressed indexes
+            // dictionary-pack lists with few distinct values.
+            terms.push(if compressed {
+                pack_scores(raw)
+            } else {
+                TermScores::Raw(raw)
+            });
         }
-        let table = Arc::new(ScoreTable { scores });
+        let table = Arc::new(ScoreTable { terms });
         let mut cache = self.score_cache.write();
         if let Some((_, existing)) = cache.iter().find(|(k, _)| *k == key) {
             return Arc::clone(existing);
@@ -400,31 +631,47 @@ impl SearchIndex {
 
     /// Size and estimated-heap-footprint report over the whole index:
     /// postings, positions, block-max tables, cached bound tables and
-    /// document metadata. Printed by the kernel bench as groundwork for
-    /// the postings-compression follow-on.
+    /// document metadata, each as held in memory, plus the raw-layout
+    /// extrapolation ([`IndexStats::raw_bytes`]) a compressed index is
+    /// measured against. Printed by the kernel bench; the compression
+    /// gate rides on [`IndexStats::ratio`].
     pub fn stats(&self) -> IndexStats {
         let p = self.postings.stats();
-        let doc_meta_bytes: u64 = self.docs.len() as u64 * std::mem::size_of::<DocMeta>() as u64
-            + self
-                .docs
-                .iter()
-                .map(|d| (d.url.len() + d.host.len() + d.title.len() + d.body.len()) as u64)
-                .sum::<u64>();
+        let doc_meta = match &self.docs {
+            DocStore::Raw(v) => SizePair::raw(raw_doc_meta_bytes(v)),
+            DocStore::Compact(c) => SizePair {
+                raw_bytes: c.raw_bytes(),
+                compressed_bytes: c.heap_bytes(),
+            },
+        };
         let bound_table_bytes: u64 = self
             .bound_cache
             .read()
             .iter()
             .map(|(_, t)| t.heap_bytes())
             .sum();
-        let score_table_bytes: u64 = self
-            .score_cache
-            .read()
-            .iter()
-            .map(|(_, t)| t.heap_bytes())
-            .sum();
+        let score_cache = self.score_cache.read();
+        let score_table_bytes: u64 = score_cache.iter().map(|(_, t)| t.heap_bytes()).sum();
+        // Raw extrapolation of the impact tables: each cached table
+        // logically holds one f64 per posting plus one list header per
+        // term, however its lists are physically packed.
+        let score_table_raw: u64 = score_cache.len() as u64
+            * (p.postings * std::mem::size_of::<f64>() as u64
+                + p.vocabulary as u64 * std::mem::size_of::<Vec<f64>>() as u64);
+        drop(score_cache);
         let static_table_bytes: u64 = self.static_cache.read().len() as u64
             * self.docs.len() as u64
             * std::mem::size_of::<(f64, f64)>() as u64;
+        // Structures whose layout is identical in both modes.
+        let shared =
+            SizePair::raw(p.block_bytes + p.dict_bytes + bound_table_bytes + static_table_bytes);
+        let total = postings_size(&p)
+            + SizePair {
+                raw_bytes: score_table_raw,
+                compressed_bytes: score_table_bytes,
+            }
+            + doc_meta
+            + shared;
         IndexStats {
             docs: self.docs.len(),
             hosts: self.host_count,
@@ -438,15 +685,10 @@ impl SearchIndex {
             dict_bytes: p.dict_bytes,
             bound_table_bytes,
             score_table_bytes,
-            doc_meta_bytes,
-            estimated_heap_bytes: p.postings_bytes
-                + p.positions_bytes
-                + p.block_bytes
-                + p.dict_bytes
-                + bound_table_bytes
-                + score_table_bytes
-                + static_table_bytes
-                + doc_meta_bytes,
+            doc_meta_bytes: doc_meta.compressed_bytes,
+            estimated_heap_bytes: total.compressed_bytes,
+            raw_bytes: total.raw_bytes,
+            compressed_bytes: total.compressed_bytes,
         }
     }
 
@@ -490,8 +732,27 @@ pub struct IndexStats {
     pub score_table_bytes: u64,
     /// Estimated heap bytes of document metadata (incl. raw text).
     pub doc_meta_bytes: u64,
-    /// Estimated total heap footprint of the index.
+    /// Estimated total heap footprint of the index as held.
     pub estimated_heap_bytes: u64,
+    /// What the raw (uncompressed) layout would cost for the same index
+    /// — postings, positions, impact tables and metadata extrapolated
+    /// to their plain-array forms. Equals `compressed_bytes` on a raw
+    /// index.
+    pub raw_bytes: u64,
+    /// Bytes actually held (same as `estimated_heap_bytes`; kept as an
+    /// explicit pair with `raw_bytes` for ratio reporting).
+    pub compressed_bytes: u64,
+}
+
+impl IndexStats {
+    /// Compression ratio `compressed / raw` (1.0 on a raw index).
+    pub fn ratio(&self) -> f64 {
+        SizePair {
+            raw_bytes: self.raw_bytes,
+            compressed_bytes: self.compressed_bytes,
+        }
+        .ratio()
+    }
 }
 
 impl fmt::Display for IndexStats {
@@ -530,10 +791,16 @@ impl fmt::Display for IndexStats {
         )?;
         writeln!(f, "  dict      {:>34.2} MiB", mib(self.dict_bytes))?;
         writeln!(f, "  doc meta  {:>34.2} MiB", mib(self.doc_meta_bytes))?;
-        write!(
+        writeln!(
             f,
             "  estimated heap {:>29.2} MiB",
             mib(self.estimated_heap_bytes)
+        )?;
+        write!(
+            f,
+            "  vs raw layout  {:>29.2} MiB  (ratio {:.3})",
+            mib(self.raw_bytes),
+            self.ratio()
         )
     }
 }

@@ -160,19 +160,30 @@ impl<'a> ShardLists<'a> {
         self.store
     }
 
-    /// The view's dense doc-number slice of one term — same indices as
-    /// the term's posting slice, 4 bytes per entry. All DAAT navigation
-    /// (seeks, merges, candidate scans) runs over this mirror; position
-    /// data for scored documents comes from the store's flat CSR
-    /// arrays, so the kernel never touches the 40-byte posting structs.
+    /// The view's navigation handle for one term: the raw layout
+    /// exposes the dense doc-number mirror directly (4 bytes per entry,
+    /// sliced to the shard's subrange); the compressed layout exposes
+    /// the global posting-index range `lo..hi`, which the cursor walks
+    /// by decoding one [`BLOCK_LEN`]-posting block at a time into its
+    /// scratch buffer. In neither case does navigation touch posting
+    /// structs; position data for scored documents comes from the
+    /// store's flat CSR arrays (raw) or varint streams (compressed).
     #[inline]
-    fn docs(&self, term: TermId) -> &'a [DocNum] {
-        let docs = self.store.doc_ids_by_id(term);
-        match self.shard {
-            None => docs,
-            Some(s) => {
-                let (a, b) = s.ranges[term as usize];
-                &docs[a as usize..b as usize]
+    fn view(&self, term: TermId) -> TermView<'a> {
+        if self.store.is_compressed() {
+            let (lo, hi) = match self.shard {
+                None => (0, self.store.doc_freq_by_id(term)),
+                Some(s) => s.ranges[term as usize],
+            };
+            TermView::Packed { lo, hi }
+        } else {
+            let docs = self.store.doc_ids_by_id(term);
+            match self.shard {
+                None => TermView::Raw(docs),
+                Some(s) => {
+                    let (a, b) = s.ranges[term as usize];
+                    TermView::Raw(&docs[a as usize..b as usize])
+                }
             }
         }
     }
@@ -195,6 +206,22 @@ impl<'a> ShardLists<'a> {
             Some(s) => &s.blocks[term as usize],
         }
     }
+}
+
+/// One term's navigation view: a raw doc-id slice, or a compressed
+/// list's global posting-index range (see [`ShardLists::view`]).
+#[derive(Clone, Copy)]
+enum TermView<'a> {
+    /// Dense doc-number mirror of the view's postings (raw layout).
+    Raw(&'a [DocNum]),
+    /// Global posting indices `lo..hi` of a compressed list; documents
+    /// are decoded block-wise through the cursor's buffer.
+    Packed {
+        /// Global index of the view's first posting.
+        lo: u32,
+        /// Global index one past the view's last posting.
+        hi: u32,
+    },
 }
 
 /// One query-term occurrence's walk position in its posting list.
@@ -226,6 +253,14 @@ struct TermCursor {
     blk_ub: f64,
     /// Cached last document number of block `blk`.
     blk_last: DocNum,
+    /// *Global* block index currently decoded into `buf`, or `u32::MAX`
+    /// when nothing is decoded (compressed lists only; distinct from
+    /// `blk`, which is a view-relative bound-cache index). Compressed
+    /// blocks align with the global block-max table, so a seek decodes
+    /// at most the one block its target lands in.
+    buf_blk: u32,
+    /// Lazily decoded document ids of global block `buf_blk`.
+    buf: [DocNum; BLOCK_LEN],
 }
 
 /// Counters the kernel accumulates across queries on one scratch —
@@ -480,40 +515,129 @@ fn land(c: &mut TermCursor, docs: &[DocNum], i: usize) {
     c.cur = docs.get(i).copied().unwrap_or(DocNum::MAX);
 }
 
+/// Lands `c` on view index `i` of a compressed list covering global
+/// postings `lo..hi`, decoding the destination block into the cursor's
+/// buffer if it is not already there.
+#[inline]
+fn land_packed(store: &PostingsStore, c: &mut TermCursor, lo: u32, hi: u32, i: usize) {
+    let g = lo as usize + i;
+    if g >= hi as usize {
+        c.next = hi - lo;
+        c.cur = DocNum::MAX;
+        return;
+    }
+    let blk = (g / BLOCK_LEN) as u32;
+    if blk != c.buf_blk {
+        c.buf_blk = blk;
+        store.decode_docs_block(c.term, blk, &mut c.buf);
+    }
+    c.next = i as u32;
+    c.cur = c.buf[g % BLOCK_LEN];
+}
+
+/// Lands `c` on view index `i` through either layout's view.
+#[inline]
+fn land_view(lists: &ShardLists<'_>, c: &mut TermCursor, i: usize) {
+    match lists.view(c.term) {
+        TermView::Raw(docs) => land(c, docs, i),
+        TermView::Packed { lo, hi } => land_packed(lists.store(), c, lo, hi, i),
+    }
+}
+
 /// Advances `c` to its first posting with doc ≥ `target`: a short
 /// linear probe for small gaps, then whole-block skips via the block
 /// table's `last_doc` pointers and a binary search only inside the
-/// destination block. All indices are relative to the cursor's view,
-/// and all memory touched is the 4-byte-per-posting doc mirror (plus
-/// the block table) — never the posting structs.
+/// destination block. All indices are relative to the cursor's view.
+/// On the raw layout all memory touched is the 4-byte-per-posting doc
+/// mirror (plus the block table) — never the posting structs. On the
+/// compressed layout the probe stays inside the currently decoded
+/// block, the skip walks the *global* block-max table (compressed
+/// blocks align with it exactly), and at most one destination block is
+/// decoded.
 fn seek(lists: &ShardLists<'_>, c: &mut TermCursor, target: DocNum) {
     if c.cur >= target {
         return;
     }
     // `c.cur < target ≤ MAX` implies the cursor sits on a real posting.
-    let docs = lists.docs(c.term);
-    let mut i = c.next as usize + 1;
-    let probe_end = (i + SEEK_PROBE).min(docs.len());
-    while i < probe_end && docs[i] < target {
-        i += 1;
+    match lists.view(c.term) {
+        TermView::Raw(docs) => {
+            let mut i = c.next as usize + 1;
+            let probe_end = (i + SEEK_PROBE).min(docs.len());
+            while i < probe_end && docs[i] < target {
+                i += 1;
+            }
+            if i < probe_end || i == docs.len() {
+                land(c, docs, i);
+                return;
+            }
+            let blocks = lists.blocks(c.term);
+            let mut blk = i / BLOCK_LEN;
+            while blocks[blk].last_doc < target {
+                blk += 1;
+                if blk == blocks.len() {
+                    land(c, docs, docs.len());
+                    return;
+                }
+            }
+            let start = (blk * BLOCK_LEN).max(i);
+            let end = ((blk + 1) * BLOCK_LEN).min(docs.len());
+            let within = docs[start..end].partition_point(|&d| d < target);
+            land(c, docs, start + within);
+        }
+        TermView::Packed { lo, hi } => seek_packed(lists.store(), c, lo, hi, target),
     }
-    if i < probe_end || i == docs.len() {
-        land(c, docs, i);
+}
+
+/// The compressed-layout seek body: probe inside the decoded block,
+/// then walk the global block-max skip pointers and decode only the
+/// destination block.
+fn seek_packed(store: &PostingsStore, c: &mut TermCursor, lo: u32, hi: u32, target: DocNum) {
+    // The cursor sits on a real decoded posting (`c.cur < target`), so
+    // `buf_blk` is valid and `g` starts inside or one past its block.
+    let mut g = lo as usize + c.next as usize + 1;
+    let blk_end = ((c.buf_blk as usize + 1) * BLOCK_LEN).min(hi as usize);
+    let probe_end = (g + SEEK_PROBE).min(blk_end);
+    while g < probe_end && c.buf[g % BLOCK_LEN] < target {
+        g += 1;
+    }
+    if g < probe_end {
+        c.next = (g - lo as usize) as u32;
+        c.cur = c.buf[g % BLOCK_LEN];
         return;
     }
-    let blocks = lists.blocks(c.term);
-    let mut blk = i / BLOCK_LEN;
+    if g >= hi as usize {
+        c.next = hi - lo;
+        c.cur = DocNum::MAX;
+        return;
+    }
+    // Walk the global skip pointers; compressed blocks align with them.
+    let blocks = store.blocks_by_id(c.term);
+    let mut blk = g / BLOCK_LEN;
     while blocks[blk].last_doc < target {
         blk += 1;
-        if blk == blocks.len() {
-            land(c, docs, docs.len());
+        if blk == blocks.len() || blk * BLOCK_LEN >= hi as usize {
+            c.next = hi - lo;
+            c.cur = DocNum::MAX;
             return;
         }
     }
-    let start = (blk * BLOCK_LEN).max(i);
-    let end = ((blk + 1) * BLOCK_LEN).min(docs.len());
-    let within = docs[start..end].partition_point(|&d| d < target);
-    land(c, docs, start + within);
+    if blk as u32 != c.buf_blk {
+        c.buf_blk = blk as u32;
+        store.decode_docs_block(c.term, blk as u32, &mut c.buf);
+    }
+    let n = (store.doc_freq_by_id(c.term) as usize - blk * BLOCK_LEN).min(BLOCK_LEN);
+    let start = (blk * BLOCK_LEN).max(g);
+    let end = (blk * BLOCK_LEN + n).min(hi as usize);
+    let within = c.buf[start % BLOCK_LEN..start % BLOCK_LEN + (end - start)]
+        .partition_point(|&d| d < target);
+    let found = start + within;
+    if found >= hi as usize {
+        c.next = hi - lo;
+        c.cur = DocNum::MAX;
+    } else {
+        c.next = (found - lo as usize) as u32;
+        c.cur = c.buf[found % BLOCK_LEN];
+    }
 }
 
 /// Scores `doc` with every float op in the reference scorer's exact
@@ -540,14 +664,14 @@ fn score_doc(
     for c in cursors.iter_mut() {
         if c.cur == doc {
             let at = c.base as usize + c.next as usize;
-            score += ctx.impacts.impacts(c.term)[at];
+            score += ctx.impacts.at(c.term, at);
             if ctx.collect_positions {
-                for &pos in ctx.lists.store().positions_by_id(c.term, at) {
-                    tagged.push((pos, matched));
-                }
+                ctx.lists
+                    .store()
+                    .for_each_position(c.term, at, |pos| tagged.push((pos, matched)));
             }
             matched += 1;
-            land(c, ctx.lists.docs(c.term), c.next as usize + 1);
+            land_view(&ctx.lists, c, c.next as usize + 1);
         }
     }
 
@@ -799,17 +923,20 @@ fn gather(
     scratch.cursors.clear();
     for term in terms {
         if let Some(id) = store.term_id(term) {
-            let docs = lists.docs(id);
-            scratch.cursors.push(TermCursor {
+            let mut c = TermCursor {
                 term: id,
                 next: 0,
-                cur: docs.first().copied().unwrap_or(DocNum::MAX),
+                cur: DocNum::MAX,
                 base: lists.base(id) as u32,
                 ub: bounds.list_ub(id),
                 blk: u32::MAX,
                 blk_ub: 0.0,
                 blk_last: 0,
-            });
+                buf_blk: u32::MAX,
+                buf: [0; BLOCK_LEN],
+            };
+            land_view(&lists, &mut c, 0);
+            scratch.cursors.push(c);
         }
     }
     if scratch.cursors.is_empty() {
@@ -924,7 +1051,9 @@ fn finalize(
     }
     let mut results = Vec::with_capacity(k.min(scratch.heap.len()));
     for &(score, doc) in scratch.heap.iter() {
-        let meta = index.doc(doc);
+        // `doc_fields` works on both metadata layouts; the compressed
+        // index re-materializes only the URL, and only for survivors.
+        let meta = index.doc_fields(doc);
         if params.max_per_host > 0 {
             let h = meta.host_id as usize;
             if scratch.host_stamp[h] != generation {
@@ -938,11 +1067,11 @@ fn finalize(
         }
         results.push(SerpResult {
             page: meta.page,
-            url: meta.url.clone(),
-            host: meta.host.clone(),
+            url: meta.url.into_owned(),
+            host: meta.host.to_string(),
             score,
-            title: meta.title.clone(),
-            snippet: extract_snippet(&meta.body, terms, params.snippet_width),
+            title: meta.title.to_string(),
+            snippet: extract_snippet(meta.body, terms, params.snippet_width),
             source_type: meta.source_type,
             age_days: meta.age_days,
         });
@@ -1349,35 +1478,43 @@ mod tests {
     fn seek_lands_on_first_doc_at_or_after_target() {
         let world = World::generate(&WorldConfig::small(), 7);
         let index = SearchIndex::build(&world);
-        let store = index.postings();
-        let id = store.term_id("best").expect("common term indexed");
-        let list = store.postings_by_id(id);
-        assert!(list.len() > BLOCK_LEN, "need a multi-block list");
-        let probe = |start: u32, target: DocNum| {
-            let mut c = TermCursor {
-                term: id,
-                next: start,
-                cur: list.get(start as usize).map_or(DocNum::MAX, |p| p.doc),
-                base: 0,
-                ub: 0.0,
-                blk: u32::MAX,
-                blk_ub: 0.0,
-                blk_last: 0,
+        let packed_index = SearchIndex::build_compressed(&world);
+        for store in [index.postings(), packed_index.postings()] {
+            let id = store.term_id("best").expect("common term indexed");
+            let len = store.doc_freq_by_id(id) as usize;
+            let mut docs = Vec::with_capacity(len);
+            store.for_each_doc(id, |_, d| docs.push(d));
+            assert!(len > BLOCK_LEN, "need a multi-block list");
+            let probe = |start: u32, target: DocNum| {
+                let mut c = TermCursor {
+                    term: id,
+                    next: 0,
+                    cur: DocNum::MAX,
+                    base: 0,
+                    ub: 0.0,
+                    blk: u32::MAX,
+                    blk_ub: 0.0,
+                    blk_last: 0,
+                    buf_blk: u32::MAX,
+                    buf: [0; BLOCK_LEN],
+                };
+                let lists = ShardLists::full(store);
+                land_view(&lists, &mut c, start as usize);
+                seek(&lists, &mut c, target);
+                c.next as usize
             };
-            seek(&ShardLists::full(store), &mut c, target);
-            c.next as usize
-        };
-        // Every posting is findable from the start of the list.
-        for (i, p) in list.iter().enumerate().step_by(7) {
-            let at = probe(0, p.doc);
-            assert_eq!(at, i, "seek({}) landed on {}", p.doc, at);
+            // Every posting is findable from the start of the list.
+            for (i, &d) in docs.iter().enumerate().step_by(7) {
+                let at = probe(0, d);
+                assert_eq!(at, i, "seek({d}) landed on {at}");
+            }
+            // A target between two postings lands on the later one; a
+            // target past the end exhausts the cursor.
+            let gap_target = docs[len - 1];
+            assert_eq!(probe(0, gap_target + 1), len);
+            // Seeking backwards (target already passed) never moves.
+            assert_eq!(probe(5, docs[2]), 5);
         }
-        // A target between two postings lands on the later one; a
-        // target past the end exhausts the cursor.
-        let gap_target = list[list.len() - 1].doc;
-        assert_eq!(probe(0, gap_target + 1), list.len());
-        // Seeking backwards (target already passed) never moves.
-        assert_eq!(probe(5, list[2].doc), 5);
     }
 
     #[test]

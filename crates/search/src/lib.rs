@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 
 pub mod bm25;
+pub mod codec;
+pub mod docstore;
 pub mod index;
 pub mod kernel;
 pub mod live;
@@ -53,8 +55,10 @@ pub mod postings;
 pub mod query;
 pub mod serp;
 pub mod shard;
+pub mod sizing;
 
 pub use bm25::Bm25Params;
+pub use docstore::{CompactDocs, DocFields};
 pub use index::{BoundTable, IndexStats, ScoreTable, SearchIndex, StaticTable};
 pub use kernel::{with_thread_scratch, EvalMode, KernelStats, QueryScratch};
 pub use live::{
@@ -64,3 +68,4 @@ pub use postings::{PostingsStats, BLOCK_LEN};
 pub use query::{RankingParams, SearchEngine};
 pub use serp::{Serp, SerpResult};
 pub use shard::{ShardStats, ShardedIndex, ShardedIndexStats};
+pub use sizing::SizePair;

@@ -11,6 +11,7 @@ use shift_corpus::PageId;
 
 use crate::index::DocMeta;
 use crate::postings::{DocNum, PostingsStore};
+use crate::sizing::{postings_size, SizePair};
 
 use super::memtable::LiveDoc;
 
@@ -36,7 +37,11 @@ impl Segment {
     pub(crate) fn build(id: u64, docs: Vec<LiveDoc>, tombstones: Vec<PageId>) -> Segment {
         debug_assert!(docs.windows(2).all(|w| w[0].page < w[1].page));
         debug_assert!(tombstones.windows(2).all(|w| w[0] < w[1]));
-        let mut store = PostingsStore::new();
+        // Segments hold the same block-compressed posting layout as a
+        // compressed batch index: flushes and compactions emit encoded
+        // blocks directly instead of raw lists that would need a
+        // second conversion pass.
+        let mut store = PostingsStore::new_compressed();
         let mut metas = Vec::with_capacity(docs.len());
         for (local, doc) in docs.iter().enumerate() {
             store.add_document(local as DocNum, &doc.title_terms, &doc.body_terms);
@@ -54,6 +59,7 @@ impl Segment {
                 title: doc.title.clone(),
             });
         }
+        store.finish();
         Segment {
             id,
             docs,
@@ -104,6 +110,9 @@ impl Segment {
     /// quantity filled in by [`crate::live::LiveSearcher`]).
     pub fn stats(&self) -> SegmentStats {
         let p = self.store.stats();
+        // Raw-vs-held accounting goes through the same sizing helper as
+        // the batch index so both paths define the ratio identically.
+        let size = postings_size(&p);
         SegmentStats {
             segment: self.id,
             docs: self.docs.len(),
@@ -114,6 +123,8 @@ impl Segment {
             block_bytes: p.block_bytes,
             dict_bytes: p.dict_bytes,
             impact_bytes: 0,
+            raw_bytes: size.raw_bytes,
+            compressed_bytes: size.compressed_bytes,
         }
     }
 }
@@ -143,6 +154,23 @@ pub struct SegmentStats {
     /// Estimated heap bytes of the snapshot's impact tables for this
     /// segment (0 outside a snapshot).
     pub impact_bytes: u64,
+    /// What the raw posting layout would cost for this segment's
+    /// posting + position counts (the extrapolation behind
+    /// [`SegmentStats::ratio`]).
+    pub raw_bytes: u64,
+    /// Posting + position bytes actually held (encoded blocks).
+    pub compressed_bytes: u64,
+}
+
+impl SegmentStats {
+    /// Posting-storage compression ratio `compressed / raw`.
+    pub fn ratio(&self) -> f64 {
+        SizePair {
+            raw_bytes: self.raw_bytes,
+            compressed_bytes: self.compressed_bytes,
+        }
+        .ratio()
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use shift_textkit::analyze;
 
-use crate::bm25::{idf, term_score_bound, term_score_idf};
+use crate::bm25::{idf, term_score_bound, term_score_tf};
 use crate::index::{BoundTable, DocMeta, ScoreTable, StaticTable};
 use crate::kernel::{self, EvalMode, QueryScratch, SegmentRun};
 use crate::postings::{DocNum, TermId};
@@ -122,11 +122,12 @@ impl LiveSnapshot {
             let store = seg.store();
             let mut counts = vec![0u32; store.vocabulary_size()];
             for (term, id) in store.terms() {
-                let n = store
-                    .doc_ids_by_id(id)
-                    .iter()
-                    .filter(|&&d| alive[si][d as usize])
-                    .count() as u32;
+                let mut n = 0u32;
+                store.for_each_doc(id, |_, d| {
+                    if alive[si][d as usize] {
+                        n += 1;
+                    }
+                });
                 counts[id as usize] = n;
                 if n > 0 {
                     *global_df.entry(term.to_string()).or_insert(0) += n;
@@ -268,19 +269,27 @@ impl LiveSearcher {
                     .collect();
                 list_ub.push(ubs.iter().fold(0.0_f64, |m, &u| m.max(u)));
                 block_ub.push(ubs);
-                scores.push(
-                    store
-                        .postings_by_id(term)
-                        .iter()
-                        .map(|p| {
-                            let doc_len = f64::from(metas[p.doc as usize].token_len);
-                            term_score_idf(&params.bm25, p, term_idf, doc_len, avg_len)
-                        })
-                        .collect::<Vec<f64>>(),
-                );
+                let mut list = Vec::with_capacity(store.doc_freq_by_id(term) as usize);
+                store.for_each_posting(term, |_, doc, title_tf, body_tf| {
+                    let doc_len = f64::from(metas[doc as usize].token_len);
+                    list.push(term_score_tf(
+                        &params.bm25,
+                        title_tf,
+                        body_tf,
+                        term_idf,
+                        doc_len,
+                        avg_len,
+                    ));
+                });
+                scores.push(list);
             }
             bounds.push(BoundTable { list_ub, block_ub });
-            impacts.push(ScoreTable { scores });
+            // Impacts stay raw even though segments store compressed
+            // postings: this table is an ephemeral per-snapshot query
+            // cache (rebuilt on every searcher, never part of segment
+            // storage), and live segments are small enough that packing
+            // would trade hot-loop bit extraction for negligible bytes.
+            impacts.push(ScoreTable::from_term_lists(scores, false));
         }
         LiveSearcher {
             snapshot,
@@ -395,6 +404,11 @@ pub struct LiveIndexStats {
     pub dict_bytes: u64,
     /// Estimated heap bytes of impact tables, all runs.
     pub impact_bytes: u64,
+    /// What the raw posting layout would cost across all runs (summed
+    /// per-segment through the shared sizing helper).
+    pub raw_bytes: u64,
+    /// Posting + position bytes actually held across all runs.
+    pub compressed_bytes: u64,
 }
 
 impl LiveIndexStats {
@@ -413,8 +427,20 @@ impl LiveIndexStats {
             total.block_bytes += s.block_bytes;
             total.dict_bytes += s.dict_bytes;
             total.impact_bytes += s.impact_bytes;
+            total.raw_bytes += s.raw_bytes;
+            total.compressed_bytes += s.compressed_bytes;
         }
         total
+    }
+
+    /// Posting-storage compression ratio `compressed / raw` over all
+    /// runs (same definition as [`crate::IndexStats::ratio`]).
+    pub fn ratio(&self) -> f64 {
+        crate::sizing::SizePair {
+            raw_bytes: self.raw_bytes,
+            compressed_bytes: self.compressed_bytes,
+        }
+        .ratio()
     }
 
     /// Stored versions per visible document — how many documents the

@@ -156,6 +156,26 @@ impl SearchEngine {
         }
     }
 
+    /// Builds a *compressed* index over `world` (block-coded postings,
+    /// packed impacts, dictionary-encoded metadata) and wraps it with
+    /// `params`. SERPs are byte-identical to [`SearchEngine::build`]
+    /// over the same world — gated by `tests/differential_compressed.rs`.
+    pub fn build_compressed(world: &World, params: RankingParams) -> SearchEngine {
+        SearchEngine::with_index(Arc::new(SearchIndex::build_compressed(world)), params)
+    }
+
+    /// Builds a compressed index over `world`, partitions it into
+    /// `shard_count` document-range shards, and wraps it with `params`.
+    pub fn build_compressed_sharded(
+        world: &World,
+        params: RankingParams,
+        shard_count: usize,
+    ) -> SearchEngine {
+        let index = Arc::new(SearchIndex::build_compressed(world));
+        let sharded = Arc::new(ShardedIndex::build(Arc::clone(&index), shard_count));
+        SearchEngine::with_sharded_index(sharded, params)
+    }
+
     /// Wraps an existing shared index (lets several parameterizations share
     /// one index build).
     pub fn with_index(index: Arc<SearchIndex>, params: RankingParams) -> SearchEngine {

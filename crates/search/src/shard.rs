@@ -72,24 +72,35 @@ impl ShardedIndex {
             let mut ranges = Vec::with_capacity(vocab);
             let mut blocks = Vec::with_capacity(vocab);
             for term in 0..vocab as TermId {
-                let list = store.postings_by_id(term);
-                let start = list.partition_point(|p| p.doc < doc_begin);
-                let end = start + list[start..].partition_point(|p| p.doc < doc_end);
-                ranges.push((start as u32, end as u32));
-                let sub = &list[start..end];
-                let mut summaries = Vec::with_capacity(sub.len().div_ceil(BLOCK_LEN));
-                for chunk in sub.chunks(BLOCK_LEN) {
-                    let mut summary = BlockSummary {
-                        last_doc: chunk[chunk.len() - 1].doc,
-                        max_title_tf: 0,
-                        max_body_tf: 0,
-                        min_doc_len: u32::MAX,
-                    };
-                    for p in chunk {
-                        summary.max_title_tf = summary.max_title_tf.max(p.title_tf);
-                        summary.max_body_tf = summary.max_body_tf.max(p.body_tf);
-                        summary.min_doc_len = summary.min_doc_len.min(index.doc(p.doc).token_len);
+                // Mode-agnostic subrange resolution: `lower_bound` runs
+                // on the raw array or decodes at most one block per
+                // probe on the compressed layout.
+                let start = store.lower_bound(term, doc_begin);
+                let end = store.lower_bound(term, doc_end);
+                ranges.push((start, end));
+                let sub_len = (end - start) as usize;
+                let mut summaries = Vec::with_capacity(sub_len.div_ceil(BLOCK_LEN));
+                let fresh = BlockSummary {
+                    last_doc: 0,
+                    max_title_tf: 0,
+                    max_body_tf: 0,
+                    min_doc_len: u32::MAX,
+                };
+                let mut summary = fresh;
+                let mut in_block = 0usize;
+                store.for_each_posting_range(term, start, end, &mut |_, doc, title_tf, body_tf| {
+                    summary.last_doc = doc;
+                    summary.max_title_tf = summary.max_title_tf.max(title_tf);
+                    summary.max_body_tf = summary.max_body_tf.max(body_tf);
+                    summary.min_doc_len = summary.min_doc_len.min(index.token_len(doc));
+                    in_block += 1;
+                    if in_block == BLOCK_LEN {
+                        summaries.push(summary);
+                        summary = fresh;
+                        in_block = 0;
                     }
+                });
+                if in_block > 0 {
                     summaries.push(summary);
                 }
                 blocks.push(summaries);

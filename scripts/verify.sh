@@ -39,6 +39,12 @@ cargo test -q -p shift-search --test differential_live
 echo "== live index: WAL crash-cut recovery suite =="
 cargo test -q -p shift-search --test live_wal
 
+echo "== compressed postings: codec round-trips + block-granular seek differential =="
+cargo test -q -p shift-search --test codec_roundtrip
+
+echo "== compressed postings: differential suite (compressed == raw == oracle, sharded, metadata dict) =="
+cargo test -q -p shift-search --test differential_compressed
+
 echo "== live index: churn-throughput gate (vs committed BENCH_serve.json) =="
 cargo run --release --example run_live -- --gate
 
@@ -49,7 +55,7 @@ cargo test -q -p shift-engines stack
 echo "== retrieval kernel: bench smoke (small world, byte-identity incl. shard sweep) =="
 cargo bench -p shift-bench --bench search_kernel -- --quick
 
-echo "== retrieval kernel: throughput gates (paper pruned + 100x sharded vs committed BENCH_search.json) =="
+echo "== retrieval kernel: throughput + compression gates (paper pruned, 100x sharded, 100x compressed q/s, 100x compressed/raw ratio vs committed BENCH_search.json) =="
 cargo bench -p shift-bench --bench search_kernel -- --gate
 
 echo "verify.sh: all checks passed"
