@@ -37,6 +37,7 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use shift_bench::STUDY_SEED;
 use shift_corpus::{EventKind, Timeline, TimelineConfig, World, WorldConfig};
+use shift_metrics::percentile;
 use shift_queries::ranking_queries;
 use shift_search::live::{LiveDoc, LiveIndex, LiveIndexConfig, LiveIndexStats, LiveSearcher};
 use shift_search::query::reference;
@@ -52,6 +53,9 @@ const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_searc
 /// Shard counts swept at every scale; 1 is the unsharded kernel and the
 /// speedup baseline.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Batch sizes swept through the [`shift_search::BatchExecutor`] at
+/// every scale (clamped to the query count).
+const BATCH_SIZES: [usize; 4] = [16, 64, 256, 1000];
 /// Shard count whose 100×-scale throughput is committed and gated.
 const GATE_SHARDS: usize = 4;
 /// `--gate` fails when the fresh 100× compressed/raw byte ratio rises
@@ -108,6 +112,34 @@ impl ShardRow {
     }
 }
 
+/// One row of a scale's batched-execution sweep.
+struct BatchRow {
+    /// Queries per [`shift_search::BatchExecutor`] run.
+    batch: usize,
+    /// Throughput of chunked batched execution over the whole query set.
+    qps: f64,
+    /// Relative to per-query execution on the same engine.
+    speedup_vs_per_query: f64,
+    /// 99th percentile of per-query latency, taken over the batch
+    /// chunks of the best-timed pass (each chunk contributes its
+    /// elapsed time divided by its size).
+    p99_ms: f64,
+}
+
+impl BatchRow {
+    fn json(&self) -> String {
+        format!(
+            "{{\"batch\":{},\"qps\":{:.1},\"ms_per_query\":{:.6},\
+             \"speedup_vs_per_query\":{:.3},\"p99_ms\":{:.6}}}",
+            self.batch,
+            self.qps,
+            1e3 / self.qps,
+            self.speedup_vs_per_query,
+            self.p99_ms,
+        )
+    }
+}
+
 /// One row of the scale sweep.
 struct ScaleRow {
     scale: &'static str,
@@ -127,6 +159,12 @@ struct ScaleRow {
     docs_skipped: u64,
     /// Shard sweep at this scale, in [`SHARD_COUNTS`] order.
     shards: Vec<ShardRow>,
+    /// Batched-execution sweep at this scale, in [`BATCH_SIZES`] order.
+    batched: Vec<BatchRow>,
+    /// Best batched throughput across the sweep.
+    batched_qps: f64,
+    /// Batch size that achieved [`ScaleRow::batched_qps`].
+    batched_best_batch: usize,
     /// Pre-rendered byte-breakdown object from [`shift_search::IndexStats`].
     index_bytes_json: String,
     /// Pre-rendered compressed-layout object: held vs raw bytes, ratio,
@@ -155,6 +193,13 @@ impl ScaleRow {
             self.docs_skipped,
         );
         for (i, row) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&row.json());
+        }
+        out.push_str("],\"batched\":[");
+        for (i, row) in self.batched.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -321,6 +366,77 @@ fn run_scale(
         });
     }
 
+    // Batched-execution sweep: the same queries streamed through the
+    // BatchExecutor in submission-order chunks of each sweep size.
+    // Identity is re-checked against the per-query kernel on the sample
+    // stride before anything is timed, and the re-entrancy fallback
+    // counter must not move — batch workers own their scratches.
+    let fallbacks_before = shift_search::scratch_fallbacks();
+    let batched_all = engine.search_batch(&queries, K, EvalMode::Pruned);
+    for (q, b) in queries.iter().zip(&batched_all).step_by(sample_stride) {
+        let per = engine.search(q, K);
+        assert_eq!(
+            b.urls(),
+            per.urls(),
+            "[{scale}] batched SERP diverged on {q:?}"
+        );
+        for (x, y) in b.results.iter().zip(&per.results) {
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "[{scale}] batched score bits diverged on {q:?}"
+            );
+        }
+    }
+    drop(batched_all);
+    let mut batch_rows: Vec<BatchRow> = Vec::new();
+    for &requested in BATCH_SIZES.iter() {
+        let size = requested.min(queries.len());
+        if batch_rows.iter().any(|r| r.batch == size) {
+            continue; // clamping collapsed this size onto a smaller one
+        }
+        let mut best_total = f64::INFINITY;
+        let mut per_query_ms: Vec<f64> = Vec::new();
+        for _ in 0..rounds {
+            let mut total = 0.0;
+            let mut chunk_ms = Vec::new();
+            for chunk in queries.chunks(size) {
+                let start = Instant::now();
+                black_box(engine.search_batch(black_box(chunk), K, EvalMode::Pruned));
+                let dt = start.elapsed().as_secs_f64();
+                total += dt;
+                chunk_ms.push(dt * 1e3 / chunk.len() as f64);
+            }
+            if total < best_total {
+                best_total = total;
+                per_query_ms = chunk_ms;
+            }
+        }
+        let batched_qps = queries.len() as f64 / best_total;
+        let p99_ms = percentile(&per_query_ms, 99.0);
+        println!(
+            "[{scale}] batch {size}: {batched_qps:.0} q/s ({:.3} ms/q, p99 {p99_ms:.3} ms/q), \
+             {:.2}x vs per-query",
+            1e3 / batched_qps,
+            batched_qps / qps,
+        );
+        batch_rows.push(BatchRow {
+            batch: size,
+            qps: batched_qps,
+            speedup_vs_per_query: batched_qps / qps,
+            p99_ms,
+        });
+    }
+    assert_eq!(
+        shift_search::scratch_fallbacks(),
+        fallbacks_before,
+        "[{scale}] batched execution allocated fallback scratches"
+    );
+    let (batched_qps, batched_best_batch) = batch_rows
+        .iter()
+        .map(|r| (r.qps, r.batch))
+        .fold((0.0f64, 0usize), |acc, v| if v.0 > acc.0 { v } else { acc });
+
     // The compressed companion: the same world through the compressed
     // read path. Byte-identity is re-checked on the sample before the
     // decode tax is timed — the tax number is only meaningful while the
@@ -409,6 +525,9 @@ fn run_scale(
         docs_scored: pruned_stats.docs_scored,
         docs_skipped,
         shards: shard_rows,
+        batched: batch_rows,
+        batched_qps,
+        batched_best_batch,
         index_bytes_json,
         compressed_json,
         compressed_qps,
@@ -661,6 +780,44 @@ fn run_gate() {
         100.0 * (ratio - 1.0)
     );
 
+    // Batched-execution gate on the same 100× world: the BatchExecutor
+    // must hold its throughput (same 20% floor) at the committed best
+    // batch size, and must never trip the scratch re-entrancy fallback.
+    let batched_baseline = json_number_field(&committed, "x100_batched_qps")
+        .unwrap_or_else(|| panic!("gate: no x100_batched_qps in {BENCH_JSON}"));
+    let batch_size = json_number_field(&committed, "x100_batched_batch")
+        .unwrap_or_else(|| panic!("gate: no x100_batched_batch in {BENCH_JSON}"))
+        as usize;
+    let flat = SearchEngine::with_index(engine.index_handle(), engine.params().clone());
+    let fallbacks_before = shift_search::scratch_fallbacks();
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for chunk in queries.chunks(batch_size.max(1)) {
+            black_box(flat.search_batch(black_box(chunk), K, EvalMode::Pruned));
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let qps = queries.len() as f64 / best;
+    let batched_ratio = qps / batched_baseline;
+    assert!(
+        batched_ratio >= GATE_FLOOR,
+        "bench gate FAILED: 100×-scale batched kernel (batch {batch_size}) at {qps:.0} q/s is \
+         {:.0}% of the committed {batched_baseline:.0} q/s (floor {:.0}%)",
+        100.0 * batched_ratio,
+        100.0 * GATE_FLOOR,
+    );
+    assert_eq!(
+        shift_search::scratch_fallbacks(),
+        fallbacks_before,
+        "bench gate FAILED: batched execution allocated fallback scratches"
+    );
+    println!(
+        "bench gate OK: batched 100× kernel {qps:.0} q/s (batch {batch_size}) vs committed \
+         {batched_baseline:.0} q/s ({:+.1}%)",
+        100.0 * (batched_ratio - 1.0)
+    );
+
     // Compressed-layout gates on the same 100× world: the decode path
     // must hold its throughput (same 20% floor), and the held/raw byte
     // ratio must not drift more than 10% above the committed value.
@@ -751,10 +908,13 @@ fn bench(c: &mut Criterion) {
             "{{\"seed\":{STUDY_SEED},\"k\":{K},\"paper_pruned_qps\":{:.1},\
              \"reference_qps\":{reference_qps:.1},\"reference_speedup\":{:.3},\
              \"x100_sharded_shards\":{GATE_SHARDS},\"x100_sharded_qps\":{x100_sharded_qps:.1},\
+             \"x100_batched_qps\":{:.1},\"x100_batched_batch\":{},\
              \"x100_compressed_qps\":{:.1},\"x100_compressed_ratio\":{:.4},\
              \"scales\":[",
             paper_row.qps,
             paper_row.qps / reference_qps,
+            x100_row.batched_qps,
+            x100_row.batched_best_batch,
             x100_row.compressed_qps,
             x100_row.compressed_ratio,
         )

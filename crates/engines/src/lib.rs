@@ -23,6 +23,7 @@ pub mod answer;
 pub mod fault;
 pub mod persona;
 pub mod serp_cache;
+pub mod single_flight;
 pub mod stack;
 
 pub use answer::{Citation, EngineAnswer};
@@ -31,6 +32,7 @@ pub use fault::{
 };
 pub use persona::{EngineKind, Persona};
 pub use serp_cache::{SerpCache, SerpCacheConfig, SerpCacheKey, SerpCacheStats};
+pub use single_flight::{SingleFlight, SingleFlightStats};
 pub use stack::AnswerEngines;
 
 // Re-exported so serving workers can hold a per-worker retrieval

@@ -13,6 +13,7 @@ use shift_search::{with_thread_scratch, QueryScratch, RankingParams, SearchEngin
 use crate::answer::{Citation, EngineAnswer};
 use crate::persona::{EngineKind, Persona};
 use crate::serp_cache::{SerpCache, SerpCacheConfig, SerpCacheKey, SerpCacheStats};
+use crate::single_flight::{SingleFlight, SingleFlightStats};
 
 /// All five answer systems built over one world, one index build and one
 /// pre-trained LLM. The world is shared via [`Arc`], so a stack is
@@ -28,6 +29,10 @@ pub struct AnswerEngines {
     // grounding through Google's ranking and repeated serving traffic
     // hit the same entries their first run populated.
     serp_cache: SerpCache,
+    // Collapses concurrent identical cache misses: while one worker
+    // runs the kernel for a key, others with the same key wait for its
+    // result instead of re-running the same retrieval.
+    single_flight: SingleFlight,
 }
 
 // The serving layer (`shift-serve`) and the parallel study runner share
@@ -99,6 +104,7 @@ impl AnswerEngines {
             personas,
             llm,
             serp_cache: SerpCache::new(&SerpCacheConfig::default()),
+            single_flight: SingleFlight::new(),
         }
     }
 
@@ -112,9 +118,16 @@ impl AnswerEngines {
         self.serp_cache.stats()
     }
 
+    /// Snapshot of the single-flight dedup counters under the cache.
+    pub fn single_flight_stats(&self) -> SingleFlightStats {
+        self.single_flight.stats()
+    }
+
     /// Retrieval through the SERP cache: a hit returns the cached
     /// result list with this call's raw query echoed back (making hits
-    /// byte-identical to kernel runs); a miss runs the kernel and
+    /// byte-identical to kernel runs); a miss runs the kernel under
+    /// single-flight — concurrent misses on the same key collapse into
+    /// one kernel run whose result every waiter receives — and
     /// populates the cache.
     fn cached_serp(
         &self,
@@ -127,9 +140,11 @@ impl AnswerEngines {
         if let Some(hit) = self.serp_cache.get(&key, query) {
             return hit;
         }
-        let serp = engine.search_with(scratch, query, k);
-        self.serp_cache.insert(key, serp.clone());
-        serp
+        self.single_flight.run(&key, query, || {
+            let serp = engine.search_with(scratch, query, k);
+            self.serp_cache.insert(key.clone(), serp.clone());
+            serp
+        })
     }
 
     /// The world the stack runs over.
@@ -623,6 +638,46 @@ mod tests {
             assert_eq!(cold.snippets.len(), warm.snippets.len());
         }
         assert!(stack.serp_cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn concurrent_cold_misses_collapse_to_identical_bytes() {
+        let w = world();
+        let stack = Arc::new(AnswerEngines::build(w.clone()));
+        let q = "Best Smartwatches for Runners";
+        let reference = {
+            // An independent stack gives the uncached kernel answer.
+            let fresh = AnswerEngines::build(w.clone());
+            fresh.google_serp(q, 10)
+        };
+        const N: usize = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let (stack, barrier) = (Arc::clone(&stack), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    stack.google_serp(q, 10)
+                })
+            })
+            .collect();
+        let results: Vec<Serp> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for serp in &results {
+            assert_eq!(serp.query, reference.query);
+            assert_eq!(serp.results.len(), reference.results.len());
+            for (a, b) in serp.results.iter().zip(&reference.results) {
+                assert_eq!(a.url, b.url);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.snippet, b.snippet);
+            }
+        }
+        // Accounting must balance: every thread either hit the cache,
+        // led a flight, or waited on one.
+        let sf = stack.single_flight_stats();
+        let cache = stack.serp_cache_stats();
+        assert_eq!(sf.leaders + sf.waiters + cache.hits, N as u64);
+        assert!(sf.leaders >= 1);
+        assert_eq!(cache.inserts, sf.leaders, "one insert per kernel run");
     }
 
     #[test]

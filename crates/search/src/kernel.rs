@@ -273,6 +273,11 @@ pub struct KernelStats {
     /// scoring. Block jumps skip further documents that never surface
     /// as candidates at all, so this undercounts total skipped work.
     pub candidates_pruned: u64,
+    /// Times [`with_thread_scratch`] had to allocate a fresh scratch
+    /// because the thread-local was already borrowed (re-entrant
+    /// search). A nonzero count means some caller is silently paying
+    /// allocation + warm-up on every query — the bench asserts zero.
+    pub scratch_fallbacks: u64,
 }
 
 impl KernelStats {
@@ -282,6 +287,7 @@ impl KernelStats {
     pub fn merge(&mut self, other: KernelStats) {
         self.docs_scored += other.docs_scored;
         self.candidates_pruned += other.candidates_pruned;
+        self.scratch_fallbacks += other.scratch_fallbacks;
     }
 }
 
@@ -380,16 +386,40 @@ pub(crate) fn hardware_threads() -> usize {
     })
 }
 
+/// Process-wide count of [`with_thread_scratch`] re-entrancy
+/// fallbacks. The per-scratch [`KernelStats::scratch_fallbacks`]
+/// counter on the fresh scratch is usually dropped with it, so this
+/// global is what benches and gates assert on.
+static SCRATCH_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Times [`with_thread_scratch`] fell back to a freshly allocated
+/// scratch because the thread-local was already borrowed, since
+/// process start. Steady-state query paths must keep this at zero
+/// (asserted in the `search_kernel` bench): every fallback silently
+/// re-pays allocation and warm-up that the scratch design exists to
+/// amortize.
+pub fn scratch_fallbacks() -> u64 {
+    SCRATCH_FALLBACKS.load(Ordering::Relaxed)
+}
+
 /// Runs `f` with this thread's shared [`QueryScratch`].
 ///
 /// [`crate::SearchEngine::search`] routes through here, so callers that
 /// never manage a scratch still reuse one per thread. Falls back to a
 /// fresh scratch if the thread-local is already borrowed (re-entrant
-/// call from inside another search).
+/// call from inside another search) — counted both on the fresh
+/// scratch's [`KernelStats`] and in the process-wide
+/// [`scratch_fallbacks`] total, so hidden scratch-reuse bugs surface
+/// in telemetry instead of just costing allocations.
 pub fn with_thread_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
     THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut scratch) => f(&mut scratch),
-        Err(_) => f(&mut QueryScratch::new()),
+        Err(_) => {
+            SCRATCH_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            let mut fresh = QueryScratch::new();
+            fresh.stats.scratch_fallbacks = 1;
+            f(&mut fresh)
+        }
     })
 }
 
@@ -909,6 +939,7 @@ fn gather(
     impacts: &ScoreTable,
     scratch: &mut QueryScratch,
     terms: &[String],
+    resolved: Option<&[TermId]>,
     overfetch: usize,
     mode: EvalMode,
     shared: Option<&SharedTheta>,
@@ -919,24 +950,39 @@ fn gather(
     // per query; the serial sharded path deliberately carries it across
     // shards so the threshold evolves exactly as in the unsharded scan.
     // Resolve each query-term occurrence to a cursor: one dictionary
-    // probe per term.
+    // probe per term — or zero, when the caller already interned the
+    // batch's terms (`resolved` holds the ids of exactly the
+    // occurrences present in this store, in query-term order, so the
+    // cursor sequence is identical either way).
     scratch.cursors.clear();
-    for term in terms {
-        if let Some(id) = store.term_id(term) {
-            let mut c = TermCursor {
-                term: id,
-                next: 0,
-                cur: DocNum::MAX,
-                base: lists.base(id) as u32,
-                ub: bounds.list_ub(id),
-                blk: u32::MAX,
-                blk_ub: 0.0,
-                blk_last: 0,
-                buf_blk: u32::MAX,
-                buf: [0; BLOCK_LEN],
-            };
-            land_view(&lists, &mut c, 0);
-            scratch.cursors.push(c);
+    let push_cursor = |scratch: &mut QueryScratch, id: TermId| {
+        let mut c = TermCursor {
+            term: id,
+            next: 0,
+            cur: DocNum::MAX,
+            base: lists.base(id) as u32,
+            ub: bounds.list_ub(id),
+            blk: u32::MAX,
+            blk_ub: 0.0,
+            blk_last: 0,
+            buf_blk: u32::MAX,
+            buf: [0; BLOCK_LEN],
+        };
+        land_view(&lists, &mut c, 0);
+        scratch.cursors.push(c);
+    };
+    match resolved {
+        Some(ids) => {
+            for &id in ids {
+                push_cursor(scratch, id);
+            }
+        }
+        None => {
+            for term in terms {
+                if let Some(id) = store.term_id(term) {
+                    push_cursor(scratch, id);
+                }
+            }
         }
     }
     if scratch.cursors.is_empty() {
@@ -1107,11 +1153,113 @@ pub(crate) fn execute(
         impacts,
         scratch,
         terms,
+        None,
         overfetch,
         mode,
         None,
         None,
     );
+    finalize(index, params, scratch, terms, k, overfetch)
+}
+
+/// [`execute`] with the batch executor's pre-resolved term ids: one
+/// dictionary probe per distinct term *per batch* instead of per
+/// query. `resolved` holds the ids of exactly the occurrences present
+/// in the index, in query-term order, so the cursor sequence — and
+/// therefore every scored float — is identical to [`execute`]'s.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_resolved(
+    index: &SearchIndex,
+    params: &RankingParams,
+    statics: &StaticTable,
+    bounds: &BoundTable,
+    impacts: &ScoreTable,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    resolved: &[TermId],
+    k: usize,
+    mode: EvalMode,
+) -> Vec<SerpResult> {
+    let overfetch = (k * 4).max(k + 8);
+    scratch.heap.clear();
+    gather(
+        ShardLists::full(index.postings()),
+        params,
+        statics,
+        bounds,
+        impacts,
+        scratch,
+        terms,
+        Some(resolved),
+        overfetch,
+        mode,
+        None,
+        None,
+    );
+    finalize(index, params, scratch, terms, k, overfetch)
+}
+
+/// One shard's candidate gather for the batch executor's
+/// shard-per-worker schedule: fills `out` with the shard's bounded
+/// top-`overfetch` heap for this query (unsorted, exactly what the
+/// parallel fan-out's child heaps hold). No cross-shard threshold is
+/// broadcast — each worker is at a different query at any instant —
+/// which can only *reduce* pruning, never change the merged pool
+/// (the [`SharedTheta`] admissibility argument in reverse), so
+/// [`finalize_merged`] over these parts is byte-identical to
+/// [`execute_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_shard_candidates(
+    store: &PostingsStore,
+    shard: &IndexShard,
+    params: &RankingParams,
+    statics: &StaticTable,
+    bound: &BoundTable,
+    impacts: &ScoreTable,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    resolved: Option<&[TermId]>,
+    overfetch: usize,
+    mode: EvalMode,
+    out: &mut Vec<(f64, DocNum)>,
+) {
+    scratch.heap.clear();
+    gather(
+        ShardLists::shard(store, shard),
+        params,
+        statics,
+        bound,
+        impacts,
+        scratch,
+        terms,
+        resolved,
+        overfetch,
+        mode,
+        None,
+        None,
+    );
+    out.clear();
+    out.extend_from_slice(&scratch.heap);
+}
+
+/// The sharded-merge tail for the batch executor: concatenates the
+/// per-shard candidate heaps of one query and runs the exact
+/// [`finalize`] sort + overfetch truncation + host crowding. The sort
+/// is over a total order, so part order is irrelevant — the output is
+/// byte-identical to the per-query sharded merge.
+pub(crate) fn finalize_merged<'a>(
+    index: &SearchIndex,
+    params: &RankingParams,
+    scratch: &mut QueryScratch,
+    terms: &[String],
+    k: usize,
+    parts: impl Iterator<Item = &'a [(f64, DocNum)]>,
+) -> Vec<SerpResult> {
+    let overfetch = (k * 4).max(k + 8);
+    scratch.heap.clear();
+    for part in parts {
+        scratch.heap.extend_from_slice(part);
+    }
     finalize(index, params, scratch, terms, k, overfetch)
 }
 
@@ -1180,6 +1328,7 @@ pub(crate) fn execute_sharded(
                         impacts,
                         child,
                         terms,
+                        None,
                         overfetch,
                         mode,
                         shared,
@@ -1198,6 +1347,7 @@ pub(crate) fn execute_sharded(
                 impacts,
                 first_child,
                 terms,
+                None,
                 overfetch,
                 mode,
                 shared,
@@ -1233,6 +1383,7 @@ pub(crate) fn execute_sharded(
                 impacts,
                 scratch,
                 terms,
+                None,
                 overfetch,
                 mode,
                 None,
@@ -1256,6 +1407,9 @@ pub(crate) struct SegmentRun<'a> {
     pub(crate) impacts: &'a ScoreTable,
     pub(crate) alive: Option<&'a [bool]>,
     pub(crate) global_of: &'a [DocNum],
+    /// Pre-resolved term ids for this segment's dictionary (batch
+    /// executor only; `None` probes the dictionary per occurrence).
+    pub(crate) resolved: Option<&'a [TermId]>,
 }
 
 /// The [`finalize`] tail for live snapshots: identical sort, overfetch
@@ -1377,6 +1531,7 @@ pub(crate) fn execute_live<'a>(
                 seg.impacts,
                 child,
                 terms,
+                seg.resolved,
                 overfetch,
                 mode,
                 shared,
@@ -1462,6 +1617,27 @@ mod tests {
         // Single term never covers k = 2.
         let tagged = vec![(5u32, 0u32), (9, 0)];
         assert_eq!(min_cover_span(&tagged, &mut counts, 2), u32::MAX);
+    }
+
+    #[test]
+    fn reentrant_thread_scratch_fallback_is_counted() {
+        let before = scratch_fallbacks();
+        with_thread_scratch(|outer| {
+            // The thread-local is borrowed: the nested call must fall
+            // back to a fresh scratch, mark it, and bump the global.
+            with_thread_scratch(|inner| {
+                assert_eq!(inner.stats().scratch_fallbacks, 1);
+            });
+            assert_eq!(outer.stats().scratch_fallbacks, 0);
+        });
+        assert!(
+            scratch_fallbacks() >= before + 1,
+            "global fallback counter did not advance"
+        );
+        // A non-re-entrant call never counts a fallback.
+        let after = scratch_fallbacks();
+        with_thread_scratch(|s| assert_eq!(s.stats().scratch_fallbacks, 0));
+        assert_eq!(scratch_fallbacks(), after);
     }
 
     #[test]

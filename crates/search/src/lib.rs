@@ -21,6 +21,11 @@
 //!   freshness), host-crowding limits, snippet extraction.
 //! * [`query`] — the user-facing [`SearchEngine`] handle, plus the frozen
 //!   term-at-a-time oracle in [`query::reference`].
+//! * [`batch`] — inverted parallelism for query sweeps: the
+//!   [`BatchExecutor`] pins one immutable index reference per worker
+//!   and streams batches of queries through it (term interning, warm
+//!   scratches, term-grouped execution, in-batch dedup), returning
+//!   SERPs byte-identical to per-query execution.
 //! * [`live`] — the incremental path: LSM-style [`live::LiveIndex`]
 //!   (WAL, memtable, immutable segments, deterministic compaction) with
 //!   point-in-time [`live::LiveSnapshot`] readers whose SERPs are
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod bm25;
 pub mod codec;
 pub mod docstore;
@@ -57,10 +63,11 @@ pub mod serp;
 pub mod shard;
 pub mod sizing;
 
+pub use batch::BatchExecutor;
 pub use bm25::Bm25Params;
 pub use docstore::{CompactDocs, DocFields};
 pub use index::{BoundTable, IndexStats, ScoreTable, SearchIndex, StaticTable};
-pub use kernel::{with_thread_scratch, EvalMode, KernelStats, QueryScratch};
+pub use kernel::{scratch_fallbacks, with_thread_scratch, EvalMode, KernelStats, QueryScratch};
 pub use live::{
     LiveCounters, LiveDoc, LiveIndex, LiveIndexConfig, LiveIndexStats, LiveSearcher, LiveSnapshot,
 };

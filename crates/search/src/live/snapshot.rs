@@ -348,6 +348,7 @@ impl LiveSearcher {
                 impacts: &self.impacts[si],
                 alive: Some(&snapshot.alive[si]),
                 global_of: &snapshot.global_of[si],
+                resolved: None,
             })
             .collect();
         let meta_of = |doc: DocNum| snapshot.meta(doc);
@@ -363,6 +364,73 @@ impl LiveSearcher {
             mode,
         );
         serp
+    }
+
+    /// Executes a batch of queries and returns one SERP per query, in
+    /// submission order — byte-identical to per-query
+    /// [`LiveSearcher::search_with_mode`] (gated by
+    /// `tests/differential_batch.rs`). See [`crate::BatchExecutor`].
+    pub fn search_batch<Q: AsRef<str>>(
+        &self,
+        queries: &[Q],
+        k: usize,
+        mode: EvalMode,
+    ) -> Vec<Serp> {
+        crate::batch::BatchExecutor::new().run_live(self, queries, k, mode)
+    }
+
+    /// Runs in this searcher's snapshot (batch-executor plumbing).
+    pub(crate) fn segment_count(&self) -> usize {
+        self.snapshot.segments.len()
+    }
+
+    /// One segment's postings store — each segment has an independent
+    /// term-id space, so the batch executor interns per segment.
+    pub(crate) fn segment_store(&self, si: usize) -> &crate::postings::PostingsStore {
+        self.snapshot.segments[si].store()
+    }
+
+    /// Executes one query whose terms the batch executor has already
+    /// analyzed and resolved per segment dictionary (`resolved[si]` =
+    /// the ids of exactly the occurrences present in segment `si`, in
+    /// query-term order). Byte-identical to
+    /// [`LiveSearcher::search_with_mode`] — same tables, same kernel,
+    /// the only difference is who probed the dictionaries.
+    pub(crate) fn run_resolved(
+        &self,
+        scratch: &mut QueryScratch,
+        terms: &[String],
+        resolved: &[Vec<TermId>],
+        k: usize,
+        mode: EvalMode,
+    ) -> Vec<crate::serp::SerpResult> {
+        let snapshot = &*self.snapshot;
+        let runs: Vec<SegmentRun<'_>> = snapshot
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(si, seg)| SegmentRun {
+                store: seg.store(),
+                statics: &self.statics[si],
+                bounds: &self.bounds[si],
+                impacts: &self.impacts[si],
+                alive: Some(&snapshot.alive[si]),
+                global_of: &snapshot.global_of[si],
+                resolved: Some(&resolved[si]),
+            })
+            .collect();
+        let meta_of = |doc: DocNum| snapshot.meta(doc);
+        kernel::execute_live(
+            &self.params,
+            &runs,
+            &snapshot.host_ids,
+            snapshot.host_count,
+            &meta_of,
+            scratch,
+            terms,
+            k,
+            mode,
+        )
     }
 
     /// Per-segment byte breakdowns with this searcher's impact-table

@@ -218,6 +218,11 @@ impl SearchEngine {
         self.sharded.as_ref().map_or(1, |s| s.shard_count())
     }
 
+    /// The document-partitioned view, when this engine has one.
+    pub(crate) fn sharded(&self) -> Option<&Arc<ShardedIndex>> {
+        self.sharded.as_ref()
+    }
+
     /// Clones the shared index handle.
     pub fn index_handle(&self) -> Arc<SearchIndex> {
         Arc::clone(&self.index)
@@ -247,7 +252,7 @@ impl SearchEngine {
 
     /// This engine's pruning bound tables (lazily built, then cached on
     /// the shared index keyed by the BM25 parameter triple).
-    fn bounds(&self) -> &Arc<BoundTable> {
+    pub(crate) fn bounds(&self) -> &Arc<BoundTable> {
         self.bounds
             .get_or_init(|| self.index.bound_table(&self.params.bm25))
     }
@@ -322,6 +327,26 @@ impl SearchEngine {
         mode: EvalMode,
     ) -> Serp {
         self.run_query(scratch, query, k, mode, false)
+    }
+
+    /// Executes a batch of queries and returns one SERP per query, in
+    /// submission order — byte-identical to calling
+    /// [`SearchEngine::search_with_mode`] per query (gated by
+    /// `tests/differential_batch.rs`).
+    ///
+    /// The inverse of per-query shard fan-out: instead of splitting one
+    /// query across threads, the default [`crate::BatchExecutor`] pins
+    /// one immutable index reference per worker and streams the batch
+    /// through it — per-query setup (table resolution, dictionary
+    /// probes) is amortized across the batch, and on a sharded engine
+    /// each worker owns a shard rather than each query fanning out.
+    pub fn search_batch<Q: AsRef<str>>(
+        &self,
+        queries: &[Q],
+        k: usize,
+        mode: EvalMode,
+    ) -> Vec<Serp> {
+        crate::batch::BatchExecutor::new().run(self, queries, k, mode)
     }
 
     fn run_query(

@@ -15,6 +15,12 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Per-request deadline, measured from admission.
     pub deadline: Duration,
+    /// Upper bound on the micro-batch a worker drains from the
+    /// admission queue in one go (1 disables batching). Batching is
+    /// deadline-safe by construction: a worker only *takes* jobs that
+    /// are already queued — it never waits for the batch to fill — so
+    /// no job is served later than it would have been unbatched.
+    pub batch_max: usize,
     /// Answer-cache geometry; `CacheConfig::disabled()` turns caching off.
     pub cache: CacheConfig,
     /// Retry / breaker / degradation policy;
@@ -28,6 +34,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             deadline: Duration::from_secs(5),
+            batch_max: 8,
             cache: CacheConfig::default(),
             resilience: ResilienceConfig::default(),
         }
@@ -56,6 +63,13 @@ impl ServeConfig {
         self.resilience = ResilienceConfig::disabled();
         self
     }
+
+    /// Same configuration with micro-batching turned off: workers take
+    /// exactly one job per queue pop.
+    pub fn without_batching(mut self) -> ServeConfig {
+        self.batch_max = 1;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +82,14 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.queue_depth >= c.workers);
         assert!(c.cache.capacity_per_shard > 0);
+        assert!(c.batch_max >= 1);
+    }
+
+    #[test]
+    fn without_batching_takes_one_job_per_pop() {
+        let c = ServeConfig::default().without_batching();
+        assert_eq!(c.batch_max, 1);
+        assert!(ServeConfig::default().batch_max > 1);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use loadgen::{
     run_chaos, run_load, ChaosConfig, ChaosReport, LoadConfig, LoadMode, LoadOutcome, Workload,
 };
 pub use metrics::ServiceMetrics;
-pub use report::{LiveServeStats, MetricsSnapshot};
+pub use report::{BatchServeStats, LiveServeStats, MetricsSnapshot};
 pub use resilience::{
     Admission, BreakerSet, BreakerState, CircuitBreaker, Degradation, ResilienceConfig,
 };

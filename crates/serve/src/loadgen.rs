@@ -493,6 +493,7 @@ pub fn run_chaos(stack: &Arc<AnswerEngines>, config: &ChaosConfig) -> ChaosRepor
             workers: 1,
             queue_depth: 4,
             deadline: config.deadline,
+            batch_max: ServeConfig::default().batch_max,
             cache: config.cache.clone(),
             resilience,
         };

@@ -5,11 +5,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use shift_engines::{EngineKind, KernelStats, SerpCacheStats};
+use shift_engines::{EngineKind, KernelStats, SerpCacheStats, SingleFlightStats};
 use shift_metrics::{mean, percentile, Histogram};
 
 use crate::cache::CacheStats;
-use crate::report::{EngineLatency, LiveServeStats, MetricsSnapshot};
+use crate::report::{BatchServeStats, EngineLatency, LiveServeStats, MetricsSnapshot};
 use crate::resilience::Degradation;
 
 /// Upper bound of the latency histogram, in milliseconds. Latencies above
@@ -41,6 +41,12 @@ pub struct ServiceMetrics {
     // children before reporting).
     docs_scored: AtomicU64,
     candidates_pruned: AtomicU64,
+    scratch_fallbacks: AtomicU64,
+    // Micro-batch shape: how many queue drains happened, how many jobs
+    // they carried, and the largest drain seen (fetch_max gauge).
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    max_batch: AtomicU64,
     // Live-index counters (monotone) and shape gauges (last set wins),
     // fed by the churn benchmark's ingest loop.
     live_events: AtomicU64,
@@ -76,6 +82,10 @@ impl ServiceMetrics {
             refreshes: AtomicU64::new(0),
             docs_scored: AtomicU64::new(0),
             candidates_pruned: AtomicU64::new(0),
+            scratch_fallbacks: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
             live_events: AtomicU64::new(0),
             live_flushes: AtomicU64::new(0),
             live_compactions: AtomicU64::new(0),
@@ -160,6 +170,15 @@ impl ServiceMetrics {
             .fetch_add(stats.docs_scored, Ordering::Relaxed);
         self.candidates_pruned
             .fetch_add(stats.candidates_pruned, Ordering::Relaxed);
+        self.scratch_fallbacks
+            .fetch_add(stats.scratch_fallbacks, Ordering::Relaxed);
+    }
+
+    /// Record one micro-batch drained from the admission queue.
+    pub fn record_batch(&self, jobs: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.max_batch.fetch_max(jobs, Ordering::Relaxed);
     }
 
     /// Record live-index mutations applied (upserts + deletes).
@@ -202,7 +221,12 @@ impl ServiceMetrics {
     }
 
     /// Materialize percentiles, throughput, and the histogram.
-    pub fn snapshot(&self, cache: CacheStats, serp_cache: SerpCacheStats) -> MetricsSnapshot {
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        serp_cache: SerpCacheStats,
+        single_flight: SingleFlightStats,
+    ) -> MetricsSnapshot {
         let mut histogram = Histogram::new(0.0, HISTOGRAM_MAX_MS, HISTOGRAM_BINS);
         let mut engines = Vec::with_capacity(EngineKind::ALL.len());
         let mut all: Vec<f64> = Vec::new();
@@ -242,7 +266,14 @@ impl ServiceMetrics {
             kernel: KernelStats {
                 docs_scored: self.docs_scored.load(Ordering::Relaxed),
                 candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+                scratch_fallbacks: self.scratch_fallbacks.load(Ordering::Relaxed),
             },
+            batch: BatchServeStats {
+                batches: self.batches.load(Ordering::Relaxed),
+                batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+                max_batch: self.max_batch.load(Ordering::Relaxed),
+            },
+            single_flight,
             live: LiveServeStats {
                 events: self.live_events.load(Ordering::Relaxed),
                 flushes: self.live_flushes.load(Ordering::Relaxed),
@@ -331,18 +362,32 @@ mod tests {
         m.record_kernel(KernelStats {
             docs_scored: 40,
             candidates_pruned: 7,
+            scratch_fallbacks: 0,
         });
         m.record_kernel(KernelStats {
             docs_scored: 2,
             candidates_pruned: 3,
+            scratch_fallbacks: 1,
         });
-        let snap = m.snapshot(CacheStats::default(), SerpCacheStats::default());
+        m.record_batch(1);
+        m.record_batch(5);
+        m.record_batch(3);
+        let snap = m.snapshot(
+            CacheStats::default(),
+            SerpCacheStats::default(),
+            SingleFlightStats::default(),
+        );
         assert_eq!(snap.completed, 3);
         assert_eq!(snap.cache_hits_served, 1);
         assert_eq!(snap.overloaded, 1);
         assert_eq!(snap.timed_out, 1);
         assert_eq!(snap.kernel.docs_scored, 42);
         assert_eq!(snap.kernel.candidates_pruned, 10);
+        assert_eq!(snap.kernel.scratch_fallbacks, 1);
+        assert_eq!(snap.batch.batches, 3);
+        assert_eq!(snap.batch.batched_jobs, 9);
+        assert_eq!(snap.batch.max_batch, 5);
+        assert!((snap.batch.mean_batch() - 3.0).abs() < 1e-12);
         let google = &snap.engines[EngineKind::Google.index()];
         assert_eq!(google.summary.count, 2);
         let gemini = &snap.engines[EngineKind::Gemini.index()];
@@ -372,7 +417,11 @@ mod tests {
         m.record_breaker_rejection();
         m.record_failed();
         m.record_refresh();
-        let snap = m.snapshot(CacheStats::default(), SerpCacheStats::default());
+        let snap = m.snapshot(
+            CacheStats::default(),
+            SerpCacheStats::default(),
+            SingleFlightStats::default(),
+        );
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.served_stale, 1, "only the stale serve counts stale");
         assert_eq!(

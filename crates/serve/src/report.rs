@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use shift_engines::{EngineKind, KernelStats, SerpCacheStats};
+use shift_engines::{EngineKind, KernelStats, SerpCacheStats, SingleFlightStats};
 use shift_freshness::json::{to_string as json_to_string, Value};
 use shift_metrics::Histogram;
 
@@ -75,9 +75,37 @@ pub struct MetricsSnapshot {
     /// Retrieval-kernel work totals, summed across every shard of
     /// every query the service ran.
     pub kernel: KernelStats,
+    /// Micro-batch shape of the worker pool's queue drains.
+    pub batch: BatchServeStats,
+    /// Single-flight dedup counters from the engine stack (collapsed
+    /// concurrent SERP-cache misses).
+    pub single_flight: SingleFlightStats,
     /// Live-index counters and shape gauges (all zero unless a churn
     /// workload fed the service; see `examples/run_live.rs`).
     pub live: LiveServeStats,
+}
+
+/// Micro-batch counters: each "batch" is one drain of the admission
+/// queue by one worker (a drain of a single job still counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchServeStats {
+    /// Queue drains performed.
+    pub batches: u64,
+    /// Jobs carried by those drains.
+    pub batched_jobs: u64,
+    /// Largest single drain.
+    pub max_batch: u64,
+}
+
+impl BatchServeStats {
+    /// Mean jobs per drain (0.0 when no drains happened).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches as f64
+        }
+    }
 }
 
 /// Live-index counters carried through [`crate::ServiceMetrics`]:
@@ -124,8 +152,21 @@ impl MetricsSnapshot {
             self.serp_cache.evictions,
         ));
         out.push_str(&format!(
-            "retrieval: {} docs scored, {} candidates pruned\n",
-            self.kernel.docs_scored, self.kernel.candidates_pruned,
+            "retrieval: {} docs scored, {} candidates pruned, {} scratch fallbacks\n",
+            self.kernel.docs_scored, self.kernel.candidates_pruned, self.kernel.scratch_fallbacks,
+        ));
+        out.push_str(&format!(
+            "batching: {} drains carrying {} jobs (mean {:.2}, max {})\n",
+            self.batch.batches,
+            self.batch.batched_jobs,
+            self.batch.mean_batch(),
+            self.batch.max_batch,
+        ));
+        out.push_str(&format!(
+            "single-flight: {} leaders, {} waiters (collapse rate {:.1}%)\n",
+            self.single_flight.leaders,
+            self.single_flight.waiters,
+            self.single_flight.collapse_rate() * 100.0,
         ));
         if self.live.events > 0 {
             out.push_str(&format!(
@@ -227,6 +268,31 @@ impl MetricsSnapshot {
             "candidates_pruned".to_string(),
             num(self.kernel.candidates_pruned as f64),
         );
+        kernel.insert(
+            "scratch_fallbacks".to_string(),
+            num(self.kernel.scratch_fallbacks as f64),
+        );
+        let mut batch = BTreeMap::new();
+        batch.insert("batches".to_string(), num(self.batch.batches as f64));
+        batch.insert(
+            "batched_jobs".to_string(),
+            num(self.batch.batched_jobs as f64),
+        );
+        batch.insert("max_batch".to_string(), num(self.batch.max_batch as f64));
+        batch.insert("mean_batch".to_string(), num(self.batch.mean_batch()));
+        let mut single_flight = BTreeMap::new();
+        single_flight.insert(
+            "leaders".to_string(),
+            num(self.single_flight.leaders as f64),
+        );
+        single_flight.insert(
+            "waiters".to_string(),
+            num(self.single_flight.waiters as f64),
+        );
+        single_flight.insert(
+            "collapse_rate".to_string(),
+            num(self.single_flight.collapse_rate()),
+        );
         let mut resilience = BTreeMap::new();
         resilience.insert("retries".to_string(), num(self.retries as f64));
         resilience.insert("served_stale".to_string(), num(self.served_stale as f64));
@@ -259,6 +325,8 @@ impl MetricsSnapshot {
         root.insert("cache".to_string(), Value::Object(cache));
         root.insert("serp_cache".to_string(), Value::Object(serp_cache));
         root.insert("kernel".to_string(), Value::Object(kernel));
+        root.insert("batch".to_string(), Value::Object(batch));
+        root.insert("single_flight".to_string(), Value::Object(single_flight));
         root.insert("resilience".to_string(), Value::Object(resilience));
         if self.live.events > 0 {
             let mut live = BTreeMap::new();
@@ -338,6 +406,16 @@ mod tests {
             kernel: KernelStats {
                 docs_scored: 1234,
                 candidates_pruned: 567,
+                scratch_fallbacks: 0,
+            },
+            batch: BatchServeStats {
+                batches: 4,
+                batched_jobs: 10,
+                max_batch: 5,
+            },
+            single_flight: SingleFlightStats {
+                leaders: 3,
+                waiters: 9,
             },
             live: LiveServeStats {
                 events: 90,
@@ -392,6 +470,25 @@ mod tests {
             parsed.get("kernel").and_then(|k| k.get("docs_scored")),
             Some(&Value::Number(1234.0)),
             "kernel counters survive the round trip"
+        );
+        assert_eq!(
+            parsed
+                .get("kernel")
+                .and_then(|k| k.get("scratch_fallbacks")),
+            Some(&Value::Number(0.0)),
+            "scratch fallbacks survive the round trip"
+        );
+        assert_eq!(
+            parsed.get("batch").and_then(|b| b.get("mean_batch")),
+            Some(&Value::Number(2.5)),
+            "batch counters survive the round trip"
+        );
+        assert_eq!(
+            parsed
+                .get("single_flight")
+                .and_then(|s| s.get("collapse_rate")),
+            Some(&Value::Number(0.75)),
+            "single-flight counters survive the round trip"
         );
         assert_eq!(
             parsed.get("live").and_then(|l| l.get("flushes")),

@@ -162,6 +162,7 @@ struct WorkerCtx {
     resilience: ResilienceConfig,
     refresh_tx: Sender<RefreshJob>,
     refresh_rx: Receiver<RefreshJob>,
+    batch_max: usize,
 }
 
 /// A running answer service. Cheap to share by reference across client
@@ -215,6 +216,7 @@ impl AnswerService {
                     resilience: config.resilience.clone(),
                     refresh_tx: refresh_tx.clone(),
                     refresh_rx: refresh_rx.clone(),
+                    batch_max: config.batch_max.max(1),
                 };
                 let rx = rx.clone();
                 std::thread::spawn(move || worker_loop(&ctx, &rx))
@@ -290,8 +292,11 @@ impl AnswerService {
 
     /// Live metrics (percentiles computed on the spot).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics
-            .snapshot(self.cache.stats(), self.engines.serp_cache_stats())
+        self.metrics.snapshot(
+            self.cache.stats(),
+            self.engines.serp_cache_stats(),
+            self.engines.single_flight_stats(),
+        )
     }
 
     /// The shared answer cache (for tests and warm-up).
@@ -326,7 +331,11 @@ impl AnswerService {
         for handle in workers {
             let _ = handle.join();
         }
-        metrics.snapshot(cache.stats(), engines.serp_cache_stats())
+        metrics.snapshot(
+            cache.stats(),
+            engines.serp_cache_stats(),
+            engines.single_flight_stats(),
+        )
     }
 }
 
@@ -335,11 +344,31 @@ fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<Job>) {
     // lifetime: steady-state uncached requests run the search kernel
     // without allocating working memory.
     let mut scratch = QueryScratch::new();
+    let mut batch: Vec<Job> = Vec::with_capacity(ctx.batch_max);
     while let Ok(job) = rx.recv() {
-        serve_job(ctx, &mut scratch, job);
-        ctx.metrics.record_kernel(scratch.take_stats());
-        // Foreground jobs take priority; between them, work off at most
-        // one pending stale-while-revalidate refresh.
+        // Micro-batch drain: after the blocking pop, opportunistically
+        // take whatever is *already* queued, up to `batch_max`. The
+        // drain never waits for more jobs (no deadline risk — a job is
+        // never served later than it would have been unbatched), it
+        // just keeps this worker's index references, scratch and the
+        // SERP cache's freshly inserted entries hot across the run of
+        // jobs that queued up behind one another under load.
+        batch.push(job);
+        while batch.len() < ctx.batch_max {
+            match rx.try_recv() {
+                Ok(next) => batch.push(next),
+                Err(_) => break,
+            }
+        }
+        ctx.metrics.record_batch(batch.len() as u64);
+        // Serve strictly in admission order: latency fairness, and the
+        // order replies settle is exactly the unbatched order.
+        for job in batch.drain(..) {
+            serve_job(ctx, &mut scratch, job);
+            ctx.metrics.record_kernel(scratch.take_stats());
+        }
+        // Foreground jobs take priority; between batches, work off at
+        // most one pending stale-while-revalidate refresh.
         if let Ok(refresh) = ctx.refresh_rx.try_recv() {
             run_refresh(ctx, &mut scratch, &refresh);
             ctx.metrics.record_kernel(scratch.take_stats());
@@ -598,6 +627,46 @@ mod tests {
         for p in pending {
             p.wait().expect("drained answers are delivered");
         }
+    }
+
+    #[test]
+    fn backlog_forms_micro_batches_without_changing_answers() {
+        // One worker, no cache: while it computes the first answer, the
+        // remaining submissions pile up in the queue, so later drains
+        // must carry more than one job.
+        let mut config = ServeConfig::with_workers(1).without_cache();
+        config.queue_depth = 32;
+        let stack = engines();
+        let service = AnswerService::start(stack.clone(), config);
+        let reqs: Vec<Request> = (0..16)
+            .map(|i| Request::new(EngineKind::Gpt4o, &format!("batched query {i}"), 10, i))
+            .collect();
+        let pending: Vec<_> = reqs
+            .iter()
+            .map(|r| service.submit(r.clone()).expect("queue fits 16"))
+            .collect();
+        let served: Vec<_> = pending
+            .into_iter()
+            .map(|p| p.wait().expect("batched requests complete"))
+            .collect();
+        // Batched serving is a scheduling change only: every answer is
+        // identical to a direct run on the same stack.
+        for (req, s) in reqs.iter().zip(&served) {
+            let direct = stack.answer(req.engine, &req.query, req.top_k, req.seed);
+            assert_eq!(s.answer.text, direct.text);
+            assert_eq!(s.answer.domains(), direct.domains());
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, 16);
+        assert_eq!(snap.batch.batched_jobs, 16, "every job rode a drain");
+        assert!(
+            snap.batch.batches < snap.batch.batched_jobs,
+            "at least one drain must carry multiple jobs ({} drains / {} jobs)",
+            snap.batch.batches,
+            snap.batch.batched_jobs,
+        );
+        assert!(snap.batch.max_batch >= 2);
+        assert_eq!(snap.kernel.scratch_fallbacks, 0);
     }
 
     #[test]

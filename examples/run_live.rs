@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use navigating_shift::corpus::{EventKind, Timeline, TimelineConfig, World, WorldConfig};
-use navigating_shift::engines::SerpCacheStats;
+use navigating_shift::engines::{SerpCacheStats, SingleFlightStats};
 use navigating_shift::freshness::json::{parse as json_parse, to_string as json_to_string, Value};
 use navigating_shift::search::live::{
     LiveCounters, LiveDoc, LiveIndex, LiveIndexConfig, LiveIndexStats, LiveSearcher,
@@ -347,7 +347,11 @@ fn main() {
          while ingesting for {:.2}s",
         queries, QUERY_WORKERS, elapsed, query_qps, ingest_secs,
     );
-    let snapshot = metrics.snapshot(CacheStats::default(), SerpCacheStats::default());
+    let snapshot = metrics.snapshot(
+        CacheStats::default(),
+        SerpCacheStats::default(),
+        SingleFlightStats::default(),
+    );
     println!("\n{}", snapshot.render());
 
     // Emit the live section into BENCH_serve.json, preserving whatever

@@ -45,6 +45,9 @@ cargo test -q -p shift-search --test codec_roundtrip
 echo "== compressed postings: differential suite (compressed == raw == oracle, sharded, metadata dict) =="
 cargo test -q -p shift-search --test differential_compressed
 
+echo "== batched execution: differential suite (batched == per-query, shuffled orders, live cuts) =="
+cargo test -q -p shift-search --test differential_batch
+
 echo "== live index: churn-throughput gate (vs committed BENCH_serve.json) =="
 cargo run --release --example run_live -- --gate
 
@@ -52,10 +55,16 @@ echo "== engine stack: SERP cache + sharded-stack identity =="
 cargo test -q -p shift-engines serp_cache
 cargo test -q -p shift-engines stack
 
+echo "== engine stack: single-flight dedup (N concurrent misses compute once) =="
+cargo test -q -p shift-engines single_flight
+
+echo "== lint: clippy on the batched-execution crates =="
+cargo clippy -q -p shift-search -p shift-serve -- -D warnings
+
 echo "== retrieval kernel: bench smoke (small world, byte-identity incl. shard sweep) =="
 cargo bench -p shift-bench --bench search_kernel -- --quick
 
-echo "== retrieval kernel: throughput + compression gates (paper pruned, 100x sharded, 100x compressed q/s, 100x compressed/raw ratio vs committed BENCH_search.json) =="
+echo "== retrieval kernel: throughput + compression + batching gates (paper pruned, 100x sharded, 100x compressed, 100x batched q/s vs committed BENCH_search.json) =="
 cargo bench -p shift-bench --bench search_kernel -- --gate
 
 echo "verify.sh: all checks passed"
